@@ -1,0 +1,149 @@
+// Command jaws runs a workload through a single simulated Turbulence node
+// under a chosen scheduler and prints the performance report.
+//
+// Usage:
+//
+//	jaws -sched jaws2 -jobs 200                 # generated workload
+//	jaws -sched liferaft2 -trace trace.json.gz  # replay a saved trace
+//	jaws -sched jaws2 -policy urc -k 10 -speedup 4
+//
+// Schedulers: noshare, liferaft1, liferaft2, jaws1, jaws2.
+// Cache policies: lruk, slru, urc, lru, fifo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jaws"
+	"jaws/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "jaws2", "scheduler: noshare, liferaft1, liferaft2, jaws1, jaws2")
+		policy    = flag.String("policy", "lruk", "cache policy: lruk, slru, urc, lru, fifo")
+		tracePath = flag.String("trace", "", "replay a trace file written by tracegen (otherwise generate)")
+		jobs      = flag.Int("jobs", 200, "jobs to generate when no trace is given")
+		seed      = flag.Int64("seed", 1, "workload and field seed")
+		speedup   = flag.Float64("speedup", 1, "arrival speed-up (workload saturation)")
+		batch     = flag.Int("k", 15, "JAWS batch size")
+		alpha     = flag.Float64("alpha", 0.5, "initial age bias α")
+		fixed     = flag.Bool("fixed-alpha", false, "disable adaptive starvation resistance")
+		cacheAt   = flag.Int("cache", 256, "cache capacity in atoms")
+		steps     = flag.Int("steps", 31, "stored time steps")
+		compute   = flag.Bool("compute", false, "evaluate interpolation kernels for real")
+		verbose   = flag.Bool("v", false, "print per-run adaptation history")
+	)
+	flag.Parse()
+
+	var sched jaws.Scheduler
+	switch strings.ToLower(*schedName) {
+	case "noshare":
+		sched = jaws.SchedNoShare
+	case "liferaft1":
+		sched = jaws.SchedLifeRaft1
+	case "liferaft2":
+		sched = jaws.SchedLifeRaft2
+	case "jaws1":
+		sched = jaws.SchedJAWS1
+	case "jaws2":
+		sched = jaws.SchedJAWS2
+	default:
+		fatalf("unknown scheduler %q", *schedName)
+	}
+	var pol jaws.CachePolicy
+	switch strings.ToLower(*policy) {
+	case "lruk":
+		pol = jaws.PolicyLRUK
+	case "slru":
+		pol = jaws.PolicySLRU
+	case "urc":
+		pol = jaws.PolicyURC
+	case "lru":
+		pol = jaws.PolicyLRU
+	case "fifo":
+		pol = jaws.PolicyFIFO
+	default:
+		fatalf("unknown cache policy %q", *policy)
+	}
+
+	var w *jaws.Workload
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		w, err = workload.Load(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		w = jaws.GenerateWorkload(jaws.WorkloadConfig{
+			Seed:    *seed,
+			Jobs:    *jobs,
+			Steps:   *steps,
+			SpeedUp: *speedup,
+		})
+	}
+	fmt.Printf("workload: %s\n", workload.Describe(w))
+
+	sys, err := jaws.Open(jaws.Config{
+		Steps:        *steps,
+		Seed:         *seed,
+		Scheduler:    sched,
+		BatchSize:    *batch,
+		InitialAlpha: *alpha,
+		AlphaSet:     true,
+		AdaptiveOff:  *fixed,
+		Policy:       pol,
+		CacheAtoms:   *cacheAt,
+		Compute:      *compute,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	start := time.Now()
+	rep, err := sys.Run(w.Jobs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("\nscheduler       %s (k=%d, α₀=%.2f adaptive=%v)\n", sched, *batch, *alpha, !*fixed)
+	fmt.Printf("cache policy    %s (%d atoms)\n", pol, *cacheAt)
+	fmt.Printf("completed       %d queries in %.1f virtual seconds (%.3f q/s)\n",
+		rep.Completed, rep.Elapsed.Seconds(), rep.ThroughputQPS)
+	fmt.Printf("response time   mean %.3fs  p50 %.3fs  p95 %.3fs\n",
+		rep.MeanResponse.Seconds(), rep.P50Response.Seconds(), rep.P95Response.Seconds())
+	fmt.Printf("cache           %.1f%% hit (%d hits / %d misses, %d evictions)\n",
+		rep.CacheStats.HitRatio()*100, rep.CacheStats.Hits, rep.CacheStats.Misses, rep.CacheStats.Evictions)
+	fmt.Printf("disk            %d reads, %d sequential, %.1f GB, busy %.1fs\n",
+		rep.DiskStats.Reads, rep.DiskStats.SeqReads,
+		float64(rep.DiskStats.Bytes)/1e9, rep.DiskStats.BusyTime.Seconds())
+	if sched == jaws.SchedJAWS2 {
+		fmt.Printf("gating          %d edges admitted, %d rejected\n", rep.GatingAdmitted, rep.GatingRejected)
+	}
+	if sched == jaws.SchedJAWS1 || sched == jaws.SchedJAWS2 {
+		fmt.Printf("final α         %.3f\n", rep.FinalAlpha)
+	}
+	fmt.Printf("wall clock      %v\n", wall.Round(time.Millisecond))
+
+	if *verbose {
+		fmt.Println("\nrun  ended-at  mean-resp  throughput  alpha")
+		for i, r := range rep.Runs {
+			fmt.Printf("%3d  %7.1fs  %8.3fs  %9.3f  %.3f\n",
+				i, r.EndedAt.Seconds(), r.MeanRespSec, r.Throughput, r.Alpha)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jaws: "+format+"\n", args...)
+	os.Exit(1)
+}

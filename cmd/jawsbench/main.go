@@ -1,0 +1,218 @@
+// Command jawsbench regenerates the paper's evaluation tables and figures
+// (§VI) against the simulated Turbulence node and prints them as text
+// tables (with ASCII renderings of the figures) or CSV.
+//
+// Usage:
+//
+//	jawsbench -exp all            # every experiment
+//	jawsbench -exp fig10          # one experiment: fig8 fig9 fig10
+//	                              # fig11 fig12 table1 jobid ablation
+//	jawsbench -exp fig12 -quick   # reduced scale for a fast smoke run
+//	jawsbench -exp fig11 -format csv > fig11.csv
+//
+// The mapping from experiment IDs to paper results is documented in
+// DESIGN.md §4; measured-versus-paper shapes are recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jaws/internal/experiments"
+	"jaws/internal/metrics"
+)
+
+var asCSV bool
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, table1, jobid, alpha, ablation")
+	quick := flag.Bool("quick", false, "use a reduced scale for a fast smoke run")
+	jobs := flag.Int("jobs", 0, "override the number of jobs in the trace")
+	seed := flag.Int64("seed", 0, "override the workload/field seed")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	switch *format {
+	case "text":
+	case "csv":
+		asCSV = true
+	default:
+		fmt.Fprintf(os.Stderr, "jawsbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.TestScale()
+	}
+	if *jobs > 0 {
+		scale.Jobs = *jobs
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	which := strings.ToLower(*exp)
+	run := func(name string) bool { return which == "all" || which == name }
+	start := time.Now()
+	any := false
+
+	if run("fig8") {
+		any = true
+		section("Fig. 8 — distribution of jobs by execution time")
+		emit(&experiments.Fig8(scale).Table)
+	}
+	if run("fig9") {
+		any = true
+		section("Fig. 9 — distribution of queries by time step accessed")
+		r := experiments.Fig9(scale)
+		emit(&r.Table)
+		if !asCSV {
+			series := metrics.Series{Label: "queries per step"}
+			for step, c := range r.Counts {
+				series.Append(float64(step), float64(c))
+			}
+			fmt.Println()
+			fmt.Print(metrics.LineChart([]metrics.Series{series}, 10))
+		}
+	}
+	if run("fig10") {
+		any = true
+		section("Fig. 10 — query throughput by scheduling algorithm")
+		r, err := experiments.Fig10(scale)
+		fail(err)
+		emit(&r.Table)
+		if !asCSV {
+			labels := make([]string, len(r.Rows))
+			values := make([]float64, len(r.Rows))
+			for i, row := range r.Rows {
+				labels[i] = row.Algorithm.String()
+				values[i] = row.Throughput
+			}
+			fmt.Println()
+			fmt.Print(metrics.BarChart(labels, values, 40))
+		}
+	}
+	if run("fig11") {
+		any = true
+		section("Fig. 11 — sensitivity to workload saturation (a: throughput, b: response time)")
+		r, err := experiments.Fig11(scale, nil)
+		fail(err)
+		emit(&r.Table)
+		if !asCSV {
+			fmt.Println("\n(a) throughput vs speed-up:")
+			fmt.Print(metrics.LineChart(fig11Series(r, false), 10))
+			fmt.Println("\n(b) mean response time vs speed-up:")
+			fmt.Print(metrics.LineChart(fig11Series(r, true), 10))
+		}
+	}
+	if run("fig12") {
+		any = true
+		section("Fig. 12 — sensitivity to batch size k")
+		r, err := experiments.Fig12(scale, nil)
+		fail(err)
+		emit(&r.Table)
+		if !asCSV {
+			s := metrics.Series{Label: "JAWS2 throughput by k"}
+			base := metrics.Series{Label: "LifeRaft2 baseline"}
+			for _, p := range r.Points {
+				s.Append(float64(p.K), p.Throughput)
+				base.Append(float64(p.K), r.LifeRaft2Baseline)
+			}
+			fmt.Println()
+			fmt.Print(metrics.LineChart([]metrics.Series{s, base}, 10))
+		}
+	}
+	if run("table1") {
+		any = true
+		section("Table I — cache replacement algorithms")
+		r, err := experiments.Table1(scale, true)
+		fail(err)
+		emit(&r.Table)
+	}
+	if run("jobid") {
+		any = true
+		section("§IV.A — job identification accuracy")
+		emit(&experiments.JobID(scale).Table)
+	}
+	if run("alpha") {
+		any = true
+		section("§V.A — adaptive age bias through changing saturation (burst / lull / burst)")
+		r, err := experiments.AlphaDynamics(scale)
+		fail(err)
+		emit(&r.Table)
+		if !asCSV {
+			fmt.Println()
+			fmt.Print(r.Chart)
+			fmt.Printf("\nmin α during bursts: %.2f   max α during lull: %.2f\n",
+				r.MinAlphaBurst, r.MaxAlphaLull)
+		}
+	}
+	if run("ablation") {
+		any = true
+		section("Ablations — design choices and §VII extensions")
+		r, err := experiments.Ablations(scale)
+		fail(err)
+		emit(&r.Table)
+	}
+
+	if !any {
+		fmt.Fprintf(os.Stderr, "jawsbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !asCSV {
+		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// fig11Series groups the Fig. 11 grid into per-algorithm series.
+func fig11Series(r *experiments.Fig11Result, respTime bool) []metrics.Series {
+	order := []experiments.Algorithm{
+		experiments.AlgNoShare, experiments.AlgLifeRaft1,
+		experiments.AlgLifeRaft2, experiments.AlgJAWS2,
+	}
+	var out []metrics.Series
+	for _, alg := range order {
+		s := metrics.Series{Label: alg.String()}
+		for _, p := range r.Points {
+			if p.Algorithm != alg {
+				continue
+			}
+			y := p.Throughput
+			if respTime {
+				y = p.MeanRespSec
+			}
+			s.Append(p.SpeedUp, y)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func emit(t *metrics.Table) {
+	if asCSV {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}
+
+func section(title string) {
+	if asCSV {
+		fmt.Printf("# %s\n", title)
+		return
+	}
+	fmt.Printf("\n== %s ==\n\n", title)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jawsbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command tracegen generates a synthetic Turbulence workload trace with
+// the statistical shape of the production SQL log (§VI.A) and writes it to
+// a file that the jaws CLI can replay.
+//
+// Usage:
+//
+//	tracegen -jobs 1000 -o trace.json.gz
+//	tracegen -jobs 200 -speedup 4 -seed 7 -o fast.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jaws/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "trace.json.gz", "output file (.gz suffix enables compression)")
+		jobs    = flag.Int("jobs", 1000, "number of jobs")
+		steps   = flag.Int("steps", 31, "time steps in the target store")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		speedup = flag.Float64("speedup", 1, "arrival speed-up")
+		points  = flag.Int("points", 60, "mean positions per query")
+		gap     = flag.Duration("gap", 4*time.Second, "mean inter-job arrival gap")
+		ordered = flag.Float64("ordered", 0.7, "fraction of multi-query jobs that are ordered")
+		scale   = flag.Int("qscale", 10, "query-count divisor vs paper scale")
+	)
+	flag.Parse()
+
+	w := workload.Generate(workload.Config{
+		Seed:           *seed,
+		Steps:          *steps,
+		Jobs:           *jobs,
+		PointsPerQuery: *points,
+		OrderedFrac:    *ordered,
+		SpeedUp:        *speedup,
+		MeanJobGap:     *gap,
+		QueryScale:     *scale,
+	})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := workload.Save(f, w, strings.HasSuffix(*out, ".gz")); err != nil {
+		fatalf("%v", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s: %s (%d bytes)\n", *out, workload.Describe(w), info.Size())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+// Cluster service: the deployment shape of Fig. 7 — data partitioned
+// spatially across several nodes, each running its own JAWS instance, with
+// a public web-service front end like the one the Turbulence database
+// exposes to scientists.
+//
+// The example does two things:
+//
+//  1. runs a generated batch workload across a 4-node simulated cluster
+//     and prints the per-node and aggregate reports;
+//  2. starts an HTTP front end with a /query endpoint (JSON in/out),
+//     issues a demo request against it, and prints the interpolated
+//     velocities.
+//
+// go run ./examples/clusterservice
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jaws"
+)
+
+func main() {
+	nodeCfg := jaws.Config{
+		Space:      jaws.Space{GridSide: 128, AtomSide: 32},
+		Steps:      8,
+		Scheduler:  jaws.SchedJAWS1,
+		Policy:     jaws.PolicyLRUK,
+		CacheAtoms: 32,
+	}
+
+	// --- 1. batch workload across the cluster --------------------------
+	w := jaws.GenerateWorkload(jaws.WorkloadConfig{
+		Seed:  21,
+		Steps: 8,
+		Jobs:  30,
+		Space: jaws.Space{GridSide: 128, AtomSide: 32},
+	})
+	rep, err := jaws.RunCluster(jaws.ClusterConfig{Nodes: 4, Node: nodeCfg}, w.Jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster run: %d logical queries, makespan %.1f virtual s, %.2f q/s aggregate\n",
+		rep.Completed, rep.MaxElapsed, rep.AggregateThroughput)
+	for _, nr := range rep.PerNode {
+		fmt.Printf("  node %d: %4d queries, %.2f q/s, cache hit %.1f%%\n",
+			nr.Node, nr.Report.Completed, nr.Report.ThroughputQPS,
+			nr.Report.CacheStats.HitRatio()*100)
+	}
+
+	// --- 2. interactive web-service front end --------------------------
+	// A single long-lived session serves every request: queries from
+	// concurrent clients enter the same JAWS workload queues (where their
+	// I/O can be shared), and a demultiplexer routes streamed results
+	// back to the waiting handler.
+	sess, err := jaws.OpenSession(jaws.Config{
+		Space:      nodeCfg.Space,
+		Steps:      nodeCfg.Steps,
+		Scheduler:  jaws.SchedJAWS1,
+		CacheAtoms: 32,
+		Compute:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	var demux sync.Map // jaws.QueryID → chan *jaws.QueryResult
+	go func() {
+		for r := range sess.Results() {
+			if ch, ok := demux.Load(r.Query.ID); ok {
+				ch.(chan *jaws.QueryResult) <- r
+			}
+		}
+	}()
+	var nextID int64
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(rw http.ResponseWriter, req *http.Request) {
+		var in struct {
+			Step   int             `json:"step"`
+			Kernel string          `json:"kernel"`
+			Points []jaws.Position `json:"points"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kernel := jaws.KernelLag4
+		if in.Kernel == "lag8" {
+			kernel = jaws.KernelLag8
+		}
+		id := jaws.QueryID(atomic.AddInt64(&nextID, 1))
+		q := &jaws.Query{ID: id, JobID: int64(id), Step: in.Step, Points: in.Points, Kernel: kernel}
+		j := &jaws.Job{ID: int64(id), User: 1, Type: jaws.Batched, Queries: []*jaws.Query{q}}
+
+		ch := make(chan *jaws.QueryResult, 1)
+		demux.Store(id, ch)
+		defer demux.Delete(id)
+		if err := sess.Submit(j); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var res *jaws.QueryResult
+		select {
+		case res = <-ch:
+		case <-time.After(30 * time.Second):
+			http.Error(rw, "query timed out", http.StatusGatewayTimeout)
+			return
+		}
+
+		type pv struct {
+			Position jaws.Position `json:"position"`
+			Velocity [3]float64    `json:"velocity"`
+			Pressure float64       `json:"pressure"`
+		}
+		var out struct {
+			VirtualSeconds float64 `json:"virtual_seconds"`
+			Values         []pv    `json:"values"`
+		}
+		out.VirtualSeconds = (res.Completed - res.Query.Arrival).Seconds()
+		for _, p := range res.Positions {
+			out.Values = append(out.Values, pv{
+				Position: jaws.Position{X: p.Pos.X, Y: p.Pos.Y, Z: p.Pos.Z},
+				Velocity: [3]float64{p.Val[0], p.Val[1], p.Val[2]},
+				Pressure: p.Val[3],
+			})
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(out)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("\nweb service listening on http://%s\n", ln.Addr())
+
+	// Demo client request, as a scientist's script would issue it.
+	body, _ := json.Marshal(map[string]any{
+		"step":   3,
+		"kernel": "lag8",
+		"points": []jaws.Position{
+			{X: 1.0, Y: 2.0, Z: 3.0},
+			{X: 1.1, Y: 2.0, Z: 3.0},
+			{X: 1.2, Y: 2.0, Z: 3.0},
+		},
+	})
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(fmt.Sprintf("http://%s/query", ln.Addr()), "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		VirtualSeconds float64 `json:"virtual_seconds"`
+		Values         []struct {
+			Position jaws.Position `json:"position"`
+			Velocity [3]float64    `json:"velocity"`
+			Pressure float64       `json:"pressure"`
+		} `json:"values"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("demo query served in %.3f virtual s:\n", out.VirtualSeconds)
+	for _, v := range out.Values {
+		fmt.Printf("  u(%.2f, %.2f, %.2f) = (%+.4f, %+.4f, %+.4f), p = %+.4f\n",
+			v.Position.X, v.Position.Y, v.Position.Z,
+			v.Velocity[0], v.Velocity[1], v.Velocity[2], v.Pressure)
+	}
+}

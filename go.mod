@@ -1,0 +1,3 @@
+module jaws
+
+go 1.22

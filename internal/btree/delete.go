@@ -1,0 +1,138 @@
+package btree
+
+// Delete removes key k, reporting whether it was present. Underflowing
+// nodes are rebalanced by borrowing from or merging with a sibling, so
+// the tree keeps its logarithmic height under churn (the cluster prunes
+// per-experiment scratch indexes this way).
+func (t *Tree[K, V]) Delete(k K) bool {
+	removed := t.delete(t.root, k)
+	if removed {
+		t.size--
+	}
+	// Collapse a root that lost all separators.
+	if in, ok := t.root.(*interior[K, V]); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+		t.height--
+	}
+	return removed
+}
+
+// minFill is the underflow threshold for rebalancing: interiors count
+// children, leaves count keys. A node at minFill-1 merged with a sibling
+// at minFill yields 2·minFill−1 ≤ order entries, so merges never overflow.
+func (t *Tree[K, V]) minFill() int { return (t.order + 1) / 2 }
+
+func (t *Tree[K, V]) delete(n node[K, V], k K) bool {
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		i, ok := x.find(t, k)
+		if !ok {
+			return false
+		}
+		x.keys = append(x.keys[:i], x.keys[i+1:]...)
+		x.vals = append(x.vals[:i], x.vals[i+1:]...)
+		return true
+	case *interior[K, V]:
+		idx := x.childIndex(t, k)
+		removed := t.delete(x.children[idx], k)
+		if removed {
+			t.rebalance(x, idx)
+		}
+		return removed
+	}
+	return false
+}
+
+// rebalance fixes a possibly underflowing child idx of parent p.
+func (t *Tree[K, V]) rebalance(p *interior[K, V], idx int) {
+	child := p.children[idx]
+	if t.fill(child) >= t.minFill() {
+		return
+	}
+	// Try borrowing from the left sibling, then the right; merge if both
+	// siblings are minimal.
+	if idx > 0 && t.fill(p.children[idx-1]) > t.minFill() {
+		t.borrowLeft(p, idx)
+		return
+	}
+	if idx < len(p.children)-1 && t.fill(p.children[idx+1]) > t.minFill() {
+		t.borrowRight(p, idx)
+		return
+	}
+	if idx > 0 {
+		t.merge(p, idx-1)
+	} else if idx < len(p.children)-1 {
+		t.merge(p, idx)
+	}
+}
+
+// fill measures how full a node is for rebalancing purposes.
+func (t *Tree[K, V]) fill(n node[K, V]) int {
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		return len(x.keys)
+	case *interior[K, V]:
+		return len(x.children)
+	}
+	return 0
+}
+
+// borrowLeft moves the left sibling's last entry into child idx.
+func (t *Tree[K, V]) borrowLeft(p *interior[K, V], idx int) {
+	switch child := p.children[idx].(type) {
+	case *leaf[K, V]:
+		left := p.children[idx-1].(*leaf[K, V])
+		last := len(left.keys) - 1
+		child.keys = append([]K{left.keys[last]}, child.keys...)
+		child.vals = append([]V{left.vals[last]}, child.vals...)
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		p.keys[idx-1] = child.keys[0]
+	case *interior[K, V]:
+		left := p.children[idx-1].(*interior[K, V])
+		lastKey := len(left.keys) - 1
+		child.keys = append([]K{p.keys[idx-1]}, child.keys...)
+		child.children = append([]node[K, V]{left.children[len(left.children)-1]}, child.children...)
+		p.keys[idx-1] = left.keys[lastKey]
+		left.keys = left.keys[:lastKey]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// borrowRight moves the right sibling's first entry into child idx.
+func (t *Tree[K, V]) borrowRight(p *interior[K, V], idx int) {
+	switch child := p.children[idx].(type) {
+	case *leaf[K, V]:
+		right := p.children[idx+1].(*leaf[K, V])
+		child.keys = append(child.keys, right.keys[0])
+		child.vals = append(child.vals, right.vals[0])
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		p.keys[idx] = right.keys[0]
+	case *interior[K, V]:
+		right := p.children[idx+1].(*interior[K, V])
+		child.keys = append(child.keys, p.keys[idx])
+		child.children = append(child.children, right.children[0])
+		p.keys[idx] = right.keys[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+	}
+}
+
+// merge joins children idx and idx+1 of p into one node.
+func (t *Tree[K, V]) merge(p *interior[K, V], idx int) {
+	switch left := p.children[idx].(type) {
+	case *leaf[K, V]:
+		right := p.children[idx+1].(*leaf[K, V])
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	case *interior[K, V]:
+		right := p.children[idx+1].(*interior[K, V])
+		left.keys = append(left.keys, p.keys[idx])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	p.keys = append(p.keys[:idx], p.keys[idx+1:]...)
+	p.children = append(p.children[:idx+1], p.children[idx+2:]...)
+}

@@ -1,0 +1,164 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := newInt(4)
+	for i := 0; i < 10; i++ {
+		tr.Put(i, "v")
+	}
+	if !tr.Delete(5) {
+		t.Fatal("Delete(5) reported absent")
+	}
+	if tr.Delete(5) {
+		t.Fatal("double Delete reported present")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newInt(4)
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree reported present")
+	}
+	tr.Put(1, "v")
+	if tr.Delete(2) {
+		t.Fatal("Delete of absent key reported present")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteAllShrinksHeight(t *testing.T) {
+	tr := newInt(3)
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr.Put(i, "v")
+	}
+	grown := tr.Height()
+	if grown < 3 {
+		t.Fatalf("tree too shallow to test: height %d", grown)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) missing", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if tr.Height() >= grown {
+		t.Fatalf("height did not shrink: %d → %d", grown, tr.Height())
+	}
+	// Tree stays usable.
+	tr.Put(42, "back")
+	if v, ok := tr.Get(42); !ok || v != "back" {
+		t.Fatal("tree unusable after full drain")
+	}
+}
+
+func TestDeleteKeepsLeafChain(t *testing.T) {
+	tr := newInt(3)
+	for i := 0; i < 100; i++ {
+		tr.Put(i, "v")
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, k := range rng.Perm(100)[:50] {
+		tr.Delete(k)
+	}
+	var keys []int
+	tr.Ascend(func(k int, _ string) bool { keys = append(keys, k); return true })
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("leaf chain broken: Ascend unsorted")
+	}
+	if len(keys) != 50 {
+		t.Fatalf("Ascend visited %d keys, want 50", len(keys))
+	}
+	// Scan still works across merged leaves.
+	n := 0
+	tr.Scan(0, 100, func(int, string) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("Scan visited %d keys, want 50", n)
+	}
+}
+
+// Property: a random interleaving of inserts and deletes behaves exactly
+// like a map, and structural invariants hold throughout, at branching
+// orders that force every rebalancing path.
+func TestDeleteAgainstReferenceModel(t *testing.T) {
+	for _, order := range []int{3, 4, 8} {
+		f := func(ops []int16) bool {
+			tr := New[int, int](order, intLess)
+			ref := map[int]int{}
+			for i, op := range ops {
+				k := int(op) % 64
+				if op%3 == 0 {
+					// delete
+					want := false
+					if _, ok := ref[k]; ok {
+						want = true
+						delete(ref, k)
+					}
+					if tr.Delete(k) != want {
+						return false
+					}
+				} else {
+					tr.Put(k, i)
+					ref[k] = i
+				}
+				if tr.CheckInvariants() != nil {
+					return false
+				}
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+			for k, v := range ref {
+				got, ok := tr.Get(k)
+				if !ok || got != v {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = uint64(i) * 2654435761
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := New[uint64, int](64, func(a, b uint64) bool { return a < b })
+		for _, k := range keys {
+			tr.Put(k, 0)
+		}
+		b.StartTimer()
+		for _, k := range keys {
+			tr.Delete(k)
+		}
+	}
+}

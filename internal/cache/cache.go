@@ -1,0 +1,174 @@
+// Package cache implements the externally managed atom cache of §V.B and
+// the replacement policies the paper evaluates in Table I: the LRU-K
+// baseline (SQL Server's page replacement is a variant of LRU-K), the
+// low-overhead Segmented LRU (SLRU) that promotes frequently accessed
+// atoms into a protected segment at the end of each run, and the
+// Utility-Ranked Cache (URC) that coordinates eviction with the two-level
+// scheduler. Plain LRU and FIFO are included for ablation.
+//
+// Capacity is counted in atoms: atoms are equal-sized (the paper assumes
+// uniform I/O cost for the same reason), so a 2 GB cache is 256 8-MB atoms.
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"jaws/internal/store"
+)
+
+// Policy decides which resident atom to evict. Implementations are not
+// safe for concurrent use; the cache serializes calls.
+type Policy interface {
+	// Name identifies the policy in reports ("lru-k", "slru", "urc", ...).
+	Name() string
+	// OnHit notes an access to a resident atom.
+	OnHit(id store.AtomID)
+	// OnInsert notes that id became resident.
+	OnInsert(id store.AtomID)
+	// Victim selects the resident atom to evict. It is only called when
+	// the cache is full and must return a currently resident atom.
+	Victim() store.AtomID
+	// OnEvict notes that id was evicted.
+	OnEvict(id store.AtomID)
+	// EndRun marks the end of one workload run (r consecutive queries);
+	// SLRU performs its promotions here. Other policies ignore it.
+	EndRun()
+}
+
+// Stats accumulates cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// PolicyTime is real (wall-clock) time spent inside policy decisions;
+	// it backs Table I's overhead-per-query column.
+	PolicyTime time.Duration
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is an atom cache with a pluggable replacement policy.
+type Cache struct {
+	capacity int
+	policy   Policy
+	entries  map[store.AtomID]any
+	stats    Stats
+}
+
+// New creates a cache holding up to capacity atoms. capacity must be
+// positive and policy non-nil.
+func New(capacity int, policy Policy) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity must be positive, got %d", capacity))
+	}
+	if policy == nil {
+		panic("cache: nil policy")
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[store.AtomID]any, capacity),
+	}
+}
+
+// Get returns the cached value for id, if resident.
+func (c *Cache) Get(id store.AtomID) (any, bool) {
+	v, ok := c.entries[id]
+	if ok {
+		c.stats.Hits++
+		start := time.Now()
+		c.policy.OnHit(id)
+		c.stats.PolicyTime += time.Since(start)
+	} else {
+		c.stats.Misses++
+	}
+	return v, ok
+}
+
+// Contains reports residency without touching the policy or stats — the
+// scheduler uses this for the φ(i) term of the workload throughput metric
+// (Eq. 1), which must not perturb recency state.
+func (c *Cache) Contains(id store.AtomID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Put inserts id, evicting per policy if the cache is full. Inserting an
+// already-resident atom just refreshes its value and recency.
+func (c *Cache) Put(id store.AtomID, v any) {
+	if _, ok := c.entries[id]; ok {
+		c.entries[id] = v
+		start := time.Now()
+		c.policy.OnHit(id)
+		c.stats.PolicyTime += time.Since(start)
+		return
+	}
+	start := time.Now()
+	for len(c.entries) >= c.capacity {
+		victim := c.policy.Victim()
+		if _, ok := c.entries[victim]; !ok {
+			panic(fmt.Sprintf("cache: policy %s evicted non-resident atom %v", c.policy.Name(), victim))
+		}
+		delete(c.entries, victim)
+		c.policy.OnEvict(victim)
+		c.stats.Evictions++
+	}
+	c.entries[id] = v
+	c.policy.OnInsert(id)
+	c.stats.PolicyTime += time.Since(start)
+}
+
+// EndRun forwards the end-of-run signal to the policy.
+func (c *Cache) EndRun() {
+	start := time.Now()
+	c.policy.EndRun()
+	c.stats.PolicyTime += time.Since(start)
+}
+
+// Len reports the number of resident atoms.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Keys returns the resident atom IDs in unspecified order. The engine
+// uses this to push scheduler utilities into URC.
+func (c *Cache) Keys() []store.AtomID {
+	out := make([]store.AtomID, 0, len(c.entries))
+	for id := range c.entries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Capacity reports the configured maximum.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters (contents stay resident).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush evicts everything. The NoShare baseline flushes between queries so
+// that no I/O is shared across queries (§VI), mirroring the paper's
+// methodology of flushing the buffer pool.
+func (c *Cache) Flush() {
+	for id := range c.entries {
+		delete(c.entries, id)
+		c.policy.OnEvict(id)
+		c.stats.Evictions++
+	}
+}
+
+// PolicyName reports the replacement policy in use.
+func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+// Policy exposes the policy for scheduler coordination (URC needs utility
+// updates pushed into it).
+func (c *Cache) Policy() Policy { return c.policy }

@@ -1,0 +1,602 @@
+package cache
+
+import (
+	"testing"
+
+	"jaws/internal/morton"
+	"jaws/internal/store"
+)
+
+func id(step, code int) store.AtomID {
+	return store.AtomID{Step: step, Code: morton.Code(code)}
+}
+
+func TestNewValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero capacity accepted")
+			}
+		}()
+		New(0, NewLRU())
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil policy accepted")
+			}
+		}()
+		New(1, nil)
+	}()
+}
+
+func TestGetMissAndHit(t *testing.T) {
+	c := New(2, NewLRU())
+	if _, ok := c.Get(id(0, 1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(id(0, 1), "a")
+	v, ok := c.Get(id(0, 1))
+	if !ok || v != "a" {
+		t.Fatalf("Get = %v/%v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(2, NewLRU())
+	c.Put(id(0, 1), "a")
+	c.Put(id(0, 1), "b")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Put", c.Len())
+	}
+	if v, _ := c.Get(id(0, 1)); v != "b" {
+		t.Fatalf("value not refreshed: %v", v)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	c := New(3, NewLRU())
+	for i := 0; i < 10; i++ {
+		c.Put(id(0, i), i)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Stats().Evictions != 7 {
+		t.Fatalf("Evictions = %d, want 7", c.Stats().Evictions)
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(2, NewLRU())
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	// Probing 1 via Contains must not refresh its recency.
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("Contains false for resident atom")
+	}
+	hits := c.Stats().Hits
+	c.Put(id(0, 3), nil) // evicts LRU = 1
+	if c.Contains(id(0, 1)) {
+		t.Fatal("Contains perturbed LRU order")
+	}
+	if c.Stats().Hits != hits {
+		t.Fatal("Contains counted as a hit")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2, NewLRU())
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	c.Get(id(0, 1))      // 1 becomes MRU
+	c.Put(id(0, 3), nil) // evicts 2
+	if !c.Contains(id(0, 1)) || c.Contains(id(0, 2)) || !c.Contains(id(0, 3)) {
+		t.Fatal("LRU evicted the wrong atom")
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	c := New(2, NewFIFO())
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	c.Get(id(0, 1))      // should NOT save 1
+	c.Put(id(0, 3), nil) // evicts 1 (oldest insert)
+	if c.Contains(id(0, 1)) || !c.Contains(id(0, 2)) {
+		t.Fatal("FIFO order not insert-based")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats ratio not 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("ratio = %g", s.HitRatio())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(2, NewLRU())
+	c.Put(id(0, 1), nil)
+	c.Get(id(0, 1))
+	c.ResetStats()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("reset left %+v", s)
+	}
+	if c.Len() != 1 {
+		t.Fatal("reset dropped contents")
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	for _, tc := range []struct {
+		p    Policy
+		want string
+	}{
+		{NewLRU(), "lru"},
+		{NewFIFO(), "fifo"},
+		{NewLRUK(2, 0), "lru-k"},
+		{NewSLRU(10, 0.2), "slru"},
+		{NewURC(), "urc"},
+	} {
+		if tc.p.Name() != tc.want {
+			t.Errorf("Name = %q, want %q", tc.p.Name(), tc.want)
+		}
+		if New(4, tc.p).PolicyName() != tc.want {
+			t.Errorf("cache PolicyName mismatch for %q", tc.want)
+		}
+	}
+}
+
+// Generic conformance: under any policy the cache never exceeds capacity
+// and never loses the most recently inserted atom immediately.
+func TestPolicyConformance(t *testing.T) {
+	policies := []func() Policy{
+		func() Policy { return NewLRU() },
+		func() Policy { return NewFIFO() },
+		func() Policy { return NewLRUK(2, 0) },
+		func() Policy { return NewSLRU(4, 0.25) },
+		func() Policy { return NewURC() },
+	}
+	for _, mk := range policies {
+		p := mk()
+		c := New(4, p)
+		for i := 0; i < 100; i++ {
+			c.Put(id(i%3, i), i)
+			if c.Len() > 4 {
+				t.Fatalf("%s: cache over capacity: %d", p.Name(), c.Len())
+			}
+			if i%7 == 0 {
+				c.Get(id(i%3, i))
+			}
+			if i%10 == 9 {
+				c.EndRun()
+			}
+		}
+		if c.Len() == 0 {
+			t.Fatalf("%s: cache empty after inserts", p.Name())
+		}
+	}
+}
+
+func TestLRUKPrefersReusedAtoms(t *testing.T) {
+	// Atom 1 is referenced repeatedly (≥K times spread out); atoms 2..n are
+	// touched once. LRU-K must evict a single-reference atom, not atom 1,
+	// even when atom 1's last touch is older.
+	p := NewLRUK(2, 0)
+	c := New(3, p)
+	c.Put(id(0, 1), nil)
+	c.Get(id(0, 1))
+	c.Get(id(0, 1)) // two references: finite K-distance
+	c.Put(id(0, 2), nil)
+	c.Put(id(0, 3), nil)
+	c.Put(id(0, 4), nil) // must evict 2 or 3 (single-reference), not 1
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("LRU-K evicted the K-referenced atom")
+	}
+}
+
+func TestLRUKCorrelatedReferences(t *testing.T) {
+	// With a correlated reference period, a rapid burst on atom 2 counts
+	// as one reference, so it stays "infinite distance" and evicts before
+	// atom 1, which has two well-separated references.
+	p := NewLRUK(2, 3)
+	c := New(2, p)
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	c.Get(id(0, 2)) // correlated with its insert (within 3 ticks)
+	c.Get(id(0, 1))
+	c.Get(id(0, 1)) // ticks now beyond the period: real second reference
+	c.Put(id(0, 3), nil)
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("correlated burst outranked genuine reuse")
+	}
+}
+
+func TestSLRUProtectedSurvivesScan(t *testing.T) {
+	// Atom 1 is hot during run 1 and gets promoted; a full scan of cold
+	// atoms in run 2 must not evict it.
+	p := NewSLRU(4, 0.25) // protected capacity 1
+	c := New(4, p)
+	c.Put(id(0, 1), nil)
+	for i := 0; i < 5; i++ {
+		c.Get(id(0, 1))
+	}
+	c.Put(id(0, 2), nil)
+	c.EndRun() // promotes atom 1
+	if p.ProtectedLen() != 1 {
+		t.Fatalf("protected segment = %d, want 1", p.ProtectedLen())
+	}
+	for i := 10; i < 20; i++ { // scan: 10 cold atoms through a 4-atom cache
+		c.Put(id(0, i), nil)
+	}
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("scan flushed the protected atom")
+	}
+}
+
+func TestSLRUDemotion(t *testing.T) {
+	p := NewSLRU(4, 0.25) // protected capacity 1
+	c := New(4, p)
+	c.Put(id(0, 1), nil)
+	c.Get(id(0, 1))
+	c.EndRun() // 1 promoted
+	// Run 2: atom 2 is hotter.
+	c.Put(id(0, 2), nil)
+	for i := 0; i < 5; i++ {
+		c.Get(id(0, 2))
+	}
+	c.EndRun() // 2 promoted, 1 demoted to probationary MRU
+	if p.ProtectedLen() != 1 {
+		t.Fatalf("protected segment = %d, want 1", p.ProtectedLen())
+	}
+	// 1 must still be resident (demoted to MRU end, not dropped).
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("demotion dropped the atom")
+	}
+}
+
+func TestSLRUZeroProtected(t *testing.T) {
+	p := NewSLRU(4, 0)
+	c := New(4, p)
+	for i := 0; i < 10; i++ {
+		c.Put(id(0, i), nil)
+		c.EndRun()
+	}
+	if p.ProtectedLen() != 0 {
+		t.Fatal("protected segment grew despite zero fraction")
+	}
+}
+
+func TestSLRUClampsFraction(t *testing.T) {
+	p := NewSLRU(10, 0.9) // clamped to 0.5
+	if p.protCap != 5 {
+		t.Fatalf("protected capacity = %d, want 5 (clamped)", p.protCap)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SLRU accepted non-positive capacity")
+			}
+		}()
+		NewSLRU(0, 0.1)
+	}()
+}
+
+func TestURCEvictsLowestUtility(t *testing.T) {
+	p := NewURC()
+	c := New(3, p)
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	c.Put(id(0, 3), nil)
+	p.SetStepMean(0, 1.0)
+	p.SetAtomUtility(id(0, 1), 5)
+	p.SetAtomUtility(id(0, 2), 1) // coldest within the step
+	p.SetAtomUtility(id(0, 3), 9)
+	c.Put(id(0, 4), nil) // evicts 2
+	if c.Contains(id(0, 2)) {
+		t.Fatal("URC kept the lowest-utility atom")
+	}
+	if !c.Contains(id(0, 1)) || !c.Contains(id(0, 3)) {
+		t.Fatal("URC evicted a higher-utility atom")
+	}
+}
+
+func TestURCStepOrdering(t *testing.T) {
+	// Atoms from the step with lower mean throughput evict first even if
+	// their per-atom utility is higher.
+	p := NewURC()
+	c := New(2, p)
+	c.Put(id(0, 1), nil)
+	c.Put(id(1, 1), nil)
+	p.SetStepMean(0, 0.1) // cold step
+	p.SetStepMean(1, 5.0) // hot step
+	p.SetAtomUtility(id(0, 1), 100)
+	p.SetAtomUtility(id(1, 1), 0.5)
+	c.Put(id(1, 2), nil) // must evict the cold-step atom
+	if c.Contains(id(0, 1)) {
+		t.Fatal("URC ignored step-level ordering")
+	}
+	if !c.Contains(id(1, 1)) {
+		t.Fatal("URC evicted hot-step atom")
+	}
+}
+
+func TestURCUnknownUtilitiesEvictFirst(t *testing.T) {
+	p := NewURC()
+	c := New(2, p)
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	p.SetStepMean(0, 1)
+	p.SetAtomUtility(id(0, 1), 3)
+	// atom 2 has no pending workload: defaults to zero utility.
+	c.Put(id(0, 3), nil)
+	if c.Contains(id(0, 2)) {
+		t.Fatal("atom with no pending requests survived eviction")
+	}
+}
+
+func TestURCMetadataBounded(t *testing.T) {
+	p := NewURC()
+	c := New(8, p)
+	for i := 0; i < 1000; i++ {
+		c.Put(id(i%3, i), nil)
+		p.SetAtomUtility(id(i%3, i), float64(i))
+		p.SetStepMean(i%3, float64(i))
+	}
+	// Eviction must clean up per-atom metadata: only resident atoms plus
+	// the 3 step means remain.
+	if got := p.MetadataLen(); got > 8+3 {
+		t.Fatalf("URC metadata grew unbounded: %d entries", got)
+	}
+}
+
+func TestURCDeterministicTieBreak(t *testing.T) {
+	run := func() store.AtomID {
+		p := NewURC()
+		c := New(3, p)
+		c.Put(id(0, 1), nil)
+		c.Put(id(0, 2), nil)
+		c.Put(id(0, 3), nil)
+		// All utilities equal: victim must be deterministic.
+		c.Put(id(0, 4), nil)
+		for _, candidate := range []store.AtomID{id(0, 1), id(0, 2), id(0, 3)} {
+			if !c.Contains(candidate) {
+				return candidate
+			}
+		}
+		t.Fatal("nothing evicted")
+		return store.AtomID{}
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if run() != first {
+			t.Fatal("URC tie-break not deterministic")
+		}
+	}
+}
+
+func TestPolicyTimeAccumulates(t *testing.T) {
+	c := New(4, NewURC())
+	for i := 0; i < 100; i++ {
+		c.Put(id(0, i), nil)
+	}
+	if c.Stats().PolicyTime <= 0 {
+		t.Fatal("PolicyTime not measured")
+	}
+}
+
+func BenchmarkLRUPut(b *testing.B)  { benchPolicy(b, NewLRU()) }
+func BenchmarkLRUKPut(b *testing.B) { benchPolicy(b, NewLRUK(2, 0)) }
+func BenchmarkSLRUPut(b *testing.B) { benchPolicy(b, NewSLRU(256, 0.05)) }
+func BenchmarkURCPut(b *testing.B)  { benchPolicy(b, NewURC()) }
+
+func benchPolicy(b *testing.B, p Policy) {
+	c := New(256, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(id(i%31, i%4096), nil)
+		if i%100 == 99 {
+			c.EndRun()
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(4, NewLRU())
+	for i := 0; i < 4; i++ {
+		c.Put(id(0, i), i)
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Flush left %d entries", c.Len())
+	}
+	if c.Stats().Evictions != 4 {
+		t.Fatalf("Flush evictions = %d", c.Stats().Evictions)
+	}
+	// Cache must remain usable.
+	c.Put(id(0, 9), nil)
+	if !c.Contains(id(0, 9)) {
+		t.Fatal("cache broken after Flush")
+	}
+}
+
+func TestLRUKRetainedHistory(t *testing.T) {
+	// An atom that cycles out of the cache and promptly returns must keep
+	// its reference history (the retained-information refinement); a
+	// freshly inserted cold atom should be evicted in preference to it.
+	p := NewLRUK(2, 0)
+	c := New(2, p)
+	c.Put(id(0, 1), nil)
+	c.Get(id(0, 1)) // two refs: finite K-distance
+	c.Put(id(0, 2), nil)
+	c.Put(id(0, 3), nil) // evicts one of 1, 2 (both resident, 1 is finite → 2 goes)
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("two-reference atom evicted before single-reference atoms")
+	}
+	c.Put(id(0, 4), nil) // evicts 3 (short) — 1 still protected
+	c.Put(id(0, 1), nil) // 1 returns... wait, 1 is still resident here
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("hot atom lost")
+	}
+	// Now force 1 out and bring it back: history must survive eviction.
+	p2 := NewLRUK(2, 0)
+	c2 := New(1, p2)
+	c2.Put(id(0, 7), nil)
+	c2.Get(id(0, 7))
+	c2.Get(id(0, 7))      // rich history
+	c2.Put(id(0, 8), nil) // evicts 7
+	c2.Put(id(0, 7), nil) // 7 returns: now has ≥2 refs counting history
+	if len(p2.hist[id(0, 7)]) < 2 {
+		t.Fatal("reference history not retained across eviction")
+	}
+}
+
+func TestLRUKNoFreeze(t *testing.T) {
+	// Regression: without retained history + resident tracking, atoms that
+	// gained K references early freeze in the cache forever while every
+	// newcomer thrashes through one revolving slot. Verify that a shift in
+	// the hot set eventually displaces the old hot atoms.
+	p := NewLRUK(2, 0)
+	c := New(4, p)
+	// Phase 1: atoms 1..4 become hot (2 refs each).
+	for i := 1; i <= 4; i++ {
+		c.Put(id(0, i), nil)
+		c.Get(id(0, i))
+		c.Get(id(0, i))
+	}
+	// Phase 2: new hot set 11..14, each touched repeatedly over rounds.
+	for round := 0; round < 6; round++ {
+		for i := 11; i <= 14; i++ {
+			if _, ok := c.Get(id(0, i)); !ok {
+				c.Put(id(0, i), nil)
+			}
+		}
+	}
+	survivors := 0
+	for i := 11; i <= 14; i++ {
+		if c.Contains(id(0, i)) {
+			survivors++
+		}
+	}
+	if survivors < 2 {
+		t.Fatalf("new hot set never displaced the old one: %d/4 resident", survivors)
+	}
+}
+
+func TestURCRecencyTieBreak(t *testing.T) {
+	p := NewURC()
+	c := New(3, p)
+	c.Put(id(0, 1), nil)
+	c.Put(id(0, 2), nil)
+	c.Put(id(0, 3), nil)
+	// No utilities at all: pure recency. Touch 1 so 2 becomes the LRU.
+	c.Get(id(0, 1))
+	c.Put(id(0, 4), nil)
+	if c.Contains(id(0, 2)) {
+		t.Fatal("URC did not fall back to recency among zero-utility atoms")
+	}
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("URC evicted a recently used atom despite ties")
+	}
+}
+
+func TestURCReplaceStepMeans(t *testing.T) {
+	p := NewURC()
+	p.SetStepMean(1, 5)
+	p.SetStepMean(2, 7)
+	p.ReplaceStepMeans(map[int]float64{2: 3, 4: 9})
+	if _, ok := p.stepMean[1]; ok {
+		t.Fatal("stale step mean survived ReplaceStepMeans")
+	}
+	if p.stepMean[2] != 3 || p.stepMean[4] != 9 {
+		t.Fatalf("means not replaced: %v", p.stepMean)
+	}
+}
+
+func TestTwoQPromotionViaGhost(t *testing.T) {
+	p := NewTwoQ(4) // kin=1, kout=2
+	c := New(4, p)
+	c.Put(id(0, 1), nil)
+	// Push 1 out of probation with a stream of cold atoms.
+	c.Put(id(0, 2), nil)
+	c.Put(id(0, 3), nil)
+	c.Put(id(0, 4), nil)
+	c.Put(id(0, 5), nil)
+	if c.Contains(id(0, 1)) {
+		t.Fatal("probation atom survived a scan")
+	}
+	if p.GhostLen() == 0 {
+		t.Fatal("no ghost recorded")
+	}
+	// Re-reference 1 while its ghost lives: must enter the hot LRU.
+	c.Put(id(0, 1), nil)
+	if p.HotLen() != 1 {
+		t.Fatalf("HotLen = %d, want 1 after ghost promotion", p.HotLen())
+	}
+	// A subsequent scan must not evict the hot atom.
+	for i := 10; i < 20; i++ {
+		c.Put(id(0, i), nil)
+	}
+	if !c.Contains(id(0, 1)) {
+		t.Fatal("scan flushed the 2Q hot set")
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	// One-shot scans never pollute Am.
+	p := NewTwoQ(8)
+	c := New(8, p)
+	for i := 0; i < 100; i++ {
+		c.Put(id(0, i), nil)
+	}
+	if p.HotLen() != 0 {
+		t.Fatalf("scan promoted %d atoms into the hot set", p.HotLen())
+	}
+}
+
+func TestTwoQGhostBounded(t *testing.T) {
+	p := NewTwoQ(4) // kout = 2
+	c := New(4, p)
+	for i := 0; i < 200; i++ {
+		c.Put(id(0, i), nil)
+	}
+	if p.GhostLen() > 2 {
+		t.Fatalf("ghost queue grew to %d, bound is 2", p.GhostLen())
+	}
+}
+
+func TestTwoQValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("2Q accepted non-positive capacity")
+		}
+	}()
+	NewTwoQ(0)
+}
+
+func TestTwoQConformance(t *testing.T) {
+	p := NewTwoQ(4)
+	c := New(4, p)
+	for i := 0; i < 200; i++ {
+		c.Put(id(i%3, i%17), i)
+		if c.Len() > 4 {
+			t.Fatalf("2Q cache over capacity: %d", c.Len())
+		}
+		if i%5 == 0 {
+			c.Get(id(i%3, i%17))
+		}
+	}
+	if p.Name() != "2q" {
+		t.Fatal("wrong name")
+	}
+}
+
+func BenchmarkTwoQPut(b *testing.B) { benchPolicy(b, NewTwoQ(256)) }

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"container/list"
+
+	"jaws/internal/store"
+)
+
+// LRU is least-recently-used replacement, the simplest recency policy;
+// included as an ablation baseline.
+type LRU struct {
+	order *list.List // front = most recent
+	elems map[store.AtomID]*list.Element
+}
+
+// NewLRU creates an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), elems: make(map[store.AtomID]*list.Element)}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// OnHit implements Policy.
+func (p *LRU) OnHit(id store.AtomID) {
+	if e, ok := p.elems[id]; ok {
+		p.order.MoveToFront(e)
+	}
+}
+
+// OnInsert implements Policy.
+func (p *LRU) OnInsert(id store.AtomID) {
+	p.elems[id] = p.order.PushFront(id)
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim() store.AtomID {
+	return p.order.Back().Value.(store.AtomID)
+}
+
+// OnEvict implements Policy.
+func (p *LRU) OnEvict(id store.AtomID) {
+	if e, ok := p.elems[id]; ok {
+		p.order.Remove(e)
+		delete(p.elems, id)
+	}
+}
+
+// EndRun implements Policy (no-op for LRU).
+func (p *LRU) EndRun() {}
+
+// FIFO is first-in-first-out replacement: recency-blind, used in ablation
+// benches to quantify what recency alone buys.
+type FIFO struct {
+	order *list.List // front = newest
+	elems map[store.AtomID]*list.Element
+}
+
+// NewFIFO creates an empty FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{order: list.New(), elems: make(map[store.AtomID]*list.Element)}
+}
+
+// Name implements Policy.
+func (p *FIFO) Name() string { return "fifo" }
+
+// OnHit implements Policy (hits do not reorder a FIFO).
+func (p *FIFO) OnHit(store.AtomID) {}
+
+// OnInsert implements Policy.
+func (p *FIFO) OnInsert(id store.AtomID) {
+	p.elems[id] = p.order.PushFront(id)
+}
+
+// Victim implements Policy.
+func (p *FIFO) Victim() store.AtomID {
+	return p.order.Back().Value.(store.AtomID)
+}
+
+// OnEvict implements Policy.
+func (p *FIFO) OnEvict(id store.AtomID) {
+	if e, ok := p.elems[id]; ok {
+		p.order.Remove(e)
+		delete(p.elems, id)
+	}
+}
+
+// EndRun implements Policy (no-op).
+func (p *FIFO) EndRun() {}

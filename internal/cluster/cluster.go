@@ -1,0 +1,281 @@
+// Package cluster models the multi-node Turbulence architecture of
+// Fig. 7: data are partitioned spatially across nodes, each node runs its
+// own JAWS instance (scheduler + cache + disk array), incoming queries are
+// split by the partitioner so every node only touches its own atoms, and
+// per-node results are combined.
+//
+// Simulation scope: each node advances its own virtual clock, and the
+// nodes execute concurrently in real goroutines. Ordered jobs are split
+// into per-node ordered jobs (sequence preserved within each node), which
+// matches the deployment reality that cross-node queries synchronize at
+// the mediator, not inside the per-node schedulers.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"jaws/internal/cache"
+	"jaws/internal/engine"
+	"jaws/internal/job"
+	"jaws/internal/query"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// Strategy selects how atoms map to nodes.
+type Strategy int
+
+const (
+	// Contiguous assigns contiguous Morton ranges, so each node owns a
+	// spatially compact region (the shaded regions of Fig. 7). This is
+	// the deployment strategy: a job's queries concentrate on one node
+	// and per-node batching stays effective.
+	Contiguous Strategy = iota
+	// Striped round-robins atoms across nodes (ablation): every query
+	// scatters over all nodes, which balances raw load but destroys
+	// per-node locality.
+	Striped
+)
+
+// String names the strategy.
+func (st Strategy) String() string {
+	switch st {
+	case Contiguous:
+		return "contiguous"
+	case Striped:
+		return "striped"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(st))
+}
+
+// Partitioner maps atoms to nodes.
+type Partitioner struct {
+	nodes        int
+	atomsPerStep int
+	strategy     Strategy
+}
+
+// NewPartitioner builds a partitioner for n nodes over a step of
+// atomsPerStep atoms, using the Contiguous strategy.
+func NewPartitioner(n, atomsPerStep int) (*Partitioner, error) {
+	return NewPartitionerStrategy(n, atomsPerStep, Contiguous)
+}
+
+// NewPartitionerStrategy builds a partitioner with an explicit strategy.
+func NewPartitionerStrategy(n, atomsPerStep int, st Strategy) (*Partitioner, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	if atomsPerStep <= 0 || atomsPerStep%n != 0 {
+		return nil, fmt.Errorf("cluster: atoms per step %d not divisible by %d nodes", atomsPerStep, n)
+	}
+	return &Partitioner{nodes: n, atomsPerStep: atomsPerStep, strategy: st}, nil
+}
+
+// NodeOf returns the node owning the atom.
+func (p *Partitioner) NodeOf(id store.AtomID) int {
+	if p.strategy == Striped {
+		return int(id.Code) % p.nodes
+	}
+	return int(id.Code) * p.nodes / p.atomsPerStep
+}
+
+// Nodes returns the node count.
+func (p *Partitioner) Nodes() int { return p.nodes }
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the number of database nodes.
+	Nodes int
+	// Store configures each node's store (all nodes share the synthetic
+	// field seed, so the cluster presents one coherent dataset).
+	Store store.Config
+	// CacheAtoms is each node's cache capacity in atoms.
+	CacheAtoms int
+	// NewPolicy builds a fresh replacement policy per node.
+	NewPolicy func() cache.Policy
+	// NewSched builds a fresh scheduler per node, given that node's cache
+	// (for the residency function).
+	NewSched func(c *cache.Cache) sched.Scheduler
+	// Cost is the shared T_b/T_m model.
+	Cost sched.CostModel
+	// JobAware enables gated execution on every node.
+	JobAware bool
+	// RunLength is the adaptation run length per node.
+	RunLength int
+	// Strategy selects the atom→node mapping; default Contiguous.
+	Strategy Strategy
+}
+
+// NodeReport pairs a node index with its engine report.
+type NodeReport struct {
+	Node   int
+	Report *engine.Report
+}
+
+// Report aggregates a cluster run.
+type Report struct {
+	PerNode []NodeReport
+	// Completed counts distinct logical queries completed (a query split
+	// across nodes counts once).
+	Completed int
+	// MaxElapsed is the slowest node's virtual time — the cluster's
+	// makespan.
+	MaxElapsed float64
+	// AggregateThroughput is completed / MaxElapsed.
+	AggregateThroughput float64
+}
+
+// Cluster is a set of simulated nodes behind a partitioner.
+type Cluster struct {
+	cfg  Config
+	part *Partitioner
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.NewSched == nil || cfg.NewPolicy == nil {
+		return nil, fmt.Errorf("cluster: NewSched and NewPolicy are required")
+	}
+	if cfg.CacheAtoms <= 0 {
+		cfg.CacheAtoms = 64
+	}
+	if err := cfg.Store.Space.Validate(); err != nil {
+		return nil, err
+	}
+	part, err := NewPartitionerStrategy(cfg.Nodes, cfg.Store.Space.AtomsPerStep(), cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, part: part}, nil
+}
+
+// Partitioner exposes the atom→node mapping.
+func (c *Cluster) Partitioner() *Partitioner { return c.part }
+
+// SplitJob routes one job's queries across nodes: each query's positions
+// are divided by owning node, producing at most one per-node job that
+// preserves the original query order. The returned map holds only nodes
+// that received work.
+func (c *Cluster) SplitJob(j *job.Job) map[int]*job.Job {
+	space := c.cfg.Store.Space
+	out := make(map[int]*job.Job)
+	seqPerNode := make(map[int]int)
+	for _, q := range j.Queries {
+		perNode := make(map[int][]int) // node -> indices into q.Points
+		for i, p := range q.Points {
+			id := store.AtomID{Step: q.Step, Code: space.AtomOf(p).Code()}
+			n := c.part.NodeOf(id)
+			perNode[n] = append(perNode[n], i)
+		}
+		// Deterministic node order.
+		nodes := make([]int, 0, len(perNode))
+		for n := range perNode {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			nj, ok := out[n]
+			if !ok {
+				nj = &job.Job{
+					ID:        j.ID,
+					User:      j.User,
+					Type:      j.Type,
+					ThinkTime: j.ThinkTime,
+				}
+				out[n] = nj
+			}
+			idx := perNode[n]
+			sub := &query.Query{
+				ID:      q.ID,
+				JobID:   q.JobID,
+				Seq:     seqPerNode[n],
+				Step:    q.Step,
+				Kernel:  q.Kernel,
+				User:    q.User,
+				Arrival: q.Arrival,
+			}
+			for _, i := range idx {
+				sub.Points = append(sub.Points, q.Points[i])
+			}
+			nj.Queries = append(nj.Queries, sub)
+			seqPerNode[n]++
+		}
+	}
+	return out
+}
+
+// Run splits the jobs, executes every node concurrently, and aggregates.
+func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
+	perNode := make(map[int][]*job.Job)
+	logical := make(map[query.ID]bool)
+	for _, j := range jobs {
+		for _, q := range j.Queries {
+			logical[q.ID] = true
+		}
+		for n, nj := range c.SplitJob(j) {
+			perNode[n] = append(perNode[n], nj)
+		}
+	}
+
+	type result struct {
+		node int
+		rep  *engine.Report
+		err  error
+	}
+	var wg sync.WaitGroup
+	results := make(chan result, c.cfg.Nodes)
+	for n := 0; n < c.cfg.Nodes; n++ {
+		njobs := perNode[n]
+		if len(njobs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int, njobs []*job.Job) {
+			defer wg.Done()
+			st, err := store.Open(c.cfg.Store)
+			if err != nil {
+				results <- result{node: n, err: err}
+				return
+			}
+			ch := cache.New(c.cfg.CacheAtoms, c.cfg.NewPolicy())
+			e, err := engine.New(engine.Config{
+				Store:     st,
+				Cache:     ch,
+				Sched:     c.cfg.NewSched(ch),
+				Cost:      c.cfg.Cost,
+				JobAware:  c.cfg.JobAware,
+				RunLength: c.cfg.RunLength,
+			})
+			if err != nil {
+				results <- result{node: n, err: err}
+				return
+			}
+			rep, err := e.Run(njobs)
+			results <- result{node: n, rep: rep, err: err}
+		}(n, njobs)
+	}
+	wg.Wait()
+	close(results)
+
+	rep := &Report{Completed: len(logical)}
+	for r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("cluster node %d: %w", r.node, r.err)
+		}
+		rep.PerNode = append(rep.PerNode, NodeReport{Node: r.node, Report: r.rep})
+		if s := r.rep.Elapsed.Seconds(); s > rep.MaxElapsed {
+			rep.MaxElapsed = s
+		}
+	}
+	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Node < rep.PerNode[j].Node })
+	if rep.MaxElapsed > 0 {
+		rep.AggregateThroughput = float64(rep.Completed) / rep.MaxElapsed
+	}
+	return rep, nil
+}

@@ -1,0 +1,679 @@
+// Package engine executes workloads against the simulated Turbulence
+// node: it owns the virtual clock, drives arrivals from the future-event
+// list, feeds pre-processed sub-queries to the configured scheduler,
+// charges I/O to the disk model through the cache, performs the actual
+// interpolation kernels (optionally in parallel), and collects the
+// throughput/response-time measurements the experiments report.
+//
+// The engine realizes the JAWS architecture of Fig. 7: Query Pre-Processor
+// → Workload Manager (the scheduler's atom queues) → batched execution
+// against the database, with results combined and returned per query.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"jaws/internal/cache"
+	"jaws/internal/disk"
+	"jaws/internal/field"
+	"jaws/internal/geom"
+	"jaws/internal/job"
+	"jaws/internal/jobgraph"
+	"jaws/internal/metrics"
+	"jaws/internal/prefetch"
+	"jaws/internal/query"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+	"jaws/internal/vclock"
+)
+
+// Config assembles an engine.
+type Config struct {
+	Store *store.Store
+	Cache *cache.Cache
+	Sched sched.Scheduler
+	// Cost is the T_b/T_m model shared with the scheduler. If zero, T_b
+	// defaults to a cold 8 MB read estimate and T_m to 20 µs.
+	Cost sched.CostModel
+	// JobAware enables gated execution (§IV): ordered jobs are registered
+	// in the precedence graph and queries are admitted to the workload
+	// queues only in the QUEUE state, so data-sharing queries from
+	// different jobs enter together.
+	JobAware bool
+	// RunLength is r, the number of consecutive queries per adaptation
+	// run (§V.A). Defaults to 32.
+	RunLength int
+	// Compute evaluates the interpolation kernels for real; otherwise
+	// only virtual time is charged (benchmarks of scheduling behaviour).
+	Compute bool
+	// Parallelism is the number of worker goroutines for kernel
+	// evaluation when Compute is set; 0 means GOMAXPROCS.
+	Parallelism int
+	// KeepResults retains per-position kernel outputs in the report
+	// (memory-heavy; examples use it, experiments do not).
+	KeepResults bool
+	// StallLimit aborts the run if the engine makes no progress for this
+	// many consecutive iterations (a gated-execution deadlock would
+	// otherwise hang); 0 means 1<<20.
+	StallLimit int
+	// DecisionOverhead is the fixed cost of submitting one scheduling
+	// decision to the database (query setup, plan compilation, round
+	// trip). Batching k atoms amortizes it — one of the two mechanisms
+	// (with sequential Morton-order I/O) that make the two-level batch
+	// profitable. Zero means 50 ms; negative disables.
+	DecisionOverhead time.Duration
+	// FlushPerDecision empties the cache after every scheduling decision.
+	// The NoShare baseline sets this: each query is evaluated
+	// independently with no I/O shared across queries (§VI), matching the
+	// paper's buffer-flushing methodology. Within one decision (one
+	// query), atoms are still read only once.
+	FlushPerDecision bool
+	// DeclareUpfront registers every ordered job in the precedence graph
+	// before execution begins, modelling the §VII direction of
+	// encapsulating jobs inside the database: the scheduler gains a priori
+	// knowledge of all queries in every job, so the greedy gating merge
+	// sees the whole workload at once instead of aligning jobs
+	// incrementally as they arrive. Only meaningful with JobAware.
+	DeclareUpfront bool
+	// Prefetch enables the §VII trajectory extrapolation: when an ordered
+	// job's query completes, the predicted atoms of its next query are
+	// fetched into the cache during the job's think-time window (the disk
+	// is otherwise idle for that job while the scientist computes the next
+	// positions), masking the page faults of the successor. Prefetch I/O
+	// is bounded by the think time and charged to the disk statistics but
+	// not to the virtual clock.
+	Prefetch bool
+}
+
+// QueryResult is a completed query with its measured response time and
+// (optionally) its computed values in sub-query order.
+type QueryResult struct {
+	Query     *query.Query
+	Completed time.Duration
+	Positions []struct {
+		Pos geom3
+		Val [field.Components]float64
+	}
+}
+
+// geom3 mirrors geom.Position without importing it into the public result
+// shape twice; kept simple for encoding.
+type geom3 struct{ X, Y, Z float64 }
+
+// RunStats is one adaptation run's measured performance.
+type RunStats struct {
+	EndedAt     time.Duration
+	MeanRespSec float64
+	Throughput  float64
+	Alpha       float64
+}
+
+// Report summarizes one engine run.
+type Report struct {
+	Scheduler     string
+	Completed     int
+	Elapsed       time.Duration
+	ThroughputQPS float64
+	MeanResponse  time.Duration
+	P50Response   time.Duration
+	P95Response   time.Duration
+	CacheStats    cache.Stats
+	DiskStats     disk.Stats
+	Runs          []RunStats
+	FinalAlpha    float64
+	// GatingAdmitted/Rejected report job-graph activity (job-aware runs).
+	GatingAdmitted int
+	GatingRejected int
+	// PrefetchedAtoms counts atoms loaded by trajectory prefetching.
+	PrefetchedAtoms int64
+	// Results is populated only with Config.KeepResults.
+	Results []*QueryResult
+}
+
+type queryState struct {
+	q         *query.Query
+	remaining int
+	result    *QueryResult
+}
+
+// Engine executes one workload; create a fresh engine per run.
+type Engine struct {
+	cfg    Config
+	clock  vclock.Clock
+	events vclock.EventList
+
+	graph       *jobgraph.Graph
+	atomsOf     map[jobgraph.Ref]map[store.AtomID]bool
+	registered  map[int64]bool
+	arrivedRefs map[jobgraph.Ref]bool
+
+	arrived  []*query.Query
+	states   map[query.ID]*queryState
+	jobsByID map[int64]*job.Job
+
+	predictor  *prefetch.Predictor
+	prefetched int64
+
+	completedRT []time.Duration
+	runCount    int
+	runStart    time.Duration
+	runRT       metrics.Summary
+
+	report Report
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Store == nil || cfg.Cache == nil || cfg.Sched == nil {
+		return nil, errors.New("engine: store, cache and scheduler are all required")
+	}
+	if cfg.RunLength <= 0 {
+		cfg.RunLength = 32
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.StallLimit <= 0 {
+		cfg.StallLimit = 1 << 20
+	}
+	if cfg.Cost.Tb <= 0 {
+		cfg.Cost.Tb = estimateTb()
+	}
+	if cfg.Cost.Tm <= 0 {
+		cfg.Cost.Tm = 20 * time.Microsecond
+	}
+	if cfg.DecisionOverhead == 0 {
+		cfg.DecisionOverhead = 50 * time.Millisecond
+	}
+	if cfg.DecisionOverhead < 0 {
+		cfg.DecisionOverhead = 0
+	}
+	e := &Engine{
+		cfg:        cfg,
+		states:     make(map[query.ID]*queryState),
+		jobsByID:   make(map[int64]*job.Job),
+		registered: make(map[int64]bool),
+	}
+	if cfg.Prefetch {
+		e.predictor = prefetch.New(cfg.Store.Space())
+	}
+	if cfg.JobAware {
+		e.atomsOf = make(map[jobgraph.Ref]map[store.AtomID]bool)
+		e.arrivedRefs = make(map[jobgraph.Ref]bool)
+		e.graph = jobgraph.New(func(a, b jobgraph.Ref) bool {
+			sa, sb := e.atomsOf[a], e.atomsOf[b]
+			if len(sa) > len(sb) {
+				sa, sb = sb, sa
+			}
+			for id := range sa {
+				if sb[id] {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	return e, nil
+}
+
+// estimateTb returns the cold-read cost of one nominal atom on the default
+// disk array — the empirically derived T_b of Eq. 1.
+func estimateTb() time.Duration {
+	a := disk.NewArray(4, disk.DefaultParams())
+	return a.Read(0, field.NominalAtomBytes)
+}
+
+// Run executes the jobs to completion and returns the report. Batched
+// jobs' queries carry absolute arrival times; ordered jobs' queries beyond
+// the first arrive ThinkTime after their predecessor completes.
+func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
+	total := 0
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		e.jobsByID[j.ID] = j
+		total += len(j.Queries)
+		switch j.Type {
+		case job.Batched:
+			for _, q := range j.Queries {
+				e.events.Push(q.Arrival, q)
+			}
+		case job.Ordered:
+			e.events.Push(j.Queries[0].Arrival, j.Queries[0])
+		default:
+			return nil, fmt.Errorf("engine: job %d has unknown type %v", j.ID, j.Type)
+		}
+	}
+
+	if e.cfg.JobAware && e.cfg.DeclareUpfront {
+		e.declareAll(jobs)
+	}
+
+	stall := 0
+	for e.report.Completed < total {
+		progressed := false
+
+		// 1. Deliver due arrivals.
+		for ev := e.events.Peek(); ev != nil && ev.At <= e.clock.Now(); ev = e.events.Peek() {
+			e.events.Pop()
+			q := ev.Payload.(*query.Query)
+			e.onArrival(q)
+			progressed = true
+		}
+
+		// 2. Admit arrived queries whose gating constraints allow it.
+		if e.admitArrived() {
+			progressed = true
+		}
+
+		// 3. Execute the next batch, or fast-forward to the next event.
+		if e.cfg.Sched.Pending() > 0 {
+			batches := e.cfg.Sched.NextBatch(e.clock.Now())
+			if len(batches) > 0 {
+				e.execute(batches)
+				progressed = true
+			}
+		} else if ev := e.events.Peek(); ev != nil {
+			e.clock.AdvanceTo(ev.At)
+			progressed = true
+		}
+
+		if progressed {
+			stall = 0
+			continue
+		}
+		stall++
+		if stall > e.cfg.StallLimit {
+			return nil, fmt.Errorf("engine: stalled with %d/%d queries complete (gated-execution deadlock?)",
+				e.report.Completed, total)
+		}
+	}
+
+	e.finishReport()
+	return &e.report, nil
+}
+
+// declareAll registers every ordered job in the precedence graph before
+// the first arrival, in arrival order of their first queries so the
+// greedy merge remains deterministic.
+func (e *Engine) declareAll(jobs []*job.Job) {
+	ordered := make([]*job.Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Type == job.Ordered {
+			ordered = append(ordered, j)
+		}
+	}
+	sort.SliceStable(ordered, func(i, k int) bool {
+		return ordered[i].Queries[0].Arrival < ordered[k].Queries[0].Arrival
+	})
+	space := e.cfg.Store.Space()
+	for _, j := range ordered {
+		if e.registered[j.ID] {
+			continue
+		}
+		e.registered[j.ID] = true
+		for s, jq := range j.Queries {
+			e.atomsOf[jobgraph.Ref{Job: j.ID, Seq: s}] = query.Atoms(jq, space)
+		}
+		if err := e.graph.AddJob(j.ID, len(j.Queries)); err != nil {
+			panic(fmt.Sprintf("engine: declared-job registration: %v", err))
+		}
+	}
+}
+
+// onArrival records a query's arrival: job-aware runs register ordered
+// jobs in the precedence graph on first contact.
+func (e *Engine) onArrival(q *query.Query) {
+	j := e.jobsByID[q.JobID]
+	if e.cfg.JobAware && j != nil && j.Type == job.Ordered && !e.registered[j.ID] {
+		e.registered[j.ID] = true
+		space := e.cfg.Store.Space()
+		for s, jq := range j.Queries {
+			e.atomsOf[jobgraph.Ref{Job: j.ID, Seq: s}] = query.Atoms(jq, space)
+		}
+		// AddJob cannot fail here: the job was validated and is not yet
+		// registered.
+		if err := e.graph.AddJob(j.ID, len(j.Queries)); err != nil {
+			panic(fmt.Sprintf("engine: graph registration: %v", err))
+		}
+	}
+	if e.cfg.JobAware && j != nil && j.Type == job.Ordered {
+		e.arrivedRefs[jobgraph.Ref{Job: q.JobID, Seq: q.Seq}] = true
+	}
+	e.arrived = append(e.arrived, q)
+}
+
+// admitArrived moves arrived queries whose constraints are satisfied into
+// the scheduler's workload queues. Reports whether anything was admitted.
+func (e *Engine) admitArrived() bool {
+	if len(e.arrived) == 0 {
+		return false
+	}
+	kept := e.arrived[:0]
+	admitted := false
+	for _, q := range e.arrived {
+		if !e.canDispatch(q) {
+			kept = append(kept, q)
+			continue
+		}
+		e.dispatch(q)
+		admitted = true
+	}
+	e.arrived = kept
+	return admitted
+}
+
+// canDispatch applies gating: job-aware runs admit ordered-job queries
+// only in the QUEUE state.
+func (e *Engine) canDispatch(q *query.Query) bool {
+	if !e.cfg.JobAware {
+		return true
+	}
+	j := e.jobsByID[q.JobID]
+	if j == nil || j.Type != job.Ordered {
+		return true
+	}
+	ref := jobgraph.Ref{Job: q.JobID, Seq: q.Seq}
+	if e.graph.State(ref) != jobgraph.Queue {
+		return false
+	}
+	// Atomic group admission: hold a gated query until every live
+	// co-scheduled partner has also arrived (think time elapsed), so the
+	// whole group's sub-queries land in the workload queues in the same
+	// admission pass and their shared atoms are read in one batch.
+	for _, p := range e.graph.Partners(ref) {
+		if e.graph.State(p) != jobgraph.Done && !e.arrivedRefs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch pre-processes the query and enqueues its sub-queries.
+func (e *Engine) dispatch(q *query.Query) {
+	sqs, err := query.PreProcess(q, e.cfg.Store.Space())
+	if err != nil {
+		panic(fmt.Sprintf("engine: pre-process of validated query failed: %v", err))
+	}
+	st := &queryState{q: q, remaining: len(sqs)}
+	if e.cfg.KeepResults {
+		st.result = &QueryResult{Query: q}
+	}
+	e.states[q.ID] = st
+	now := e.clock.Now()
+	for _, sq := range sqs {
+		e.cfg.Sched.Enqueue(sq, now)
+	}
+}
+
+// execute runs one scheduler decision: a group of atom batches evaluated
+// in the order given (Morton order for JAWS). The decision overhead is
+// charged once for the whole group, and all primary atoms are fetched
+// up front in that order so Morton-adjacent atoms produce sequential disk
+// runs — the two effects the paper's two-level batching banks on.
+func (e *Engine) execute(batches []sched.Batch) {
+	e.clock.Advance(e.cfg.DecisionOverhead)
+	atoms := make(map[store.AtomID]*field.Atom, len(batches))
+	for i := range batches {
+		atoms[batches[i].Atom] = e.readAtom(batches[i].Atom)
+	}
+	for i := range batches {
+		e.executeBatch(&batches[i], atoms[batches[i].Atom])
+	}
+	if e.cfg.FlushPerDecision {
+		e.cfg.Cache.Flush()
+	}
+	e.pushUtilities()
+}
+
+// executeBatch evaluates one atom's sub-queries given its pre-fetched
+// data: reads stencil-footprint atoms through the cache, charges compute
+// time per position, evaluates kernels if configured, and completes
+// queries whose last sub-query finished.
+func (e *Engine) executeBatch(b *sched.Batch, atom *field.Atom) {
+	// Footprint atoms: interpolation stencils near atom faces also touch
+	// neighbouring atoms (§III.B "potentially nearby atoms"). Read each
+	// distinct one once for the whole batch.
+	seen := map[store.AtomID]bool{b.Atom: true}
+	for _, sq := range b.SubQueries {
+		for _, f := range sq.Footprint {
+			if !seen[f] {
+				seen[f] = true
+				e.readAtom(f)
+			}
+		}
+	}
+
+	// Charge computation: T_m per position, scaled by kernel cost.
+	var compute time.Duration
+	for _, sq := range b.SubQueries {
+		w := sq.Query.Kernel.CostWeight()
+		compute += time.Duration(float64(e.cfg.Cost.Tm) * w * float64(len(sq.Points)))
+	}
+	e.clock.Advance(compute)
+
+	if e.cfg.Compute && atom != nil {
+		e.computeBatch(b, atom)
+	}
+
+	// Completion bookkeeping.
+	now := e.clock.Now()
+	for _, sq := range b.SubQueries {
+		st := e.states[sq.Query.ID]
+		st.remaining--
+		if st.remaining == 0 {
+			e.complete(st, now)
+		}
+	}
+}
+
+// readAtom fetches an atom through the cache, charging disk time on miss.
+func (e *Engine) readAtom(id store.AtomID) *field.Atom {
+	if v, ok := e.cfg.Cache.Get(id); ok {
+		return v.(*field.Atom)
+	}
+	a, cost, err := e.cfg.Store.Read(id)
+	if err != nil {
+		panic(fmt.Sprintf("engine: read of scheduled atom failed: %v", err))
+	}
+	e.clock.Advance(cost)
+	e.cfg.Cache.Put(id, a)
+	return a
+}
+
+// computeBatch evaluates the kernels for every position of the batch in
+// parallel across the configured worker count.
+func (e *Engine) computeBatch(b *sched.Batch, atom *field.Atom) {
+	space := e.cfg.Store.Space()
+	type unit struct {
+		sq  *query.SubQuery
+		out []struct {
+			Pos geom3
+			Val [field.Components]float64
+		}
+	}
+	units := make([]unit, len(b.SubQueries))
+	for i, sq := range b.SubQueries {
+		units[i] = unit{sq: sq}
+		units[i].out = make([]struct {
+			Pos geom3
+			Val [field.Components]float64
+		}, len(sq.Points))
+	}
+	workers := e.cfg.Parallelism
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				u := &units[i]
+				ac := geom.AtomFromCode(u.sq.Atom.Code)
+				for p, pos := range u.sq.Points {
+					val := field.Interpolate(u.sq.Query.Kernel, atom, space, ac, pos)
+					u.out[p].Pos = geom3{X: pos.X, Y: pos.Y, Z: pos.Z}
+					u.out[p].Val = val
+				}
+			}
+		}()
+	}
+	for i := range units {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if e.cfg.KeepResults {
+		for _, u := range units {
+			st := e.states[u.sq.Query.ID]
+			if st.result != nil {
+				st.result.Positions = append(st.result.Positions, u.out...)
+			}
+		}
+	}
+}
+
+// complete finalizes a query: response-time accounting, run accounting,
+// gating release, and successor arrival for ordered jobs.
+func (e *Engine) complete(st *queryState, now time.Duration) {
+	rt := now - st.q.Arrival
+	e.completedRT = append(e.completedRT, rt)
+	e.report.Completed++
+	if st.result != nil {
+		st.result.Completed = now
+		e.report.Results = append(e.report.Results, st.result)
+	}
+	delete(e.states, st.q.ID)
+
+	j := e.jobsByID[st.q.JobID]
+	if j != nil && j.Type == job.Ordered {
+		if e.cfg.JobAware {
+			e.graph.MarkDone(jobgraph.Ref{Job: st.q.JobID, Seq: st.q.Seq})
+		}
+		if st.q.Seq+1 < len(j.Queries) {
+			succ := j.Queries[st.q.Seq+1]
+			succ.Arrival = now + j.ThinkTime
+			e.events.Push(succ.Arrival, succ)
+			e.prefetchFor(j, st.q)
+		} else if e.predictor != nil {
+			e.predictor.Forget(j.ID)
+		}
+	}
+
+	// Run accounting (§V.A): after r consecutive queries, report the
+	// run's performance to the scheduler and let the cache close its run.
+	e.runRT.Add(rt.Seconds())
+	e.runCount++
+	if e.runCount >= e.cfg.RunLength {
+		span := (now - e.runStart).Seconds()
+		tp := 0.0
+		if span > 0 {
+			tp = float64(e.runCount) / span
+		}
+		e.report.Runs = append(e.report.Runs, RunStats{
+			EndedAt:     now,
+			MeanRespSec: e.runRT.Mean(),
+			Throughput:  tp,
+			Alpha:       e.cfg.Sched.Alpha(),
+		})
+		e.cfg.Sched.OnRunEnd(e.runRT.Mean(), tp)
+		e.cfg.Cache.EndRun()
+		e.runCount = 0
+		e.runStart = now
+		e.runRT = metrics.Summary{}
+	}
+}
+
+// pushUtilities coordinates the cache with the scheduler (URC, §V.B):
+// after every scheduling decision the current per-atom workload throughput
+// of the resident atoms and the per-step means are pushed into the
+// policy. This is the continuous maintenance whose cost Table I reports.
+func (e *Engine) pushUtilities() {
+	urc, ok := e.cfg.Cache.Policy().(*cache.URC)
+	if !ok {
+		return
+	}
+	up, ok := e.cfg.Sched.(sched.UtilityProvider)
+	if !ok {
+		return
+	}
+	means := make(map[int]float64)
+	for _, step := range up.PendingSteps() {
+		means[step] = up.StepMean(step)
+	}
+	urc.ReplaceStepMeans(means)
+	for _, id := range e.cfg.Cache.Keys() {
+		urc.SetAtomUtility(id, up.AtomUtility(id))
+	}
+}
+
+// prefetchFor observes the just-completed query and fetches the predicted
+// atoms of the job's next query into the cache, spending at most the
+// job's think time of disk work (the window in which the job itself keeps
+// the disk idle). Prediction misses waste only that bounded budget.
+func (e *Engine) prefetchFor(j *job.Job, q *query.Query) {
+	if e.predictor == nil {
+		return
+	}
+	e.predictor.Observe(j.ID, q)
+	predicted := e.predictor.Predict(j.ID)
+	if len(predicted) == 0 {
+		return
+	}
+	budget := j.ThinkTime
+	for _, id := range predicted {
+		if budget <= 0 {
+			return
+		}
+		if e.cfg.Cache.Contains(id) || !e.cfg.Store.Contains(id) {
+			continue
+		}
+		a, cost, err := e.cfg.Store.Read(id)
+		if err != nil {
+			continue
+		}
+		e.cfg.Cache.Put(id, a)
+		e.prefetched++
+		budget -= cost
+	}
+}
+
+// finishReport computes the aggregate measures.
+func (e *Engine) finishReport() {
+	e.report.Scheduler = e.cfg.Sched.Name()
+	e.report.Elapsed = e.clock.Now()
+	if s := e.report.Elapsed.Seconds(); s > 0 {
+		e.report.ThroughputQPS = float64(e.report.Completed) / s
+	}
+	if n := len(e.completedRT); n > 0 {
+		sorted := append([]time.Duration(nil), e.completedRT...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, rt := range sorted {
+			sum += rt
+		}
+		e.report.MeanResponse = sum / time.Duration(n)
+		e.report.P50Response = sorted[n/2]
+		e.report.P95Response = sorted[n*95/100]
+	}
+	e.report.CacheStats = e.cfg.Cache.Stats()
+	e.report.DiskStats = e.cfg.Store.DiskStats()
+	e.report.FinalAlpha = e.cfg.Sched.Alpha()
+	e.report.PrefetchedAtoms = e.prefetched
+	if e.graph != nil {
+		e.report.GatingAdmitted = e.graph.EdgesAdmitted()
+		e.report.GatingRejected = e.graph.EdgesRejected()
+	}
+}

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jaws/internal/job"
+	"jaws/internal/query"
+)
+
+// Session is a long-lived interactive front end over an engine: jobs are
+// submitted while earlier ones execute, results stream out as queries
+// complete, and the virtual clock keeps advancing across submissions —
+// the execution model of the public Turbulence service, where dozens of
+// users feed a continuous stream of queries (§II).
+//
+// The session's simulation loop runs in its own goroutine and owns every
+// engine structure; Submit and Close are safe to call from any goroutine.
+type Session struct {
+	submit  chan []*job.Job
+	results chan *QueryResult
+	closed  chan struct{}
+	done    chan struct{}
+
+	eng *Engine
+
+	mu        sync.Mutex
+	err       error
+	report    *Report
+	closeOnce sync.Once
+}
+
+// SessionBuffer is the capacity of the result stream; a consumer that
+// falls further behind than this backpressures the simulation (which is
+// harmless: virtual time is decoupled from wall time).
+const SessionBuffer = 1024
+
+// NewSession validates cfg and starts the session loop. KeepResults is
+// implied (results are the product); Compute remains caller-controlled.
+func NewSession(cfg Config) (*Session, error) {
+	cfg.KeepResults = true
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		eng:     e,
+		submit:  make(chan []*job.Job),
+		results: make(chan *QueryResult, SessionBuffer),
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.loop(e)
+	return s, nil
+}
+
+// Submit schedules jobs for execution at the current virtual time (their
+// queries' Arrival fields are treated as offsets from "now"). It returns
+// an error if the session is closed or the jobs are invalid.
+func (s *Session) Submit(jobs ...*job.Job) error {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	select {
+	case <-s.closed:
+		return errors.New("engine: session closed")
+	case s.submit <- jobs:
+		return nil
+	}
+}
+
+// Results streams completed queries in completion order. The channel
+// closes after Close once every in-flight query has finished.
+func (s *Session) Results() <-chan *QueryResult { return s.results }
+
+// Close stops accepting submissions; the loop drains the in-flight work,
+// closes the result stream, and the final report becomes available. A
+// caller with more than SessionBuffer undelivered results must keep
+// consuming Results concurrently or Close will wait for the stream to
+// drain. The report's Results slice is empty: results were streamed.
+func (s *Session) Close() *Report {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// Err reports a loop failure (nil in normal operation).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// loop is the session's simulation thread: it interleaves submissions
+// with the engine's arrival/admit/execute cycle and streams completions.
+func (s *Session) loop(e *Engine) {
+	defer close(s.done)
+	defer close(s.results)
+
+	total := 0
+	flushed := 0
+	closing := false
+
+	fail := func(err error) {
+		s.mu.Lock()
+		s.err = err
+		s.mu.Unlock()
+	}
+
+	// accept registers newly submitted jobs, shifting their arrivals to
+	// the current virtual time.
+	accept := func(jobs []*job.Job) error {
+		now := e.clock.Now()
+		for _, j := range jobs {
+			if _, dup := e.jobsByID[j.ID]; dup {
+				return fmt.Errorf("engine: job %d already submitted", j.ID)
+			}
+			e.jobsByID[j.ID] = j
+			total += len(j.Queries)
+			switch j.Type {
+			case job.Batched:
+				for _, q := range j.Queries {
+					q.Arrival += now
+					e.events.Push(q.Arrival, q)
+				}
+			case job.Ordered:
+				j.Queries[0].Arrival += now
+				e.events.Push(j.Queries[0].Arrival, j.Queries[0])
+			default:
+				return fmt.Errorf("engine: job %d has unknown type %v", j.ID, j.Type)
+			}
+		}
+		return nil
+	}
+
+	// flush streams any newly completed queries, dropping the engine's
+	// reference so long sessions do not accumulate every result.
+	flush := func() {
+		for ; flushed < len(e.report.Results); flushed++ {
+			s.results <- e.report.Results[flushed]
+			e.report.Results[flushed] = nil
+		}
+	}
+
+	stall := 0
+	for {
+		// Drain whatever is submittable without blocking.
+		drainSubmits := true
+		for drainSubmits {
+			select {
+			case jobs := <-s.submit:
+				if err := accept(jobs); err != nil {
+					fail(err)
+					return
+				}
+			case <-s.closed:
+				closing = true
+				drainSubmits = false
+			default:
+				drainSubmits = false
+			}
+		}
+
+		// One engine cycle: deliver due arrivals, admit, execute or jump.
+		worked := false
+		for ev := e.events.Peek(); ev != nil && ev.At <= e.clock.Now(); ev = e.events.Peek() {
+			e.events.Pop()
+			e.onArrival(ev.Payload.(*query.Query))
+			worked = true
+		}
+		if e.admitArrived() {
+			worked = true
+		}
+		if e.cfg.Sched.Pending() > 0 {
+			if batches := e.cfg.Sched.NextBatch(e.clock.Now()); len(batches) > 0 {
+				e.execute(batches)
+				worked = true
+			}
+		} else if ev := e.events.Peek(); ev != nil {
+			e.clock.AdvanceTo(ev.At)
+			worked = true
+		}
+		flush()
+
+		if worked {
+			stall = 0
+		} else if e.report.Completed < total {
+			stall++
+			if stall > e.cfg.StallLimit {
+				fail(fmt.Errorf("engine: session stalled with %d/%d queries complete", e.report.Completed, total))
+				return
+			}
+			continue
+		}
+
+		if e.report.Completed == total && !worked {
+			if closing {
+				e.finishReport()
+				e.report.Results = nil // streamed already
+				s.mu.Lock()
+				s.report = &e.report
+				s.mu.Unlock()
+				return
+			}
+			// Idle: block until a submission or Close arrives. Virtual
+			// time only moves for work, so waiting costs nothing.
+			select {
+			case jobs := <-s.submit:
+				if err := accept(jobs); err != nil {
+					fail(err)
+					return
+				}
+			case <-s.closed:
+				closing = true
+			}
+		}
+	}
+}
+
+// Now reports the session's current virtual time. It is safe to call
+// concurrently (the clock is internally synchronized) but the value is
+// advisory: the loop may be advancing it concurrently.
+func (s *Session) Now() time.Duration { return s.eng.clock.Now() }

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"jaws/internal/cache"
+	"jaws/internal/job"
+	"jaws/internal/sched"
+)
+
+func newTestSession(t testing.TB) *Session {
+	t.Helper()
+	s := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	js := sched.NewJAWS(sched.JAWSConfig{Cost: testCost, BatchSize: 4, Resident: c.Contains})
+	sess, err := NewSession(Config{Store: s, Cache: c, Sched: js, Cost: testCost, JobAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSessionStreamsResults(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	js := sched.NewJAWS(sched.JAWSConfig{Cost: testCost, BatchSize: 4, Resident: c.Contains})
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: js, Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(batchedJob(st, 1, []time.Duration{0, 10 * time.Millisecond}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	timeout := time.After(10 * time.Second)
+	for got < 2 {
+		select {
+		case r := <-sess.Results():
+			if r == nil {
+				t.Fatal("results channel closed early")
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("timed out with %d results", got)
+		}
+	}
+	rep := sess.Close()
+	if rep == nil || rep.Completed != 2 {
+		t.Fatalf("final report %+v", rep)
+	}
+	if sess.Err() != nil {
+		t.Fatal(sess.Err())
+	}
+	// Stream must be closed now.
+	if _, open := <-sess.Results(); open {
+		t.Fatal("results channel left open after Close")
+	}
+}
+
+func TestSessionMultipleSubmissionsAdvanceClock(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: sched.NewNoShare(), Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(batchedJob(st, 1, []time.Duration{0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	<-sess.Results()
+	t1 := sess.Now()
+	if t1 <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+	// Second submission starts at the current virtual time, not zero.
+	if err := sess.Submit(batchedJob(st, 2, []time.Duration{0}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r := <-sess.Results()
+	if r.Query.Arrival < t1 {
+		t.Fatalf("second submission arrived at %v, before session time %v", r.Query.Arrival, t1)
+	}
+	sess.Close()
+}
+
+func TestSessionOrderedJobAcrossSubmissions(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	js := sched.NewJAWS(sched.JAWSConfig{Cost: testCost, BatchSize: 4, Resident: c.Contains})
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: js, Cost: testCost, JobAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := orderedJob(st, 1, []int{0, 1, 2}, []uint32{0, 1, 2}, time.Millisecond, 0)
+	if err := sess.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int
+	for i := 0; i < 3; i++ {
+		r := <-sess.Results()
+		seqs = append(seqs, r.Query.Seq)
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("ordered job completed out of order: %v", seqs)
+		}
+	}
+	sess.Close()
+}
+
+func TestSessionRejectsAfterClose(t *testing.T) {
+	sess := newTestSession(t)
+	sess.Close()
+	st := testStore(t)
+	if err := sess.Submit(batchedJob(st, 1, []time.Duration{0}, 0)); err == nil {
+		t.Fatal("submit after close accepted")
+	}
+}
+
+func TestSessionRejectsInvalidJob(t *testing.T) {
+	sess := newTestSession(t)
+	defer sess.Close()
+	if err := sess.Submit(&job.Job{ID: 1}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+}
+
+func TestSessionDuplicateJobFailsLoop(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: sched.NewNoShare(), Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := batchedJob(st, 1, []time.Duration{0}, 0)
+	if err := sess.Submit(j1); err != nil {
+		t.Fatal(err)
+	}
+	<-sess.Results()
+	j2 := batchedJob(st, 1, []time.Duration{0}, 1) // same ID
+	if err := sess.Submit(j2); err != nil {
+		t.Fatal(err) // accepted at the API; the loop reports the failure
+	}
+	sess.Close()
+	if sess.Err() == nil {
+		t.Fatal("duplicate job ID not reported")
+	}
+}
+
+func TestSessionConcurrentSubmitters(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	js := sched.NewJAWS(sched.JAWSConfig{Cost: testCost, BatchSize: 4, Resident: c.Contains})
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: js, Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitters, each = 4, 5
+	done := make(chan error, submitters)
+	for w := 0; w < submitters; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				id := int64(w*100 + i + 1)
+				if err := sess.Submit(batchedJob(st, id, []time.Duration{0}, uint32(id%4))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < submitters; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	timeout := time.After(20 * time.Second)
+	for got < submitters*each {
+		select {
+		case <-sess.Results():
+			got++
+		case <-timeout:
+			t.Fatalf("timed out with %d results", got)
+		}
+	}
+	rep := sess.Close()
+	if rep.Completed != submitters*each {
+		t.Fatalf("completed %d", rep.Completed)
+	}
+}
+
+func BenchmarkSessionThroughput(b *testing.B) {
+	st := testStore(b)
+	c := cache.New(16, cache.NewLRU())
+	js := sched.NewJAWS(sched.JAWSConfig{Cost: testCost, BatchSize: 4, Resident: c.Contains})
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: js, Cost: testCost})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(i + 1)
+		if err := sess.Submit(batchedJob(st, id, []time.Duration{0}, uint32(id%4))); err != nil {
+			b.Fatal(err)
+		}
+		<-sess.Results()
+	}
+	b.StopTimer()
+	sess.Close()
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jaws/internal/cache"
+	"jaws/internal/engine"
+	"jaws/internal/metrics"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// AblationRow is one configuration of the ablation study.
+type AblationRow struct {
+	Name           string
+	Throughput     float64
+	MeanRespSec    float64
+	P95RespSec     float64
+	Reads          int64
+	CacheHit       float64
+	DeadlineMisses int // -1 when QoS is off
+	Prefetched     int64
+}
+
+// AblationResult collects the design-choice ablations DESIGN.md calls
+// out: gating, adaptivity, Morton ordering, plus the §VII extensions
+// (prefetch, declared jobs, QoS).
+type AblationResult struct {
+	Rows  []AblationRow
+	Table metrics.Table
+}
+
+// ablationConfig is one knob setting.
+type ablationConfig struct {
+	name           string
+	jobAware       bool
+	adaptive       bool
+	initialAlpha   float64
+	noMorton       bool
+	prefetch       bool
+	declareUpfront bool
+	qosStretch     float64
+}
+
+// Ablations runs the design-choice matrix on the Fig. 10 trace.
+func Ablations(s Scale) (*AblationResult, error) {
+	configs := []ablationConfig{
+		{name: "JAWS2 (baseline)", jobAware: true, adaptive: true, initialAlpha: 0.5},
+		{name: "- job-aware gating", jobAware: false, adaptive: true, initialAlpha: 0.5},
+		{name: "- adaptive α (fixed 0.5)", jobAware: true, adaptive: false, initialAlpha: 0.5},
+		{name: "- Morton batch order", jobAware: true, adaptive: true, initialAlpha: 0.5, noMorton: true},
+		{name: "+ trajectory prefetch", jobAware: true, adaptive: true, initialAlpha: 0.5, prefetch: true},
+		{name: "+ declared jobs", jobAware: true, adaptive: true, initialAlpha: 0.5, declareUpfront: true},
+		{name: "+ QoS (stretch 8)", jobAware: true, adaptive: true, initialAlpha: 0.5, qosStretch: 8},
+	}
+	r := &AblationResult{}
+	r.Table.Header = []string{"configuration", "throughput (q/s)", "mean resp (s)", "p95 resp (s)", "reads", "hit", "extra"}
+	for _, cfg := range configs {
+		row, err := runAblation(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, *row)
+		extra := ""
+		if row.DeadlineMisses >= 0 {
+			extra = fmt.Sprintf("misses=%d", row.DeadlineMisses)
+		}
+		if row.Prefetched > 0 {
+			extra = fmt.Sprintf("prefetched=%d", row.Prefetched)
+		}
+		r.Table.AddRow(cfg.name,
+			fmt.Sprintf("%.3f", row.Throughput),
+			fmt.Sprintf("%.2f", row.MeanRespSec),
+			fmt.Sprintf("%.2f", row.P95RespSec),
+			fmt.Sprint(row.Reads),
+			fmt.Sprintf("%.2f", row.CacheHit),
+			extra)
+	}
+	return r, nil
+}
+
+func runAblation(s Scale, cfg ablationConfig) (*AblationRow, error) {
+	st, err := store.Open(store.Config{
+		Space:      s.Space,
+		Steps:      s.Steps,
+		SampleSide: s.SampleSide,
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := cache.New(s.CacheAtoms, cache.NewLRUK(2, 0))
+	inner := sched.NewJAWS(sched.JAWSConfig{
+		Cost:          s.Cost,
+		BatchSize:     s.BatchSize,
+		InitialAlpha:  cfg.initialAlpha,
+		Adaptive:      cfg.adaptive,
+		Resident:      c.Contains,
+		NoMortonOrder: cfg.noMorton,
+	})
+	var sc sched.Scheduler = inner
+	var qos *sched.QoS
+	if cfg.qosStretch > 0 {
+		qos = sched.NewQoS(inner, s.Cost, cfg.qosStretch, 2*time.Second)
+		sc = qos
+	}
+	e, err := engine.New(engine.Config{
+		Store:          st,
+		Cache:          c,
+		Sched:          sc,
+		Cost:           s.Cost,
+		JobAware:       cfg.jobAware,
+		RunLength:      s.RunLength,
+		Prefetch:       cfg.prefetch,
+		DeclareUpfront: cfg.declareUpfront,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.Run(s.freshJobs(1))
+	if err != nil {
+		return nil, err
+	}
+	row := &AblationRow{
+		Name:           cfg.name,
+		Throughput:     rep.ThroughputQPS,
+		MeanRespSec:    rep.MeanResponse.Seconds(),
+		P95RespSec:     rep.P95Response.Seconds(),
+		Reads:          rep.DiskStats.Reads,
+		CacheHit:       rep.CacheStats.HitRatio(),
+		DeadlineMisses: -1,
+		Prefetched:     rep.PrefetchedAtoms,
+	}
+	if qos != nil {
+		row.DeadlineMisses = qos.DeadlineMisses()
+	}
+	return row, nil
+}

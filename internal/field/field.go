@@ -1,0 +1,191 @@
+// Package field synthesizes the turbulence data the simulated database
+// stores: a time series of velocity + pressure fields on a structured
+// grid, generated deterministically so any atom can be materialized on
+// demand without keeping 27 TB on disk.
+//
+// Substitution note (see DESIGN.md): the paper's data comes from a direct
+// numerical simulation of isotropic turbulence. Scheduling behaviour
+// depends only on which atoms queries touch and on the I/O-to-compute
+// ratio, not on flow physics, so we synthesize a divergence-free velocity
+// field as a sum of random Fourier modes with a Kolmogorov-like energy
+// spectrum (E(k) ~ k^-5/3) advected in time. The field is smooth, periodic,
+// deterministic in (seed, step, position), and exercises the same
+// interpolation kernels the real service offers (Lag4/Lag6/Lag8).
+package field
+
+import (
+	"math"
+	"math/rand"
+
+	"jaws/internal/geom"
+)
+
+// Components is the number of scalar fields per grid point: three velocity
+// components plus pressure. With float64 samples a 64³ atom is exactly
+// 64³·4·8 B = 8 MiB, matching the paper's atom size.
+const Components = 4
+
+// Mode is one Fourier mode of the synthetic field.
+type mode struct {
+	k     [3]float64 // wavevector (integer lattice)
+	a     [3]float64 // velocity amplitude vector, perpendicular to k
+	p     float64    // pressure amplitude
+	ph    float64    // phase
+	omega float64    // temporal frequency
+}
+
+// Field is a deterministic synthetic turbulence field.
+type Field struct {
+	modes []mode
+	dt    float64 // simulation time per database time step
+}
+
+// New builds a synthetic field with nModes Fourier modes drawn from the
+// given seed. dt is the physical time between stored time steps (the paper
+// stores 1024 steps over 2 s, so dt ≈ 2 ms).
+func New(seed int64, nModes int, dt float64) *Field {
+	if nModes <= 0 {
+		nModes = 48
+	}
+	if dt <= 0 {
+		dt = 2.0 / 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Field{dt: dt, modes: make([]mode, 0, nModes)}
+	for len(f.modes) < nModes {
+		// Integer wavevector with |k| in [1, 16] for spatial structure at
+		// several scales.
+		kx := float64(rng.Intn(31) - 15)
+		ky := float64(rng.Intn(31) - 15)
+		kz := float64(rng.Intn(31) - 15)
+		k2 := kx*kx + ky*ky + kz*kz
+		if k2 < 1 {
+			continue
+		}
+		kmag := math.Sqrt(k2)
+		// Kolmogorov-like amplitude: E(k) ~ k^-5/3 → |a| ~ k^-11/6.
+		amp := math.Pow(kmag, -11.0/6.0)
+		// Random direction projected perpendicular to k (incompressible).
+		ax, ay, az := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		dot := (ax*kx + ay*ky + az*kz) / k2
+		ax -= dot * kx
+		ay -= dot * ky
+		az -= dot * kz
+		norm := math.Sqrt(ax*ax + ay*ay + az*az)
+		if norm < 1e-12 {
+			continue
+		}
+		scale := amp / norm
+		f.modes = append(f.modes, mode{
+			k:     [3]float64{kx, ky, kz},
+			a:     [3]float64{ax * scale, ay * scale, az * scale},
+			p:     amp * 0.5,
+			ph:    rng.Float64() * 2 * math.Pi,
+			omega: kmag * 0.7, // eddy turnover frequency grows with k
+		})
+	}
+	return f
+}
+
+// Eval returns the analytic field value (u, v, w, pressure) at position
+// pos and time step `step`. This is the ground truth the gridded atoms
+// sample; tests compare interpolation output against it.
+func (f *Field) Eval(step int, pos geom.Position) [Components]float64 {
+	// Wrap into the periodic box first: the wavevectors are integer, so
+	// sin(k·(x+2π)) = sin(k·x) and wrapping changes nothing analytically,
+	// but it keeps the phase argument small enough that extreme caller
+	// coordinates cannot overflow to Inf/NaN.
+	pos = geom.Wrap(pos)
+	t := float64(step) * f.dt
+	var out [Components]float64
+	for i := range f.modes {
+		m := &f.modes[i]
+		phase := m.k[0]*pos.X + m.k[1]*pos.Y + m.k[2]*pos.Z + m.ph + m.omega*t
+		s := math.Sin(phase)
+		out[0] += m.a[0] * s
+		out[1] += m.a[1] * s
+		out[2] += m.a[2] * s
+		out[3] += m.p * math.Cos(phase)
+	}
+	return out
+}
+
+// Atom holds the gridded samples of one storage block: (Side+2·Ghost)³
+// grid points × Components values, in x-fastest order. Ghost is the
+// replication halo of §III.A ("each atom is 72³ in length with four units
+// of replication on each side for performance reasons"): samples beyond
+// the atom's own extent let interpolation stencils near a face evaluate
+// without touching the neighbour atom's data.
+type Atom struct {
+	Side  int
+	Ghost int
+	Data  []float64
+}
+
+// dim is the stored samples per axis including the halo.
+func (a *Atom) dim() int { return a.Side + 2*a.Ghost }
+
+// NominalAtomBytes is the on-disk size charged for one atom regardless of
+// the in-memory sampling resolution: 64³ points × 4 components × 8 bytes,
+// the paper's "roughly 8 MB".
+const NominalAtomBytes = 64 * 64 * 64 * Components * 8
+
+// Sample materializes the atom at coordinate ac of time step `step` on a
+// grid with `side` samples per axis within the atom and no halo. The
+// simulation uses a reduced side (e.g. 8) to keep memory small; the disk
+// model still charges the nominal 8 MB.
+func (f *Field) Sample(step int, space geom.Space, ac geom.AtomCoord, side int) *Atom {
+	return f.SampleGhost(step, space, ac, side, 0)
+}
+
+// SampleGhost materializes the atom with a replication halo of `ghost`
+// samples on each side (the §III.A layout). Halo samples come from the
+// periodic field itself, exactly as the production pipeline copies them
+// from neighbouring atoms.
+func (f *Field) SampleGhost(step int, space geom.Space, ac geom.AtomCoord, side, ghost int) *Atom {
+	if side <= 0 {
+		side = 8
+	}
+	if ghost < 0 {
+		ghost = 0
+	}
+	atomLen := float64(space.AtomSide) * space.VoxelSize()
+	origin := geom.Position{
+		X: float64(ac.I) * atomLen,
+		Y: float64(ac.J) * atomLen,
+		Z: float64(ac.K) * atomLen,
+	}
+	h := atomLen / float64(side)
+	dim := side + 2*ghost
+	a := &Atom{Side: side, Ghost: ghost, Data: make([]float64, dim*dim*dim*Components)}
+	idx := 0
+	for k := -ghost; k < side+ghost; k++ {
+		for j := -ghost; j < side+ghost; j++ {
+			for i := -ghost; i < side+ghost; i++ {
+				p := geom.Position{
+					X: origin.X + (float64(i)+0.5)*h,
+					Y: origin.Y + (float64(j)+0.5)*h,
+					Z: origin.Z + (float64(k)+0.5)*h,
+				}
+				v := f.Eval(step, p)
+				copy(a.Data[idx:idx+Components], v[:])
+				idx += Components
+			}
+		}
+	}
+	return a
+}
+
+// At returns the sampled value at integer grid point (i, j, k) of the
+// atom's own extent; indices from −Ghost to Side+Ghost−1 reach into the
+// replication halo.
+func (a *Atom) At(i, j, k int) [Components]float64 {
+	d := a.dim()
+	base := (((k+a.Ghost)*d+(j+a.Ghost))*d + (i + a.Ghost)) * Components
+	var out [Components]float64
+	copy(out[:], a.Data[base:base+Components])
+	return out
+}
+
+// Bytes returns the in-memory footprint of the sampled atom.
+func (a *Atom) Bytes() int64 { return int64(len(a.Data) * 8) }

@@ -1,0 +1,148 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"jaws/internal/geom"
+)
+
+func TestEvalGradientMatchesFiniteDifference(t *testing.T) {
+	f := New(31, 32, 0)
+	p := geom.Position{X: 1.2, Y: 2.3, Z: 3.4}
+	g := f.EvalGradient(2, p)
+	h := 1e-6
+	for vi := 0; vi < 3; vi++ {
+		for xj := 0; xj < 3; xj++ {
+			plus, minus := p, p
+			switch xj {
+			case 0:
+				plus.X += h
+				minus.X -= h
+			case 1:
+				plus.Y += h
+				minus.Y -= h
+			case 2:
+				plus.Z += h
+				minus.Z -= h
+			}
+			fd := (f.Eval(2, plus)[vi] - f.Eval(2, minus)[vi]) / (2 * h)
+			if math.Abs(fd-g[vi][xj]) > 1e-5*(1+math.Abs(fd)) {
+				t.Fatalf("analytic g[%d][%d]=%g vs FD %g", vi, xj, g[vi][xj], fd)
+			}
+		}
+	}
+}
+
+func TestEvalGradientDivergenceFree(t *testing.T) {
+	f := New(5, 48, 0)
+	for _, p := range []geom.Position{{X: 0.5, Y: 0.5, Z: 0.5}, {X: 3, Y: 1, Z: 5}, {X: 6, Y: 6, Z: 6}} {
+		if div := math.Abs(f.EvalGradient(0, p).Divergence()); div > 1e-10 {
+			t.Fatalf("analytic divergence %g at %v", div, p)
+		}
+	}
+}
+
+func TestInterpolateGradientAccuracy(t *testing.T) {
+	// The interpolated gradient must approximate the analytic one, and
+	// higher-order stencils must not be worse.
+	f := New(13, 24, 0)
+	s := geom.Space{GridSide: 256, AtomSide: 32}
+	ac := geom.AtomCoord{I: 2, J: 2, K: 2}
+	a := f.Sample(0, s, ac, 16)
+	p := s.Center(ac)
+	p.X += 0.2 * s.VoxelSize()
+	truth := f.EvalGradient(0, p)
+
+	errOf := func(k Kernel) float64 {
+		got := InterpolateGradient(k, a, s, ac, p)
+		e := 0.0
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				e += math.Abs(got[i][j] - truth[i][j])
+			}
+		}
+		return e
+	}
+	e2 := errOf(KernelTrilinear)
+	e8 := errOf(KernelLag8)
+	// The analytic field varies on O(1) scales; the sampled atom grid has
+	// spacing ~0.05 here, so even low-order gradients should be close.
+	norm := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			norm += math.Abs(truth[i][j])
+		}
+	}
+	if e8 > 0.2*norm {
+		t.Fatalf("Lag8 gradient error %g vs tensor norm %g", e8, norm)
+	}
+	if e8 > e2*1.1 {
+		t.Fatalf("Lag8 gradient (%g) worse than trilinear (%g)", e8, e2)
+	}
+}
+
+func TestGradientDecompositions(t *testing.T) {
+	g := Gradient{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	}
+	s := g.Strain()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if s[i][j] != s[j][i] {
+				t.Fatal("strain not symmetric")
+			}
+		}
+	}
+	w := g.Vorticity()
+	want := [3]float64{8 - 6, 3 - 7, 4 - 2}
+	if w != want {
+		t.Fatalf("vorticity %v, want %v", w, want)
+	}
+	if g.Divergence() != 15 {
+		t.Fatalf("divergence = %g", g.Divergence())
+	}
+	// Pure rotation has positive Q; pure strain negative.
+	rot := Gradient{{0, -1, 0}, {1, 0, 0}, {0, 0, 0}}
+	if rot.QCriterion() <= 0 {
+		t.Fatal("pure rotation has non-positive Q")
+	}
+	strain := Gradient{{1, 0, 0}, {0, -1, 0}, {0, 0, 0}}
+	if strain.QCriterion() >= 0 {
+		t.Fatal("pure strain has non-negative Q")
+	}
+}
+
+func TestInterpolatedGradientNearlyDivergenceFree(t *testing.T) {
+	// Numerical differentiation of an incompressible field should stay
+	// close to divergence-free relative to the gradient magnitude.
+	f := New(3, 24, 0)
+	s := geom.Space{GridSide: 256, AtomSide: 32}
+	ac := geom.AtomCoord{I: 1, J: 3, K: 5}
+	a := f.Sample(4, s, ac, 16)
+	p := s.Center(ac)
+	g := InterpolateGradient(KernelLag6, a, s, ac, p)
+	norm := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			norm += math.Abs(g[i][j])
+		}
+	}
+	if math.Abs(g.Divergence()) > 0.05*norm {
+		t.Fatalf("numerical divergence %g vs norm %g", g.Divergence(), norm)
+	}
+}
+
+func BenchmarkInterpolateGradientLag6(b *testing.B) {
+	f := New(1, 48, 0)
+	s := geom.Space{GridSide: 256, AtomSide: 32}
+	ac := geom.AtomCoord{I: 1, J: 1, K: 1}
+	a := f.Sample(0, s, ac, 8)
+	p := s.Center(ac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InterpolateGradient(KernelLag6, a, s, ac, p)
+	}
+}

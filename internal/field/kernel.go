@@ -1,0 +1,189 @@
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"jaws/internal/geom"
+)
+
+// Kernel identifies a computation performed at each queried position,
+// mirroring the operations the Turbulence web services expose.
+type Kernel int
+
+const (
+	// KernelNone returns the nearest sample: used by statistics queries
+	// that aggregate raw grid values.
+	KernelNone Kernel = iota
+	// KernelTrilinear is first-order interpolation over the 2³ cell.
+	KernelTrilinear
+	// KernelLag4 is 4th-order Lagrange polynomial interpolation (4³ stencil).
+	KernelLag4
+	// KernelLag6 is 6th-order Lagrange interpolation (6³ stencil).
+	KernelLag6
+	// KernelLag8 is 8th-order Lagrange interpolation (8³ stencil).
+	KernelLag8
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelNone:
+		return "none"
+	case KernelTrilinear:
+		return "trilinear"
+	case KernelLag4:
+		return "lag4"
+	case KernelLag6:
+		return "lag6"
+	case KernelLag8:
+		return "lag8"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// StencilRadius returns the half-width in voxels of the kernel's stencil;
+// the pre-processor uses it to compute atom footprints.
+func (k Kernel) StencilRadius() int {
+	switch k {
+	case KernelNone:
+		return 0
+	case KernelTrilinear:
+		return 1
+	case KernelLag4:
+		return 2
+	case KernelLag6:
+		return 3
+	case KernelLag8:
+		return 4
+	}
+	return 0
+}
+
+// CostWeight scales the per-position compute time T_m: higher-order
+// stencils touch more samples.
+func (k Kernel) CostWeight() float64 {
+	switch k {
+	case KernelNone:
+		return 0.25
+	case KernelTrilinear:
+		return 1
+	case KernelLag4:
+		return 2
+	case KernelLag6:
+		return 4
+	case KernelLag8:
+		return 8
+	}
+	return 1
+}
+
+// Interpolate evaluates the kernel at position pos using the sampled atom
+// a (the atom containing pos within `space`). Stencils may extend into
+// the atom's replication halo (§III.A stores four ghost voxels on each
+// side for exactly this purpose); without a halo they are clamped to the
+// atom's own sample grid. Returns the interpolated (u, v, w, p).
+func Interpolate(k Kernel, a *Atom, space geom.Space, ac geom.AtomCoord, pos geom.Position) [Components]float64 {
+	// Position in atom-local fractional sample coordinates.
+	atomLen := float64(space.AtomSide) * space.VoxelSize()
+	h := atomLen / float64(a.Side)
+	wp := geom.Wrap(pos)
+	lx := (wp.X - float64(ac.I)*atomLen) / h
+	ly := (wp.Y - float64(ac.J)*atomLen) / h
+	lz := (wp.Z - float64(ac.K)*atomLen) / h
+	// Samples sit at cell centers (i+0.5); convert to sample coordinates.
+	sx, sy, sz := lx-0.5, ly-0.5, lz-0.5
+
+	switch k {
+	case KernelNone:
+		i := clamp(int(math.Round(sx)), 0, a.Side-1)
+		j := clamp(int(math.Round(sy)), 0, a.Side-1)
+		l := clamp(int(math.Round(sz)), 0, a.Side-1)
+		return a.At(i, j, l)
+	case KernelTrilinear:
+		return lagrange(a, sx, sy, sz, 2)
+	case KernelLag4:
+		return lagrange(a, sx, sy, sz, 4)
+	case KernelLag6:
+		return lagrange(a, sx, sy, sz, 6)
+	case KernelLag8:
+		return lagrange(a, sx, sy, sz, 8)
+	}
+	return lagrange(a, sx, sy, sz, 2)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// lagrange performs separable N-point Lagrange interpolation on the atom's
+// sample grid (halo included). N=2 degenerates to trilinear interpolation.
+func lagrange(a *Atom, sx, sy, sz float64, n int) [Components]float64 {
+	if a.dim() < n {
+		n = a.dim() // tiny test atoms: fall back to the widest stencil that fits
+	}
+	ix, wx := lagrangeWeightsHalo(sx, n, a.Side, a.Ghost)
+	iy, wy := lagrangeWeightsHalo(sy, n, a.Side, a.Ghost)
+	iz, wz := lagrangeWeightsHalo(sz, n, a.Side, a.Ghost)
+
+	d := a.dim()
+	g := a.Ghost
+	var out [Components]float64
+	for kk := 0; kk < n; kk++ {
+		for jj := 0; jj < n; jj++ {
+			wyz := wy[jj] * wz[kk]
+			rowBase := (iz+g+kk)*d + (iy + g + jj)
+			for ii := 0; ii < n; ii++ {
+				w := wx[ii] * wyz
+				base := (rowBase*d + ix + g + ii) * Components
+				out[0] += w * a.Data[base]
+				out[1] += w * a.Data[base+1]
+				out[2] += w * a.Data[base+2]
+				out[3] += w * a.Data[base+3]
+			}
+		}
+	}
+	return out
+}
+
+// lagrangeWeights returns the first stencil index and the N Lagrange
+// basis weights for fractional sample coordinate s on a grid of `side`
+// samples, clamping the stencil to the grid.
+func lagrangeWeights(s float64, n, side int) (int, []float64) {
+	return lagrangeWeightsHalo(s, n, side, 0)
+}
+
+// lagrangeWeightsHalo is lagrangeWeights with a replication halo of g
+// samples available on each side: the stencil may start as early as −g
+// and end as late as side+g, so positions near an atom face keep a
+// centred (more accurate) stencil instead of a clamped one-sided one.
+func lagrangeWeightsHalo(s float64, n, side, g int) (int, []float64) {
+	var start int
+	if n == 2 {
+		start = int(math.Floor(s))
+	} else {
+		start = int(math.Floor(s)) - n/2 + 1
+	}
+	start = clamp(start, -g, side+g-n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := float64(start + i)
+		num, den := 1.0, 1.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			xj := float64(start + j)
+			num *= s - xj
+			den *= xi - xj
+		}
+		w[i] = num / den
+	}
+	return start, w
+}

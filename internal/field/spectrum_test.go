@@ -1,0 +1,69 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"jaws/internal/geom"
+)
+
+func TestSpectrumShellsSorted(t *testing.T) {
+	f := New(1, 64, 0)
+	sp := f.Spectrum()
+	if len(sp) < 3 {
+		t.Fatalf("only %d shells", len(sp))
+	}
+	for i := 1; i < len(sp); i++ {
+		if sp[i].K <= sp[i-1].K {
+			t.Fatal("shells not sorted")
+		}
+	}
+	for _, p := range sp {
+		if p.E <= 0 {
+			t.Fatalf("non-positive shell energy at k=%g", p.K)
+		}
+	}
+}
+
+func TestSpectralSlopeNearKolmogorov(t *testing.T) {
+	// With many modes the realized slope should be near the targeted
+	// −5/3 inertial-range exponent (shot noise from the random lattice
+	// draw allows generous tolerance).
+	f := New(7, 512, 0)
+	s := f.SpectralSlope()
+	if s > -1.0 || s < -2.4 {
+		t.Fatalf("spectral slope %.2f not in the Kolmogorov-like band [−2.4, −1.0]", s)
+	}
+}
+
+func TestTotalKineticEnergyMatchesPointwiseAverage(t *testing.T) {
+	// Parseval check: the spectral total must match the spatially averaged
+	// ½u² measured by sampling the field.
+	f := New(3, 32, 0)
+	want := f.TotalKineticEnergy()
+	var sum float64
+	const n = 24
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := geom.Position{
+				X: (float64(i) + 0.5) / n * geom.DomainSide,
+				Y: (float64(j) + 0.5) / n * geom.DomainSide,
+				Z: (float64(i*7+j*3) + 0.5) / (n * n) * geom.DomainSide,
+			}
+			v := f.Eval(0, p)
+			sum += 0.5 * (v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		}
+	}
+	got := sum / (n * n)
+	// Sampling error and mode cross-terms allow ~20 % tolerance.
+	if math.Abs(got-want) > 0.25*want {
+		t.Fatalf("pointwise KE %.5f vs spectral %.5f", got, want)
+	}
+}
+
+func TestSpectralSlopeDegenerate(t *testing.T) {
+	f := &Field{dt: 1} // no modes
+	if s := f.SpectralSlope(); s != 0 {
+		t.Fatalf("slope of empty field = %g", s)
+	}
+}

@@ -1,0 +1,202 @@
+// Package geom defines the spatial model of the simulated Turbulence
+// database: a periodic cube of voxels partitioned into fixed-size storage
+// blocks ("atoms"), and the mapping from continuous query positions to the
+// atoms their evaluation touches.
+//
+// In the production database each time step is a 1024³ voxel grid split
+// into 64³-voxel atoms (4096 atoms of ~8 MB per step). The same layout is
+// reproduced here with configurable sizes so tests run at small scale while
+// the benchmark harness uses paper-scale parameters.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"jaws/internal/morton"
+)
+
+// Position is a point in the continuous simulation domain [0, 2π)³,
+// matching the convention of the turbulence DNS, which simulates a
+// periodic box of side 2π.
+type Position struct {
+	X, Y, Z float64
+}
+
+// DomainSide is the physical side length of the periodic simulation box.
+const DomainSide = 2 * math.Pi
+
+// Space describes the discretization of one time step: GridSide voxels per
+// axis, partitioned into atoms of AtomSide voxels per axis.
+type Space struct {
+	// GridSide is the number of voxels per axis (1024 in the paper).
+	GridSide int
+	// AtomSide is the number of voxels per axis in one atom (64 in the
+	// paper, giving 4096 atoms per time step).
+	AtomSide int
+}
+
+// Validate checks the structural invariants of the space.
+func (s Space) Validate() error {
+	if s.GridSide <= 0 || s.AtomSide <= 0 {
+		return fmt.Errorf("geom: sides must be positive, got grid=%d atom=%d", s.GridSide, s.AtomSide)
+	}
+	if s.GridSide%s.AtomSide != 0 {
+		return fmt.Errorf("geom: grid side %d not divisible by atom side %d", s.GridSide, s.AtomSide)
+	}
+	side := s.AtomsPerAxis()
+	if side&(side-1) != 0 {
+		return fmt.Errorf("geom: atoms per axis %d must be a power of two for the Morton index", side)
+	}
+	return nil
+}
+
+// PaperSpace returns the production geometry: 1024³ voxels in 64³-voxel
+// atoms.
+func PaperSpace() Space { return Space{GridSide: 1024, AtomSide: 64} }
+
+// AtomsPerAxis returns the number of atoms along one axis.
+func (s Space) AtomsPerAxis() int { return s.GridSide / s.AtomSide }
+
+// AtomsPerStep returns the total number of atoms in one time step
+// (4096 in the paper).
+func (s Space) AtomsPerStep() int {
+	n := s.AtomsPerAxis()
+	return n * n * n
+}
+
+// VoxelSize is the physical side length of one voxel.
+func (s Space) VoxelSize() float64 { return DomainSide / float64(s.GridSide) }
+
+// AtomCoord identifies an atom within a time step by its integer grid
+// coordinates (each in [0, AtomsPerAxis)).
+type AtomCoord struct {
+	I, J, K uint32
+}
+
+// Code returns the Morton code of the atom, which is its position in the
+// on-disk linear order.
+func (a AtomCoord) Code() morton.Code { return morton.Encode(a.I, a.J, a.K) }
+
+// AtomFromCode inverts Code.
+func AtomFromCode(c morton.Code) AtomCoord {
+	x, y, z := c.Decode()
+	return AtomCoord{I: x, J: y, K: z}
+}
+
+// wrap maps v into [0, DomainSide) respecting periodicity.
+func wrap(v float64) float64 {
+	v = math.Mod(v, DomainSide)
+	if v < 0 {
+		v += DomainSide
+	}
+	return v
+}
+
+// Wrap returns p with every component wrapped into the periodic domain.
+func Wrap(p Position) Position {
+	return Position{X: wrap(p.X), Y: wrap(p.Y), Z: wrap(p.Z)}
+}
+
+// VoxelOf returns the integer voxel containing p (after periodic wrap).
+func (s Space) VoxelOf(p Position) (vx, vy, vz int) {
+	vsz := s.VoxelSize()
+	f := func(v float64) int {
+		i := int(wrap(v) / vsz)
+		if i >= s.GridSide { // guard against FP round-up at the seam
+			i = s.GridSide - 1
+		}
+		return i
+	}
+	return f(p.X), f(p.Y), f(p.Z)
+}
+
+// AtomOf returns the atom containing position p.
+func (s Space) AtomOf(p Position) AtomCoord {
+	vx, vy, vz := s.VoxelOf(p)
+	return AtomCoord{
+		I: uint32(vx / s.AtomSide),
+		J: uint32(vy / s.AtomSide),
+		K: uint32(vz / s.AtomSide),
+	}
+}
+
+// Footprint returns the set of atoms an interpolation stencil of
+// half-width radius (in voxels) around p must read. The primary atom is
+// always first. For Lagrange interpolation of order N the stencil spans
+// N voxels, so radius = N/2; a stencil that stays inside one atom returns
+// just that atom, while one near an atom face spills into neighbours —
+// this is the "kernel of computation" locality that two-level scheduling
+// (batching k nearby atoms) exploits.
+func (s Space) Footprint(p Position, radius int) []AtomCoord {
+	primary := s.AtomOf(p)
+	if radius <= 0 {
+		return []AtomCoord{primary}
+	}
+	vx, vy, vz := s.VoxelOf(p)
+	n := s.AtomsPerAxis()
+	seen := map[AtomCoord]bool{primary: true}
+	out := []AtomCoord{primary}
+	// Examine the two extreme corners of the stencil along each axis.
+	for _, dx := range [2]int{vx - radius, vx + radius} {
+		for _, dy := range [2]int{vy - radius, vy + radius} {
+			for _, dz := range [2]int{vz - radius, vz + radius} {
+				a := AtomCoord{
+					I: uint32(wrapInt(dx/s.AtomSide, floorDivAdjust(dx, s.AtomSide), n)),
+					J: uint32(wrapInt(dy/s.AtomSide, floorDivAdjust(dy, s.AtomSide), n)),
+					K: uint32(wrapInt(dz/s.AtomSide, floorDivAdjust(dz, s.AtomSide), n)),
+				}
+				if !seen[a] {
+					seen[a] = true
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// floorDivAdjust returns -1 when integer division of a negative numerator
+// truncated toward zero instead of flooring.
+func floorDivAdjust(num, den int) int {
+	if num < 0 && num%den != 0 {
+		return -1
+	}
+	return 0
+}
+
+// wrapInt wraps q+adjust into [0, n) for the periodic atom grid.
+func wrapInt(q, adjust, n int) int {
+	v := (q + adjust) % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// Dist2 returns the squared Euclidean distance between two positions under
+// the minimum-image convention of the periodic domain.
+func Dist2(a, b Position) float64 {
+	d := func(x, y float64) float64 {
+		dv := math.Abs(wrap(x) - wrap(y))
+		if dv > DomainSide/2 {
+			dv = DomainSide - dv
+		}
+		return dv
+	}
+	dx, dy, dz := d(a.X, b.X), d(a.Y, b.Y), d(a.Z, b.Z)
+	return dx*dx + dy*dy + dz*dz
+}
+
+// Center returns the physical center of atom a.
+func (s Space) Center(a AtomCoord) Position {
+	asz := float64(s.AtomSide) * s.VoxelSize()
+	return Position{
+		X: (float64(a.I) + 0.5) * asz,
+		Y: (float64(a.J) + 0.5) * asz,
+		Z: (float64(a.K) + 0.5) * asz,
+	}
+}
+
+// String renders the atom coordinate.
+func (a AtomCoord) String() string { return fmt.Sprintf("atom(%d,%d,%d)", a.I, a.J, a.K) }

@@ -1,0 +1,209 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace() Space { return Space{GridSide: 256, AtomSide: 32} }
+
+func TestValidate(t *testing.T) {
+	if err := testSpace().Validate(); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+	if err := PaperSpace().Validate(); err != nil {
+		t.Fatalf("paper space rejected: %v", err)
+	}
+	bad := []Space{
+		{GridSide: 0, AtomSide: 32},
+		{GridSide: 256, AtomSide: 0},
+		{GridSide: 100, AtomSide: 32},  // not divisible
+		{GridSide: 96, AtomSide: 32},   // 3 atoms per axis: not a power of two
+		{GridSide: -256, AtomSide: 32}, // negative
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid space %+v accepted", s)
+		}
+	}
+}
+
+func TestPaperSpaceDimensions(t *testing.T) {
+	s := PaperSpace()
+	if got := s.AtomsPerAxis(); got != 16 {
+		t.Fatalf("paper atoms per axis = %d, want 16", got)
+	}
+	if got := s.AtomsPerStep(); got != 4096 {
+		t.Fatalf("paper atoms per step = %d, want 4096 (as stated in §III.A)", got)
+	}
+}
+
+func TestAtomOfCorners(t *testing.T) {
+	s := testSpace()
+	if a := s.AtomOf(Position{0, 0, 0}); a != (AtomCoord{0, 0, 0}) {
+		t.Fatalf("origin in atom %v, want (0,0,0)", a)
+	}
+	// Just inside the far corner.
+	eps := 1e-9
+	p := Position{DomainSide - eps, DomainSide - eps, DomainSide - eps}
+	n := uint32(s.AtomsPerAxis() - 1)
+	if a := s.AtomOf(p); a != (AtomCoord{n, n, n}) {
+		t.Fatalf("far corner in atom %v, want (%d,%d,%d)", a, n, n, n)
+	}
+}
+
+func TestAtomOfPeriodicWrap(t *testing.T) {
+	s := testSpace()
+	a := s.AtomOf(Position{DomainSide + 0.1, -0.1, 2 * DomainSide})
+	b := s.AtomOf(Position{0.1, DomainSide - 0.1, 0})
+	if a != b {
+		t.Fatalf("periodic wrap inconsistent: %v vs %v", a, b)
+	}
+}
+
+// Property: every position maps to an atom with coordinates inside the
+// grid, and the atom's Morton code round-trips.
+func TestAtomOfInRange(t *testing.T) {
+	s := testSpace()
+	n := uint32(s.AtomsPerAxis())
+	f := func(x, y, z float64) bool {
+		a := s.AtomOf(Position{x, y, z})
+		if a.I >= n || a.J >= n || a.K >= n {
+			return false
+		}
+		return AtomFromCode(a.Code()) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintInterior(t *testing.T) {
+	s := testSpace()
+	// Center of atom (1,1,1): an 8-voxel-radius stencil stays inside a
+	// 32-voxel atom.
+	center := s.Center(AtomCoord{1, 1, 1})
+	fp := s.Footprint(center, 8)
+	if len(fp) != 1 || fp[0] != (AtomCoord{1, 1, 1}) {
+		t.Fatalf("interior footprint = %v, want just atom(1,1,1)", fp)
+	}
+}
+
+func TestFootprintZeroRadius(t *testing.T) {
+	s := testSpace()
+	p := Position{0.1, 0.2, 0.3}
+	fp := s.Footprint(p, 0)
+	if len(fp) != 1 || fp[0] != s.AtomOf(p) {
+		t.Fatalf("zero-radius footprint = %v, want the containing atom only", fp)
+	}
+}
+
+func TestFootprintSpillsAcrossFace(t *testing.T) {
+	s := testSpace()
+	// A point just inside atom (1,1,1) near its low-x face: stencil spills
+	// into atom (0,1,1).
+	asz := float64(s.AtomSide) * s.VoxelSize()
+	p := Position{asz + 0.5*s.VoxelSize(), 1.5 * asz, 1.5 * asz}
+	fp := s.Footprint(p, 4)
+	if fp[0] != (AtomCoord{1, 1, 1}) {
+		t.Fatalf("primary atom = %v, want (1,1,1)", fp[0])
+	}
+	found := false
+	for _, a := range fp {
+		if a == (AtomCoord{0, 1, 1}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("footprint %v missing neighbour (0,1,1)", fp)
+	}
+}
+
+func TestFootprintPeriodicSpill(t *testing.T) {
+	s := testSpace()
+	// A point near the domain origin: the stencil wraps to the far side.
+	p := Position{0.5 * s.VoxelSize(), 0.5 * s.VoxelSize(), 0.5 * s.VoxelSize()}
+	fp := s.Footprint(p, 4)
+	n := uint32(s.AtomsPerAxis() - 1)
+	found := false
+	for _, a := range fp {
+		if a == (AtomCoord{n, n, n}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("periodic footprint %v missing wrapped corner atom (%d,%d,%d)", fp, n, n, n)
+	}
+	if len(fp) != 8 {
+		t.Fatalf("corner stencil should touch 8 atoms, got %d: %v", len(fp), fp)
+	}
+}
+
+// Property: the footprint always contains the primary atom first and has
+// no duplicates.
+func TestFootprintNoDuplicates(t *testing.T) {
+	s := testSpace()
+	f := func(x, y, z float64, r uint8) bool {
+		radius := int(r % 8)
+		p := Position{x, y, z}
+		fp := s.Footprint(p, radius)
+		if len(fp) == 0 || fp[0] != s.AtomOf(p) {
+			return false
+		}
+		seen := map[AtomCoord]bool{}
+		for _, a := range fp {
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDist2Periodic(t *testing.T) {
+	a := Position{0.1, 0, 0}
+	b := Position{DomainSide - 0.1, 0, 0}
+	want := 0.2 * 0.2
+	if got := Dist2(a, b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("minimum-image Dist2 = %g, want %g", got, want)
+	}
+}
+
+func TestDist2Symmetric(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := Position{ax, ay, az}, Position{bx, by, bz}
+		return math.Abs(Dist2(a, b)-Dist2(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenterInsideAtom(t *testing.T) {
+	s := testSpace()
+	for _, a := range []AtomCoord{{0, 0, 0}, {3, 5, 7}, {7, 7, 7}} {
+		if got := s.AtomOf(s.Center(a)); got != a {
+			t.Fatalf("center of %v maps back to %v", a, got)
+		}
+	}
+}
+
+func TestVoxelSize(t *testing.T) {
+	s := testSpace()
+	want := DomainSide / 256
+	if got := s.VoxelSize(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("VoxelSize = %g, want %g", got, want)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	p := Wrap(Position{-0.5, DomainSide + 0.5, 3 * DomainSide})
+	if p.X < 0 || p.X >= DomainSide || p.Y < 0 || p.Y >= DomainSide || p.Z < 0 || p.Z >= DomainSide {
+		t.Fatalf("Wrap left components outside domain: %+v", p)
+	}
+}

@@ -1,0 +1,87 @@
+// Package jobgraph implements JAWS's job-aware gated execution (§IV): a
+// precedence graph over the queries of ordered jobs, augmented with gating
+// edges that synchronize the execution of queries from different jobs so
+// that queries accessing the same data are co-scheduled and their I/O is
+// shared.
+//
+// The pipeline has three phases, as in the paper:
+//
+//  1. a Needleman–Wunsch dynamic program finds, for every pair of jobs,
+//     the maximal non-crossing alignment of queries that exhibit data
+//     sharing (each alignment is a candidate gating edge);
+//  2. gating numbers — the minimum number of gating edges the scheduler
+//     must evaluate before a query can be scheduled — are computed by a
+//     pass over the jobs in execution order;
+//  3. a greedy merge admits pairwise edges into the global graph,
+//     rejecting edges that would deadlock the schedule or violate
+//     precedence constraints (Fig. 4).
+package jobgraph
+
+// Pair is one aligned query pair from the dynamic program: query SeqA of
+// job A is co-scheduled with query SeqB of job B.
+type Pair struct {
+	SeqA, SeqB int
+}
+
+// Align runs the Needleman–Wunsch global alignment of §IV.B between two
+// jobs of lenA and lenB queries. share(i, j) reports whether query i of
+// job A and query j of job B exhibit data sharing (score 1); skipping a
+// query costs nothing (gap penalty 0). It returns the aligned sharing
+// pairs in increasing sequence order. By construction the pairs are
+// non-crossing and each query appears in at most one pair — exactly the
+// feasibility conditions for gating edges between one pair of jobs.
+func Align(lenA, lenB int, share func(i, j int) bool) []Pair {
+	if lenA == 0 || lenB == 0 {
+		return nil
+	}
+	// m[i][j] = best score aligning the first i queries of A with the
+	// first j of B. Computed bottom-up as in the paper:
+	// m[i][j] = max(m[i-1][j-1] + s(i,j), m[i][j-1], m[i-1][j]).
+	m := make([][]int32, lenA+1)
+	for i := range m {
+		m[i] = make([]int32, lenB+1)
+	}
+	for i := 1; i <= lenA; i++ {
+		for j := 1; j <= lenB; j++ {
+			best := m[i-1][j-1]
+			if share(i-1, j-1) {
+				best++
+			}
+			if m[i-1][j] > best {
+				best = m[i-1][j]
+			}
+			if m[i][j-1] > best {
+				best = m[i][j-1]
+			}
+			m[i][j] = best
+		}
+	}
+	// Traceback, preferring matched diagonals so every unit of score
+	// becomes a gating edge.
+	var rev []Pair
+	i, j := lenA, lenB
+	for i > 0 && j > 0 {
+		s := int32(0)
+		if share(i-1, j-1) {
+			s = 1
+		}
+		switch {
+		case s == 1 && m[i][j] == m[i-1][j-1]+1:
+			rev = append(rev, Pair{SeqA: i - 1, SeqB: j - 1})
+			i--
+			j--
+		case m[i][j] == m[i-1][j]:
+			i--
+		case m[i][j] == m[i][j-1]:
+			j--
+		default: // unmatched diagonal (s == 0, equal scores)
+			i--
+			j--
+		}
+	}
+	// Reverse into increasing order.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}

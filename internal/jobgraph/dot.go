@@ -1,0 +1,72 @@
+package jobgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the precedence graph in Graphviz DOT form, in the style of
+// the paper's Fig. 5: one row ("rank") per job, solid directed edges for
+// precedence constraints, dashed undirected edges for gating, and each
+// vertex labelled with its state and gating number. Useful for debugging
+// gated schedules and for documentation.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("graph jaws {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=circle fontsize=10];\n")
+
+	ids := append([]int64(nil), g.jobSeq...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, jobID := range ids {
+		n := g.jobLen[jobID]
+		fmt.Fprintf(&b, "  subgraph cluster_j%d {\n    label=\"job %d\";\n", jobID, jobID)
+		for s := 0; s < n; s++ {
+			q := Ref{Job: jobID, Seq: s}
+			style := ""
+			switch g.state[q] {
+			case Done:
+				style = " style=filled fillcolor=gray80"
+			case Queue:
+				style = " style=filled fillcolor=palegreen"
+			case Ready:
+				style = " style=filled fillcolor=lightyellow"
+			}
+			label := fmt.Sprintf("%d.%d\\n%s", jobID, s, g.state[q])
+			if gn := g.GatingNumber(q); gn > 0 {
+				label += fmt.Sprintf("\\nG=%d", gn)
+			}
+			fmt.Fprintf(&b, "    q%d_%d [label=\"%s\"%s];\n", jobID, s, label, style)
+		}
+		// Precedence edges.
+		for s := 0; s+1 < n; s++ {
+			fmt.Fprintf(&b, "    q%d_%d -- q%d_%d [style=solid dir=forward];\n", jobID, s, jobID, s+1)
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Gating edges: emit each component as a clique, each pair once.
+	seen := map[string]bool{}
+	for _, jobID := range ids {
+		for _, q := range g.gated[jobID] {
+			c := g.comp[q]
+			for _, a := range c.members {
+				for _, d := range c.members {
+					if a.Job > d.Job || (a.Job == d.Job && a.Seq >= d.Seq) {
+						continue
+					}
+					key := fmt.Sprintf("%v-%v", a, d)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					fmt.Fprintf(&b, "  q%d_%d -- q%d_%d [style=dashed constraint=false];\n",
+						a.Job, a.Seq, d.Job, d.Seq)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

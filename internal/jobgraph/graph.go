@@ -1,0 +1,552 @@
+package jobgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref identifies a query vertex in the precedence graph: query Seq
+// (0-based) of job Job.
+type Ref struct {
+	Job int64
+	Seq int
+}
+
+// String renders the reference.
+func (r Ref) String() string { return fmt.Sprintf("q(%d,%d)", r.Job, r.Seq) }
+
+// State is the scheduling state of a query vertex (§IV.B).
+type State int
+
+const (
+	// Wait: precedence constraints unsatisfied (predecessor not done).
+	Wait State = iota
+	// Ready: only gating constraints unsatisfied.
+	Ready
+	// Queue: all constraints satisfied; awaiting execution.
+	Queue
+	// Done: completed execution.
+	Done
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Wait:
+		return "WAIT"
+	case Ready:
+		return "READY"
+	case Queue:
+		return "QUEUE"
+	case Done:
+		return "DONE"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// component is a set of queries connected by gating edges; all members are
+// co-scheduled. level is the gating number G: the number of gating edges
+// (synchronization points) that must be evaluated before the component can
+// be scheduled.
+type component struct {
+	members []Ref
+	level   int
+}
+
+// Graph is the precedence graph with gating edges for a set of ordered
+// jobs. It is not safe for concurrent use; the scheduler owns it.
+type Graph struct {
+	shares  func(a, b Ref) bool
+	jobLen  map[int64]int
+	jobSeq  []int64 // job registration order, for deterministic iteration
+	state   map[Ref]State
+	comp    map[Ref]*component
+	gated   map[int64][]Ref // per job: gated queries in seq order
+	dpCache map[[2]int64][]Pair
+
+	// mergeByArrival disables the paper's greedy largest-alignment-first
+	// merge in favour of plain registration order (ablation).
+	mergeByArrival bool
+
+	// stats
+	admitted, rejected int
+}
+
+// New creates an empty graph. shares reports whether two queries (from
+// different jobs) access at least one common atom — A(a) ∩ A(b) ≠ ∅.
+func New(shares func(a, b Ref) bool) *Graph {
+	return newGraph(shares, false)
+}
+
+// NewArrivalMerge creates a graph whose merge phase admits partner jobs in
+// registration order instead of the paper's greedy largest-alignment-first
+// order — the merge-order ablation of DESIGN.md §5.
+func NewArrivalMerge(shares func(a, b Ref) bool) *Graph {
+	return newGraph(shares, true)
+}
+
+func newGraph(shares func(a, b Ref) bool, byArrival bool) *Graph {
+	g := &Graph{
+		shares:  shares,
+		jobLen:  make(map[int64]int),
+		state:   make(map[Ref]State),
+		comp:    make(map[Ref]*component),
+		gated:   make(map[int64][]Ref),
+		dpCache: make(map[[2]int64][]Pair),
+	}
+	g.mergeByArrival = byArrival
+	return g
+}
+
+// Jobs returns the number of registered jobs.
+func (g *Graph) Jobs() int { return len(g.jobLen) }
+
+// EdgesAdmitted reports how many gating links were admitted (a component
+// of k members counts as k-1 links).
+func (g *Graph) EdgesAdmitted() int { return g.admitted }
+
+// EdgesRejected reports how many candidate links the feasibility checks
+// refused.
+func (g *Graph) EdgesRejected() int { return g.rejected }
+
+// AddJob registers an ordered job of n queries, aligns it against every
+// previously registered job with the Needleman–Wunsch dynamic program, and
+// greedily merges the resulting gating edges into the graph (most-sharing
+// partner jobs first). This is the incremental path of §IV.B: "when a new
+// job arrives, it can be added to the existing graph incrementally".
+func (g *Graph) AddJob(id int64, n int) error {
+	if _, dup := g.jobLen[id]; dup {
+		return fmt.Errorf("jobgraph: job %d already registered", id)
+	}
+	if n <= 0 {
+		return fmt.Errorf("jobgraph: job %d has no queries", id)
+	}
+	g.jobLen[id] = n
+	g.jobSeq = append(g.jobSeq, id)
+	g.state[Ref{Job: id, Seq: 0}] = Ready
+	for s := 1; s < n; s++ {
+		g.state[Ref{Job: id, Seq: s}] = Wait
+	}
+	g.mergeJob(id)
+	g.propagate()
+	return nil
+}
+
+// dpPairs returns (computing and caching) the dynamic-program alignment
+// between jobs a and b, expressed as pairs (seq in a, seq in b).
+func (g *Graph) dpPairs(a, b int64) []Pair {
+	key := [2]int64{a, b}
+	if a > b {
+		key = [2]int64{b, a}
+	}
+	if cached, ok := g.dpCache[key]; ok {
+		if key[0] == a {
+			return cached
+		}
+		// Cached with swapped roles: flip.
+		flipped := make([]Pair, len(cached))
+		for i, p := range cached {
+			flipped[i] = Pair{SeqA: p.SeqB, SeqB: p.SeqA}
+		}
+		return flipped
+	}
+	lo, hi := key[0], key[1]
+	pairs := Align(g.jobLen[lo], g.jobLen[hi], func(i, j int) bool {
+		return g.shares(Ref{Job: lo, Seq: i}, Ref{Job: hi, Seq: j})
+	})
+	g.dpCache[key] = pairs
+	if lo == a {
+		return pairs
+	}
+	flipped := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		flipped[i] = Pair{SeqA: p.SeqB, SeqB: p.SeqA}
+	}
+	return flipped
+}
+
+// mergeJob admits gating edges between the new job and every previously
+// registered job, taking partner jobs in decreasing order of alignment
+// size (the greedy merge of §IV.B) and admitting each job's edges in
+// precedence order.
+func (g *Graph) mergeJob(newJob int64) {
+	type cand struct {
+		partner int64
+		pairs   []Pair // SeqA = new job, SeqB = partner
+	}
+	var cands []cand
+	for _, other := range g.jobSeq {
+		if other == newJob {
+			continue
+		}
+		if pairs := g.dpPairs(newJob, other); len(pairs) > 0 {
+			cands = append(cands, cand{partner: other, pairs: pairs})
+		}
+	}
+	if !g.mergeByArrival {
+		sort.SliceStable(cands, func(i, j int) bool {
+			if len(cands[i].pairs) != len(cands[j].pairs) {
+				return len(cands[i].pairs) > len(cands[j].pairs)
+			}
+			return cands[i].partner < cands[j].partner
+		})
+	}
+	for _, c := range cands {
+		for _, p := range c.pairs {
+			g.admitEdge(Ref{Job: newJob, Seq: p.SeqA}, Ref{Job: c.partner, Seq: p.SeqB})
+		}
+	}
+}
+
+// levelBefore returns 1 + the highest gating level among gated queries of
+// job j strictly before seq — the minimum level a new gating edge at seq
+// could take (the MaxGatNum computation of Fig. 4).
+func (g *Graph) levelBefore(j int64, seq int) int {
+	max := 0
+	for _, q := range g.gated[j] {
+		if q.Seq >= seq {
+			break
+		}
+		if lvl := g.comp[q].level; lvl >= max {
+			max = lvl
+		}
+	}
+	return max + 1
+}
+
+// levelAfterBound returns the lowest gating level among gated queries of
+// job j strictly after seq, or -1 if none; a component containing (j, seq)
+// must sit strictly below this level.
+func (g *Graph) levelAfterBound(j int64, seq int) int {
+	for _, q := range g.gated[j] {
+		if q.Seq > seq {
+			return g.comp[q].level
+		}
+	}
+	return -1
+}
+
+// admitEdge attempts to admit a gating edge between u (a query of the job
+// being merged) and v (a query of an already-merged job), applying the
+// feasibility checks of Fig. 4:
+//
+//   - transitivity: u joins v's whole component (co-scheduling is
+//     transitive), so the checks run against every member;
+//   - one gating edge per query per job pair, and no crossing edges
+//     between any job pair (precedence consistency, lines 10–13);
+//   - no scheduling deadlock: gating levels must remain strictly
+//     increasing along every job (the gating-number check of line 9).
+//
+// It reports whether the edge was admitted.
+func (g *Graph) admitEdge(u, v Ref) bool {
+	cu, cv := g.comp[u], g.comp[v]
+	if cu != nil && cu == cv {
+		return true // already co-scheduled
+	}
+	// Gather the would-be combined membership.
+	membersOf := func(r Ref, c *component) []Ref {
+		if c != nil {
+			return c.members
+		}
+		return []Ref{r}
+	}
+	mu, mv := membersOf(u, cu), membersOf(v, cv)
+
+	// A component may contain at most one query per job: co-scheduling two
+	// ordered queries of the same job is an immediate deadlock.
+	jobs := make(map[int64]int, len(mu)+len(mv))
+	for _, m := range mu {
+		jobs[m.Job] = m.Seq
+	}
+	for _, m := range mv {
+		if _, clash := jobs[m.Job]; clash {
+			g.rejected++
+			return false
+		}
+		jobs[m.Job] = m.Seq
+	}
+
+	// Crossing check: for every pair of jobs now linked through the
+	// combined component, the set of co-scheduling pairs across all
+	// components must remain monotone (non-crossing). It suffices to check
+	// each new cross-job pair (a from mu, b from mv) against existing
+	// components containing both jobs.
+	for _, a := range mu {
+		for _, b := range mv {
+			if g.wouldCross(a, b) {
+				g.rejected++
+				return false
+			}
+		}
+	}
+
+	// Level feasibility (gating numbers). Every member imposes a lower
+	// bound (strictly above all gated predecessors in its job) and an
+	// upper bound (strictly below all gated successors).
+	lower := 0
+	upper := 1 << 30
+	all := make([]Ref, 0, len(mu)+len(mv))
+	all = append(all, mu...)
+	all = append(all, mv...)
+	for _, m := range all {
+		if lb := g.levelBefore(m.Job, m.Seq); lb > lower {
+			lower = lb
+		}
+		if ub := g.levelAfterBound(m.Job, m.Seq); ub >= 0 && ub < upper {
+			upper = ub
+		}
+	}
+	level := lower
+	// Existing components have committed levels; they cannot move (their
+	// jobs' later edges were admitted against them).
+	switch {
+	case cu != nil && cv != nil:
+		if cu.level != cv.level {
+			g.rejected++
+			return false
+		}
+		level = cu.level
+	case cu != nil:
+		if cu.level < lower {
+			g.rejected++
+			return false
+		}
+		level = cu.level
+	case cv != nil:
+		if cv.level < lower {
+			g.rejected++
+			return false
+		}
+		level = cv.level
+	}
+	if level >= upper {
+		g.rejected++
+		return false
+	}
+
+	// Admit: union into one component at the agreed level.
+	merged := &component{members: all, level: level}
+	sort.Slice(merged.members, func(i, j int) bool {
+		if merged.members[i].Job != merged.members[j].Job {
+			return merged.members[i].Job < merged.members[j].Job
+		}
+		return merged.members[i].Seq < merged.members[j].Seq
+	})
+	for _, m := range merged.members {
+		if g.comp[m] == nil {
+			g.insertGated(m)
+		}
+		g.comp[m] = merged
+	}
+	g.admitted++
+	return true
+}
+
+// wouldCross reports whether co-scheduling a with b would cross an
+// existing co-scheduling pair between their jobs, or duplicate an edge on
+// either query for that job pair.
+func (g *Graph) wouldCross(a, b Ref) bool {
+	if a.Job == b.Job {
+		return true
+	}
+	// Scan gated queries of job a; those whose component also holds a
+	// query of job b define the existing pairs.
+	for _, qa := range g.gated[a.Job] {
+		c := g.comp[qa]
+		for _, m := range c.members {
+			if m.Job != b.Job {
+				continue
+			}
+			// Existing pair (qa.Seq, m.Seq) vs candidate (a.Seq, b.Seq).
+			if qa.Seq == a.Seq || m.Seq == b.Seq {
+				return true // second edge on the same query for this job pair
+			}
+			if (qa.Seq < a.Seq) != (m.Seq < b.Seq) {
+				return true // crossing
+			}
+		}
+	}
+	return false
+}
+
+// insertGated records that q now has gating edges, keeping the per-job
+// list sorted by sequence.
+func (g *Graph) insertGated(q Ref) {
+	lst := g.gated[q.Job]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].Seq >= q.Seq })
+	lst = append(lst, Ref{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = q
+	g.gated[q.Job] = lst
+}
+
+// GatingNumber returns G(q): the gating level of q's component, or 0 if q
+// has no gating edges.
+func (g *Graph) GatingNumber(q Ref) int {
+	if c := g.comp[q]; c != nil {
+		return c.level
+	}
+	return 0
+}
+
+// Partners returns the queries co-scheduled with q (its component minus
+// itself), in deterministic order.
+func (g *Graph) Partners(q Ref) []Ref {
+	c := g.comp[q]
+	if c == nil {
+		return nil
+	}
+	out := make([]Ref, 0, len(c.members)-1)
+	for _, m := range c.members {
+		if m != q {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// State returns the scheduling state of q.
+func (g *Graph) State(q Ref) State { return g.state[q] }
+
+// MarkDone records the completion of q, releases its successor from WAIT,
+// and propagates gating releases. Marking an unknown or non-QUEUE query
+// done is a programming error in the engine and panics.
+func (g *Graph) MarkDone(q Ref) {
+	st, ok := g.state[q]
+	if !ok {
+		panic(fmt.Sprintf("jobgraph: MarkDone on unknown query %v", q))
+	}
+	if st != Queue {
+		panic(fmt.Sprintf("jobgraph: MarkDone on %v in state %v", q, st))
+	}
+	g.state[q] = Done
+	succ := Ref{Job: q.Job, Seq: q.Seq + 1}
+	if st, ok := g.state[succ]; ok && st == Wait {
+		g.state[succ] = Ready
+	}
+	g.propagate()
+}
+
+// propagate promotes READY queries whose gating constraints are satisfied
+// to QUEUE, iterating to a fixpoint so whole gating components release
+// together.
+func (g *Graph) propagate() {
+	for {
+		changed := false
+		for _, jobID := range g.jobSeq {
+			n := g.jobLen[jobID]
+			for s := 0; s < n; s++ {
+				q := Ref{Job: jobID, Seq: s}
+				if g.state[q] != Ready {
+					continue
+				}
+				if g.gatingSatisfied(q) {
+					g.state[q] = Queue
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// gatingSatisfied reports whether every query co-scheduled with q has at
+// least reached READY (Done partners count as satisfied: their data
+// sharing opportunity has passed).
+func (g *Graph) gatingSatisfied(q Ref) bool {
+	c := g.comp[q]
+	if c == nil {
+		return true
+	}
+	for _, m := range c.members {
+		if m == q {
+			continue
+		}
+		if g.state[m] < Ready {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedulable returns all queries currently in the QUEUE state, ordered by
+// (job registration order, sequence).
+func (g *Graph) Schedulable() []Ref {
+	var out []Ref
+	for _, jobID := range g.jobSeq {
+		n := g.jobLen[jobID]
+		for s := 0; s < n; s++ {
+			q := Ref{Job: jobID, Seq: s}
+			if g.state[q] == Queue {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// Finished reports whether every query of every registered job is DONE.
+func (g *Graph) Finished() bool {
+	for _, jobID := range g.jobSeq {
+		n := g.jobLen[jobID]
+		for s := 0; s < n; s++ {
+			if g.state[Ref{Job: jobID, Seq: s}] != Done {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Prune drops completed jobs from the graph (the paper prunes completed
+// queries continually to keep the merge phase cheap). A job is dropped
+// when all of its queries are DONE and none of its components link to a
+// live query.
+func (g *Graph) Prune() {
+	keep := g.jobSeq[:0]
+	for _, jobID := range g.jobSeq {
+		n := g.jobLen[jobID]
+		done := true
+		for s := 0; s < n; s++ {
+			if g.state[Ref{Job: jobID, Seq: s}] != Done {
+				done = false
+				break
+			}
+		}
+		live := false
+		if done {
+			for _, q := range g.gated[jobID] {
+				for _, m := range g.comp[q].members {
+					// A member with no state entry was pruned earlier, which
+					// implies it was already Done.
+					if st, known := g.state[m]; known && st != Done {
+						live = true
+						break
+					}
+				}
+				if live {
+					break
+				}
+			}
+		}
+		if done && !live {
+			for s := 0; s < n; s++ {
+				q := Ref{Job: jobID, Seq: s}
+				delete(g.state, q)
+				delete(g.comp, q)
+			}
+			delete(g.gated, jobID)
+			delete(g.jobLen, jobID)
+			for key := range g.dpCache {
+				if key[0] == jobID || key[1] == jobID {
+					delete(g.dpCache, key)
+				}
+			}
+			continue
+		}
+		keep = append(keep, jobID)
+	}
+	g.jobSeq = keep
+}

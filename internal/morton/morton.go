@@ -1,0 +1,134 @@
+// Package morton implements the Morton (Z-order) space-filling curve used
+// by the Turbulence database to partition and index 3-D space.
+//
+// The database logically partitions space into cubes of side 2^k and lays
+// atoms out on disk in Morton order, so atoms that are close along the
+// curve are also near each other in voxel space. Both the clustered
+// B+-tree access path and JAWS's batch execution order (sub-queries within
+// a batch are evaluated in Morton order) depend on this package.
+//
+// Coordinates up to 21 bits per axis are supported, so codes fit in 63
+// bits of a uint64.
+package morton
+
+import "fmt"
+
+// MaxCoordBits is the number of bits supported per axis.
+const MaxCoordBits = 21
+
+// MaxCoord is the largest encodable per-axis coordinate.
+const MaxCoord = 1<<MaxCoordBits - 1
+
+// Code is a 3-D Morton code: the bit-interleaving of three coordinates.
+// Codes order atoms on disk and define the within-batch execution order.
+type Code uint64
+
+// Encode interleaves the bits of x, y, and z into a Morton code.
+// Each coordinate must be at most MaxCoord; larger values panic because a
+// silently truncated code would corrupt the spatial index.
+func Encode(x, y, z uint32) Code {
+	if x > MaxCoord || y > MaxCoord || z > MaxCoord {
+		panic(fmt.Sprintf("morton: coordinate out of range: (%d,%d,%d) > %d", x, y, z, MaxCoord))
+	}
+	return Code(spread(x) | spread(y)<<1 | spread(z)<<2)
+}
+
+// Decode recovers the three coordinates interleaved into c.
+func (c Code) Decode() (x, y, z uint32) {
+	return compact(uint64(c)), compact(uint64(c) >> 1), compact(uint64(c) >> 2)
+}
+
+// spread distributes the low 21 bits of v so that each bit lands at three
+// times its original position (the classic magic-number dilation).
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// compact is the inverse of spread: it collects every third bit of v.
+func compact(v uint64) uint32 {
+	x := v & 0x1249249249249249
+	x = (x | x>>2) & 0x10c30c30c30c30c3
+	x = (x | x>>4) & 0x100f00f00f00f00f
+	x = (x | x>>8) & 0x1f0000ff0000ff
+	x = (x | x>>16) & 0x1f00000000ffff
+	x = (x | x>>32) & 0x1fffff
+	return uint32(x)
+}
+
+// CubeRange returns the half-open Morton code interval [lo, hi) covered by
+// the axis-aligned cube of side 2^level whose minimum corner is (x, y, z).
+// The corner must be aligned to the cube size (a property of the
+// hierarchical index: space is partitioned into cubes of side 2^k). Because
+// the Morton curve visits every point of an aligned cube contiguously, the
+// cube maps to exactly one code interval — this is what makes range and
+// containment queries efficient with respect to I/O.
+func CubeRange(x, y, z uint32, level uint) (lo, hi Code) {
+	side := uint32(1) << level
+	if x%side != 0 || y%side != 0 || z%side != 0 {
+		panic(fmt.Sprintf("morton: cube corner (%d,%d,%d) not aligned to side %d", x, y, z, side))
+	}
+	lo = Encode(x, y, z)
+	hi = lo + Code(1)<<(3*level)
+	return lo, hi
+}
+
+// ContainingCube returns the minimum corner of the level-sized cube that
+// contains (x, y, z).
+func ContainingCube(x, y, z uint32, level uint) (cx, cy, cz uint32) {
+	mask := ^uint32(1<<level - 1)
+	return x & mask, y & mask, z & mask
+}
+
+// Parent returns the Morton code of the cube one level up that contains c:
+// codes within one parent cube share all but their low three bits.
+func (c Code) Parent() Code { return c >> 3 }
+
+// Neighbors returns the Morton codes of the up-to-26 face/edge/corner
+// neighbours of the unit cell c within a grid of side `side` cells per
+// axis. Cells outside the grid are omitted (the simulated field is
+// non-periodic at the index level; periodicity is handled by the geometry
+// layer). Interpolation kernels use this to find the nearby atoms a
+// stencil spills into.
+func (c Code) Neighbors(side uint32) []Code {
+	x, y, z := c.Decode()
+	out := make([]Code, 0, 26)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				nx, ny, nz := int64(x)+int64(dx), int64(y)+int64(dy), int64(z)+int64(dz)
+				if nx < 0 || ny < 0 || nz < 0 || nx >= int64(side) || ny >= int64(side) || nz >= int64(side) {
+					continue
+				}
+				out = append(out, Encode(uint32(nx), uint32(ny), uint32(nz)))
+			}
+		}
+	}
+	return out
+}
+
+// Dist2 returns the squared Euclidean distance between the cells encoded
+// by a and b. Used by tests to verify the locality-preserving property of
+// the curve and by pre-fetch heuristics to rank candidate atoms.
+func Dist2(a, b Code) uint64 {
+	ax, ay, az := a.Decode()
+	bx, by, bz := b.Decode()
+	dx := int64(ax) - int64(bx)
+	dy := int64(ay) - int64(by)
+	dz := int64(az) - int64(bz)
+	return uint64(dx*dx + dy*dy + dz*dz)
+}
+
+// String renders the code and its decoded coordinates for diagnostics.
+func (c Code) String() string {
+	x, y, z := c.Decode()
+	return fmt.Sprintf("morton(%d=%d,%d,%d)", uint64(c), x, y, z)
+}

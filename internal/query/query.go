@@ -1,0 +1,173 @@
+// Package query models Turbulence queries and the LifeRaft/JAWS
+// pre-processing stage (§III.B): each query supplies a list of positions
+// to evaluate at one time step with an interpolation kernel; the
+// pre-processor identifies the atom containing each position and splits
+// the query into per-atom sub-queries that can be executed in any order
+// and whose results combine into the original query's result.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jaws/internal/field"
+	"jaws/internal/geom"
+	"jaws/internal/morton"
+	"jaws/internal/store"
+)
+
+// ID uniquely identifies a query within one scheduler instance.
+type ID int64
+
+// Query is one request: evaluate Kernel at every position at time step
+// Step. Queries belonging to an ordered job carry their job's ID and their
+// sequence index within it.
+type Query struct {
+	ID     ID
+	Step   int
+	Points []geom.Position
+	Kernel field.Kernel
+
+	// JobID is zero for one-off queries.
+	JobID int64
+	// Seq is the query's position within its job (0-based).
+	Seq int
+	// User identifies the submitting scientist (used by the job
+	// identification heuristics and the workload generator).
+	User int
+
+	// Arrival is the virtual time the query entered the system. For
+	// ordered jobs beyond the first query this is set when the predecessor
+	// completes (plus think time).
+	Arrival time.Duration
+}
+
+// Validate checks the query is well formed.
+func (q *Query) Validate() error {
+	if len(q.Points) == 0 {
+		return fmt.Errorf("query %d: no positions", q.ID)
+	}
+	if q.Step < 0 {
+		return fmt.Errorf("query %d: negative time step %d", q.ID, q.Step)
+	}
+	return nil
+}
+
+// SubQuery is the unit of scheduling: the subset of a query's positions
+// that fall within a single atom, plus the footprint of neighbouring atoms
+// the kernel stencil may touch.
+type SubQuery struct {
+	Query *Query
+	// Atom is the primary atom (contains the positions).
+	Atom store.AtomID
+	// Points are the positions inside Atom, sorted in Morton order of
+	// their voxels so locations close in space are evaluated in close
+	// succession (§III.B).
+	Points []geom.Position
+	// Footprint lists additional atoms the interpolation stencils of
+	// these positions spill into (excluding Atom itself). The two-level
+	// scheduler co-schedules them to respect locality of reference.
+	Footprint []store.AtomID
+}
+
+// PreProcess splits q into sub-queries grouped by primary atom, in Morton
+// order of the atoms. It returns an error if the query is malformed.
+func PreProcess(q *Query, space geom.Space) ([]*SubQuery, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	radius := q.Kernel.StencilRadius()
+	groups := make(map[store.AtomID]*SubQuery)
+	for _, p := range q.Points {
+		fp := space.Footprint(p, radius)
+		primary := store.AtomID{Step: q.Step, Code: fp[0].Code()}
+		sq, ok := groups[primary]
+		if !ok {
+			sq = &SubQuery{Query: q, Atom: primary}
+			groups[primary] = sq
+		}
+		sq.Points = append(sq.Points, p)
+		for _, ac := range fp[1:] {
+			sq.addFootprint(store.AtomID{Step: q.Step, Code: ac.Code()})
+		}
+	}
+	out := make([]*SubQuery, 0, len(groups))
+	for _, sq := range groups {
+		sortMorton(space, sq.Points)
+		sort.Slice(sq.Footprint, func(i, j int) bool {
+			return sq.Footprint[i].Key() < sq.Footprint[j].Key()
+		})
+		out = append(out, sq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Atom.Key() < out[j].Atom.Key() })
+	return out, nil
+}
+
+func (sq *SubQuery) addFootprint(id store.AtomID) {
+	for _, existing := range sq.Footprint {
+		if existing == id {
+			return
+		}
+	}
+	sq.Footprint = append(sq.Footprint, id)
+}
+
+// sortMorton sorts positions by the Morton code of their voxel so that
+// points referencing the same region of an atom are evaluated together.
+func sortMorton(space geom.Space, pts []geom.Position) {
+	codes := make([]morton.Code, len(pts))
+	for i, p := range pts {
+		vx, vy, vz := space.VoxelOf(p)
+		codes[i] = morton.Encode(uint32(vx), uint32(vy), uint32(vz))
+	}
+	sort.Sort(&byCode{pts: pts, codes: codes})
+}
+
+type byCode struct {
+	pts   []geom.Position
+	codes []morton.Code
+}
+
+func (b *byCode) Len() int           { return len(b.pts) }
+func (b *byCode) Less(i, j int) bool { return b.codes[i] < b.codes[j] }
+func (b *byCode) Swap(i, j int) {
+	b.pts[i], b.pts[j] = b.pts[j], b.pts[i]
+	b.codes[i], b.codes[j] = b.codes[j], b.codes[i]
+}
+
+// Atoms returns the set of primary atoms accessed by query q — A(q) in the
+// paper's notation (§IV), the basis of the data-sharing test between
+// queries of different jobs.
+func Atoms(q *Query, space geom.Space) map[store.AtomID]bool {
+	out := make(map[store.AtomID]bool)
+	for _, p := range q.Points {
+		out[store.AtomID{Step: q.Step, Code: space.AtomOf(p).Code()}] = true
+	}
+	return out
+}
+
+// Shares reports whether queries a and b exhibit data sharing:
+// A(a) ∩ A(b) ≠ ∅.
+func Shares(a, b *Query, space geom.Space) bool {
+	aa := Atoms(a, space)
+	for _, p := range b.Points {
+		if aa[store.AtomID{Step: b.Step, Code: space.AtomOf(p).Code()}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the combined output of a completed query: one kernel value per
+// input position, in the original position order.
+type Result struct {
+	Query  *Query
+	Values [][field.Components]float64
+	// Completed is the virtual time the final sub-query finished.
+	Completed time.Duration
+}
+
+// ResponseTime is the paper's response-time measure: completion minus
+// arrival.
+func (r *Result) ResponseTime() time.Duration { return r.Completed - r.Query.Arrival }

@@ -1,0 +1,272 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"jaws/internal/metrics"
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// JAWSConfig parameterizes the JAWS scheduler.
+type JAWSConfig struct {
+	Cost CostModel
+	// BatchSize is k, the maximum number of atoms co-scheduled per time
+	// step (§V). The paper finds the optimum between 10 and 15 and uses
+	// k = 15 in the evaluation.
+	BatchSize int
+	// InitialAlpha seeds the age bias; the paper initializes α to 0.5.
+	InitialAlpha float64
+	// Adaptive enables the automated starvation-resistance controller of
+	// §V.A. When false, α stays at InitialAlpha.
+	Adaptive bool
+	// Resident reports cache residency for φ(i); may be nil.
+	Resident func(store.AtomID) bool
+	// NoMortonOrder disables the Morton-order execution of the selected
+	// batch (ablation): atoms run in descending-metric order instead, so
+	// the disk sees no sequential runs and stencil locality is broken.
+	NoMortonOrder bool
+}
+
+// JAWS is the two-level, adaptively starvation-resistant scheduler of §V.
+// At the coarse level it picks the time step with the highest mean aged
+// workload throughput; at the fine level it batches up to k above-mean
+// atoms of that step and executes them in Morton order.
+type JAWS struct {
+	q        *queues
+	k        int
+	ctrl     *alphaController
+	noMorton bool
+}
+
+// NewJAWS creates a JAWS scheduler.
+func NewJAWS(cfg JAWSConfig) *JAWS {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 15
+	}
+	alpha := cfg.InitialAlpha
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &JAWS{
+		q:        newQueues(cfg.Cost, cfg.Resident),
+		k:        cfg.BatchSize,
+		ctrl:     newAlphaController(alpha, cfg.Adaptive),
+		noMorton: cfg.NoMortonOrder,
+	}
+}
+
+// Name implements Scheduler.
+func (s *JAWS) Name() string { return "JAWS" }
+
+// Enqueue implements Scheduler.
+func (s *JAWS) Enqueue(sq *query.SubQuery, now time.Duration) { s.q.add(sq, now) }
+
+// NextBatch implements Scheduler. Two-level selection (Fig. 6): first the
+// time step with the highest mean aged workload throughput, then up to k
+// atoms of that step whose metric exceeds the step mean, sorted in Morton
+// order. If no atom strictly exceeds the mean (e.g. all queues equal),
+// the single best atom is scheduled so progress is always made.
+func (s *JAWS) NextBatch(now time.Duration) []Batch {
+	if len(s.q.byStep) == 0 {
+		return nil
+	}
+	alpha := s.ctrl.alpha
+
+	bestStep, bestMean := -1, 0.0
+	for step := range s.q.byStep {
+		mean := s.q.stepMeanUe(step, alpha, now)
+		if bestStep < 0 || mean > bestMean || (mean == bestMean && step < bestStep) {
+			bestStep, bestMean = step, mean
+		}
+	}
+
+	atoms := s.q.byStep[bestStep]
+	selected := make([]*atomQueue, 0, s.k)
+	var fallback *atomQueue
+	fallbackScore := 0.0
+	for _, aq := range atoms {
+		score := s.q.ue(aq, alpha, now)
+		if score > bestMean {
+			selected = append(selected, aq)
+		}
+		if fallback == nil || score > fallbackScore ||
+			(score == fallbackScore && aq.id.Key() < fallback.id.Key()) {
+			fallback, fallbackScore = aq, score
+		}
+	}
+	if len(selected) == 0 {
+		selected = append(selected, fallback)
+	}
+	// Keep the k most contentious of the above-mean atoms, then execute
+	// them in Morton order to amortize seeks.
+	if len(selected) > s.k {
+		sort.Slice(selected, func(i, j int) bool {
+			si, sj := s.q.ue(selected[i], alpha, now), s.q.ue(selected[j], alpha, now)
+			if si != sj {
+				return si > sj
+			}
+			return selected[i].id.Key() < selected[j].id.Key()
+		})
+		selected = selected[:s.k]
+	}
+	if s.noMorton {
+		// Ablation: metric order instead of Morton order.
+		sort.Slice(selected, func(i, j int) bool {
+			si, sj := s.q.ue(selected[i], alpha, now), s.q.ue(selected[j], alpha, now)
+			if si != sj {
+				return si > sj
+			}
+			return selected[i].id.Key() > selected[j].id.Key()
+		})
+	} else {
+		sort.Slice(selected, func(i, j int) bool {
+			return selected[i].id.Key() < selected[j].id.Key()
+		})
+	}
+	out := make([]Batch, len(selected))
+	for i, aq := range selected {
+		out[i] = s.q.take(aq.id)
+	}
+	return out
+}
+
+// Pending implements Scheduler.
+func (s *JAWS) Pending() int { return s.q.subs }
+
+// OnRunEnd implements Scheduler: feed the run's performance to the
+// adaptive α controller.
+func (s *JAWS) OnRunEnd(rt, tp float64) { s.ctrl.onRunEnd(rt, tp) }
+
+// Alpha implements Scheduler.
+func (s *JAWS) Alpha() float64 { return s.ctrl.alpha }
+
+// BatchSize returns k.
+func (s *JAWS) BatchSize() int { return s.k }
+
+// AtomUtility implements UtilityProvider.
+func (s *JAWS) AtomUtility(id store.AtomID) float64 {
+	if aq, ok := s.q.byAtom[id]; ok {
+		return s.q.ut(aq)
+	}
+	return 0
+}
+
+// StepMean implements UtilityProvider.
+func (s *JAWS) StepMean(step int) float64 { return s.q.stepMeanUt(step) }
+
+// PendingSteps implements UtilityProvider.
+func (s *JAWS) PendingSteps() []int {
+	out := make([]int, 0, len(s.q.byStep))
+	for step := range s.q.byStep {
+		out = append(out, step)
+	}
+	return out
+}
+
+var (
+	_ Scheduler       = (*JAWS)(nil)
+	_ UtilityProvider = (*JAWS)(nil)
+)
+
+// alphaController implements the adaptive starvation resistance of §V.A.
+// The workload is divided into runs of r consecutive queries (the engine
+// decides r and calls onRunEnd). Performance is smoothed with the paper's
+// EWMA (x' = 0.2·x + 0.8·x'); the age bias is then adjusted:
+//
+//	(1) saturation rising (rt ratio ≥ 1) and throughput not keeping up:
+//	    α decreases (bias toward contention) by min(Δ, α);
+//	(2) saturation falling (rt ratio < 1) and throughput fell faster:
+//	    α increases (bias toward age) by min(Δ, 1−α);
+//
+// where Δ = rt-ratio − tp-ratio. If two consecutive runs show no change,
+// the controller perturbs α to explore the trade-off curve rather than
+// staying stuck at a bad initial value.
+type alphaController struct {
+	alpha    float64
+	adaptive bool
+
+	rtE, tpE       *metrics.EWMA
+	prevRt, prevTp float64
+	havePrev       bool
+	flatRuns       int
+	exploreSign    float64
+
+	// History records α after each run for the Fig. 11 diagnostics.
+	History []float64
+}
+
+func newAlphaController(alpha float64, adaptive bool) *alphaController {
+	return &alphaController{
+		alpha:       alpha,
+		adaptive:    adaptive,
+		rtE:         metrics.NewEWMA(0.2),
+		tpE:         metrics.NewEWMA(0.2),
+		exploreSign: 1,
+	}
+}
+
+// flatTolerance bounds the relative change regarded as "no change" for
+// the exploration rule.
+const flatTolerance = 0.01
+
+// exploreStep is the α perturbation applied when the trade-off curve has
+// been flat for two consecutive runs.
+const exploreStep = 0.05
+
+func (c *alphaController) onRunEnd(rt, tp float64) {
+	if !c.adaptive {
+		return
+	}
+	srt := c.rtE.Observe(rt)
+	stp := c.tpE.Observe(tp)
+	defer func() { c.History = append(c.History, c.alpha) }()
+	if !c.havePrev {
+		c.prevRt, c.prevTp = srt, stp
+		c.havePrev = true
+		return
+	}
+	if c.prevRt <= 0 || c.prevTp <= 0 {
+		c.prevRt, c.prevTp = srt, stp
+		return
+	}
+	rtRatio := srt / c.prevRt
+	tpRatio := stp / c.prevTp
+	c.prevRt, c.prevTp = srt, stp
+
+	delta := rtRatio - tpRatio
+	switch {
+	case rtRatio >= 1 && tpRatio < rtRatio:
+		// Saturation rising without commensurate throughput: chase
+		// contention.
+		c.alpha -= math.Min(delta, c.alpha)
+		c.flatRuns = 0
+	case rtRatio < 1 && tpRatio < rtRatio:
+		// Saturation falling and throughput fell faster than response
+		// time improved: spend slack on latency.
+		c.alpha += math.Min(delta, 1-c.alpha)
+		c.flatRuns = 0
+	case math.Abs(rtRatio-1) < flatTolerance && math.Abs(tpRatio-1) < flatTolerance:
+		c.flatRuns++
+		if c.flatRuns >= 2 {
+			// Explore the performance curve: alternate the direction so a
+			// fruitless probe is undone on the next flat pair.
+			c.alpha += c.exploreSign * exploreStep
+			c.exploreSign = -c.exploreSign
+			c.flatRuns = 0
+		}
+	default:
+		c.flatRuns = 0
+	}
+	if c.alpha < 0 {
+		c.alpha = 0
+	}
+	if c.alpha > 1 {
+		c.alpha = 1
+	}
+}

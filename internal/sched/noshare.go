@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"time"
+
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// NoShare is the paper's baseline: each query is evaluated independently
+// and in arrival order (§VI). No sub-queries from different queries are
+// ever co-scheduled; the only I/O sharing is whatever the buffer cache
+// happens to provide across consecutive queries.
+type NoShare struct {
+	fifo    []*noShareQuery
+	byQuery map[query.ID]*noShareQuery
+	pending int
+}
+
+type noShareQuery struct {
+	id   query.ID
+	subs []*query.SubQuery // pre-processing emits these in Morton order
+}
+
+// NewNoShare creates the arrival-order scheduler.
+func NewNoShare() *NoShare {
+	return &NoShare{byQuery: make(map[query.ID]*noShareQuery)}
+}
+
+// Name implements Scheduler.
+func (s *NoShare) Name() string { return "NoShare" }
+
+// Enqueue implements Scheduler. Sub-queries of one query stay grouped;
+// queries are served strictly in the order their first sub-query arrived.
+func (s *NoShare) Enqueue(sq *query.SubQuery, now time.Duration) {
+	qs, ok := s.byQuery[sq.Query.ID]
+	if !ok {
+		qs = &noShareQuery{id: sq.Query.ID}
+		s.byQuery[sq.Query.ID] = qs
+		s.fifo = append(s.fifo, qs)
+	}
+	qs.subs = append(qs.subs, sq)
+	s.pending++
+}
+
+// NextBatch implements Scheduler: the whole next query, one batch per
+// atom, in the Morton order pre-processing produced.
+func (s *NoShare) NextBatch(time.Duration) []Batch {
+	if len(s.fifo) == 0 {
+		return nil
+	}
+	qs := s.fifo[0]
+	s.fifo = s.fifo[1:]
+	delete(s.byQuery, qs.id)
+	out := make([]Batch, len(qs.subs))
+	for i, sq := range qs.subs {
+		out[i] = Batch{Atom: sq.Atom, SubQueries: []*query.SubQuery{sq}}
+	}
+	s.pending -= len(qs.subs)
+	return out
+}
+
+// Pending implements Scheduler.
+func (s *NoShare) Pending() int { return s.pending }
+
+// OnRunEnd implements Scheduler (NoShare has nothing to adapt).
+func (s *NoShare) OnRunEnd(rt, tp float64) {}
+
+// Alpha implements Scheduler.
+func (s *NoShare) Alpha() float64 { return 0 }
+
+var _ Scheduler = (*NoShare)(nil)
+
+// LifeRaft is the data-driven batch scheduler of §III adapted to
+// Turbulence: one atom queue at a time, chosen by the aged workload
+// throughput metric U_e with a fixed, manually configured age bias α.
+// α = 0 is the contention-based throughput maximizer (LifeRaft_2 in the
+// evaluation); α = 1 schedules by queue age, i.e. near arrival order, but
+// still co-schedules sub-queries that reference the same atom
+// (LifeRaft_1).
+type LifeRaft struct {
+	q     *queues
+	alpha float64
+}
+
+// NewLifeRaft creates a LifeRaft scheduler. resident reports cache
+// residency for the φ(i) term and may be nil (always miss).
+func NewLifeRaft(cost CostModel, alpha float64, resident func(store.AtomID) bool) *LifeRaft {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &LifeRaft{q: newQueues(cost, resident), alpha: alpha}
+}
+
+// Name implements Scheduler.
+func (s *LifeRaft) Name() string { return "LifeRaft" }
+
+// Enqueue implements Scheduler.
+func (s *LifeRaft) Enqueue(sq *query.SubQuery, now time.Duration) { s.q.add(sq, now) }
+
+// NextBatch implements Scheduler: the single atom queue with the highest
+// aged workload throughput (LifeRaft schedules one atom at a time; the
+// two-level batching of k atoms is what JAWS adds).
+func (s *LifeRaft) NextBatch(now time.Duration) []Batch {
+	var best *atomQueue
+	bestScore := 0.0
+	for _, aq := range s.q.byAtom {
+		score := s.q.ue(aq, s.alpha, now)
+		if best == nil || score > bestScore || (score == bestScore && aq.id.Key() < best.id.Key()) {
+			best, bestScore = aq, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []Batch{s.q.take(best.id)}
+}
+
+// Pending implements Scheduler.
+func (s *LifeRaft) Pending() int { return s.q.subs }
+
+// OnRunEnd implements Scheduler (α is fixed in LifeRaft; adaptation is a
+// JAWS contribution).
+func (s *LifeRaft) OnRunEnd(rt, tp float64) {}
+
+// Alpha implements Scheduler.
+func (s *LifeRaft) Alpha() float64 { return s.alpha }
+
+// AtomUtility implements UtilityProvider.
+func (s *LifeRaft) AtomUtility(id store.AtomID) float64 {
+	if aq, ok := s.q.byAtom[id]; ok {
+		return s.q.ut(aq)
+	}
+	return 0
+}
+
+// StepMean implements UtilityProvider.
+func (s *LifeRaft) StepMean(step int) float64 { return s.q.stepMeanUt(step) }
+
+// PendingSteps implements UtilityProvider.
+func (s *LifeRaft) PendingSteps() []int {
+	out := make([]int, 0, len(s.q.byStep))
+	for step := range s.q.byStep {
+		out = append(out, step)
+	}
+	return out
+}
+
+var (
+	_ Scheduler       = (*LifeRaft)(nil)
+	_ UtilityProvider = (*LifeRaft)(nil)
+)

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// QoS implements the quality-of-service direction sketched in the paper's
+// discussion (§VII): "predictable and fair completion time guarantees
+// that are proportional to query size (e.g. short queries are delayed
+// less than long queries). We observe that even with real-time
+// constraints that bound the completion time of queries, there is still
+// elasticity in the workload that permits the reordering of queries to
+// exploit data sharing."
+//
+// Each query receives a deadline proportional to its estimated service
+// time: deadline = arrival + Stretch × (atoms·T_b + positions·T_m). The
+// scheduler exploits the elasticity before deadlines bind — it defers to
+// an inner JAWS instance for contention-ordered batching — but whenever a
+// pending sub-query's deadline falls within the look-ahead horizon, the
+// atoms those urgent sub-queries need are scheduled first, earliest
+// deadline first.
+type QoS struct {
+	inner *JAWS
+	cost  CostModel
+	// stretch is the proportionality factor between a query's isolated
+	// service-time estimate and its completion-time bound.
+	stretch float64
+	// horizon is how far ahead of a deadline the scheduler starts
+	// treating its sub-queries as urgent.
+	horizon time.Duration
+
+	deadlines map[query.ID]time.Duration
+	pendingBy map[store.AtomID]map[query.ID]bool
+	// pendingCnt counts how many atom queues still hold sub-queries of
+	// each query, so a deadline verdict is delivered exactly once, when
+	// the query's last atom is served.
+	pendingCnt map[query.ID]int
+
+	missed int
+	met    int
+}
+
+// NewQoS wraps a JAWS scheduler with proportional completion-time
+// guarantees. stretch ≤ 0 defaults to 8 (a query may take 8× its isolated
+// service time); horizon ≤ 0 defaults to 2 s of virtual time.
+func NewQoS(inner *JAWS, cost CostModel, stretch float64, horizon time.Duration) *QoS {
+	if stretch <= 0 {
+		stretch = 8
+	}
+	if horizon <= 0 {
+		horizon = 2 * time.Second
+	}
+	return &QoS{
+		inner:      inner,
+		cost:       cost,
+		stretch:    stretch,
+		horizon:    horizon,
+		deadlines:  make(map[query.ID]time.Duration),
+		pendingBy:  make(map[store.AtomID]map[query.ID]bool),
+		pendingCnt: make(map[query.ID]int),
+	}
+}
+
+// Name implements Scheduler.
+func (s *QoS) Name() string { return "JAWS+QoS" }
+
+// estimate returns the isolated service-time estimate of a query from its
+// first sub-query's shape: atoms × T_b plus positions × T_m. It is
+// intentionally the same back-of-envelope a deployment would compute at
+// admission time.
+func (s *QoS) estimate(sq *query.SubQuery) time.Duration {
+	atoms := 1 + len(sq.Footprint)
+	return time.Duration(atoms)*s.cost.Tb +
+		time.Duration(float64(len(sq.Query.Points))*sq.Query.Kernel.CostWeight())*s.cost.Tm
+}
+
+// Enqueue implements Scheduler.
+func (s *QoS) Enqueue(sq *query.SubQuery, now time.Duration) {
+	qid := sq.Query.ID
+	if _, ok := s.deadlines[qid]; !ok {
+		est := s.estimate(sq)
+		s.deadlines[qid] = sq.Query.Arrival + time.Duration(s.stretch*float64(est))
+	}
+	m := s.pendingBy[sq.Atom]
+	if m == nil {
+		m = make(map[query.ID]bool)
+		s.pendingBy[sq.Atom] = m
+	}
+	if !m[qid] {
+		m[qid] = true
+		s.pendingCnt[qid]++
+	}
+	s.inner.Enqueue(sq, now)
+}
+
+// NextBatch implements Scheduler: serve urgent atoms (whose pending
+// sub-queries have deadlines within the horizon) earliest-deadline-first;
+// otherwise fall through to contention-ordered JAWS batching.
+func (s *QoS) NextBatch(now time.Duration) []Batch {
+	type urgent struct {
+		atom     store.AtomID
+		deadline time.Duration
+	}
+	var urgents []urgent
+	for atom, qs := range s.pendingBy {
+		best := time.Duration(1<<62 - 1)
+		for qid := range qs {
+			if d := s.deadlines[qid]; d < best {
+				best = d
+			}
+		}
+		if best <= now+s.horizon {
+			urgents = append(urgents, urgent{atom: atom, deadline: best})
+		}
+	}
+	var batches []Batch
+	if len(urgents) > 0 {
+		sort.Slice(urgents, func(i, j int) bool {
+			if urgents[i].deadline != urgents[j].deadline {
+				return urgents[i].deadline < urgents[j].deadline
+			}
+			return urgents[i].atom.Key() < urgents[j].atom.Key()
+		})
+		// Take up to the inner batch size of urgent atoms, then execute in
+		// Morton order (the data-sharing elasticity the paper notes
+		// survives real-time constraints).
+		k := s.inner.BatchSize()
+		if len(urgents) > k {
+			urgents = urgents[:k]
+		}
+		sort.Slice(urgents, func(i, j int) bool { return urgents[i].atom.Key() < urgents[j].atom.Key() })
+		for _, u := range urgents {
+			batches = append(batches, s.inner.q.take(u.atom))
+		}
+	} else {
+		batches = s.inner.NextBatch(now)
+	}
+	// Bookkeeping: retire served sub-queries; the deadline verdict lands
+	// once, when a query's final atom is served.
+	for _, b := range batches {
+		for qid := range s.pendingBy[b.Atom] {
+			s.pendingCnt[qid]--
+			if s.pendingCnt[qid] > 0 {
+				continue
+			}
+			if now > s.deadlines[qid] {
+				s.missed++
+			} else {
+				s.met++
+			}
+			delete(s.deadlines, qid)
+			delete(s.pendingCnt, qid)
+		}
+		delete(s.pendingBy, b.Atom)
+	}
+	return batches
+}
+
+// Pending implements Scheduler.
+func (s *QoS) Pending() int { return s.inner.Pending() }
+
+// OnRunEnd implements Scheduler.
+func (s *QoS) OnRunEnd(rt, tp float64) { s.inner.OnRunEnd(rt, tp) }
+
+// Alpha implements Scheduler.
+func (s *QoS) Alpha() float64 { return s.inner.Alpha() }
+
+// DeadlineMisses reports how many queries had their final atom served
+// after their completion-time bound.
+func (s *QoS) DeadlineMisses() int { return s.missed }
+
+// DeadlinesMet reports how many queries finished within their bound.
+func (s *QoS) DeadlinesMet() int { return s.met }
+
+// AtomUtility implements UtilityProvider.
+func (s *QoS) AtomUtility(id store.AtomID) float64 { return s.inner.AtomUtility(id) }
+
+// StepMean implements UtilityProvider.
+func (s *QoS) StepMean(step int) float64 { return s.inner.StepMean(step) }
+
+// PendingSteps implements UtilityProvider.
+func (s *QoS) PendingSteps() []int { return s.inner.PendingSteps() }
+
+var (
+	_ Scheduler       = (*QoS)(nil)
+	_ UtilityProvider = (*QoS)(nil)
+)

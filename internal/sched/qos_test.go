@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"jaws/internal/query"
+)
+
+func newQoSForTest(stretch float64, horizon time.Duration) *QoS {
+	inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 4, InitialAlpha: 0})
+	return NewQoS(inner, testCost, stretch, horizon)
+}
+
+func TestQoSDefaults(t *testing.T) {
+	q := newQoSForTest(0, 0)
+	if q.stretch != 8 || q.horizon != 2*time.Second {
+		t.Fatalf("defaults: stretch=%g horizon=%v", q.stretch, q.horizon)
+	}
+	if q.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestQoSFallsThroughToJAWS(t *testing.T) {
+	// With every deadline far away, QoS must behave exactly like JAWS:
+	// pick the contended atom first.
+	q := newQoSForTest(1000, time.Millisecond)
+	q.Enqueue(subQueryAt(1, 0, 0, 0, 0, 5), 0)
+	q.Enqueue(subQueryAt(2, 0, 1, 0, 0, 800), 0)
+	q.Enqueue(subQueryAt(3, 0, 1, 0, 0, 800), 0)
+	batches := q.NextBatch(time.Millisecond)
+	if len(batches) == 0 {
+		t.Fatal("no batches")
+	}
+	found := false
+	for _, b := range batches {
+		for _, sq := range b.SubQueries {
+			if sq.Query.ID == 2 || sq.Query.ID == 3 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("contended atom not served in the contention regime")
+	}
+}
+
+func TestQoSServesUrgentFirst(t *testing.T) {
+	// A tiny old query with a tight deadline must preempt a huge
+	// contended queue once its deadline enters the horizon.
+	q := newQoSForTest(1, 500*time.Millisecond) // deadline ≈ arrival + service
+	small := subQueryAt(1, 0, 0, 0, 0, 2)
+	small.Query.Arrival = 0
+	q.Enqueue(small, 0)
+	big1 := subQueryAt(2, 0, 1, 0, 0, 5000)
+	big1.Query.Arrival = 10 * time.Second
+	q.Enqueue(big1, 10*time.Second)
+	big2 := subQueryAt(3, 0, 1, 0, 0, 5000)
+	big2.Query.Arrival = 10 * time.Second
+	q.Enqueue(big2, 10*time.Second)
+
+	batches := q.NextBatch(10 * time.Second)
+	if len(batches) == 0 {
+		t.Fatal("no batches")
+	}
+	if batches[0].SubQueries[0].Query.ID != 1 {
+		t.Fatalf("urgent query not served first: got query %d", batches[0].SubQueries[0].Query.ID)
+	}
+}
+
+func TestQoSCountsDeadlineMisses(t *testing.T) {
+	q := newQoSForTest(1, time.Millisecond)
+	sq := subQueryAt(1, 0, 0, 0, 0, 2)
+	sq.Query.Arrival = 0
+	q.Enqueue(sq, 0)
+	// Serve it absurdly late: the deadline (≈ tens of ms) is long gone.
+	q.NextBatch(time.Hour)
+	if q.DeadlineMisses() != 1 {
+		t.Fatalf("DeadlineMisses = %d, want 1", q.DeadlineMisses())
+	}
+}
+
+func TestQoSDrainsEverything(t *testing.T) {
+	q := newQoSForTest(4, 200*time.Millisecond)
+	total := 0
+	for step := 0; step < 2; step++ {
+		for i := uint32(0); i < 4; i++ {
+			sq := subQueryAt(query.ID(step*100+int(i)+1), step, i, 0, 0, 20+int(i)*30)
+			sq.Query.Arrival = time.Duration(i) * 10 * time.Millisecond
+			q.Enqueue(sq, sq.Query.Arrival)
+			total++
+		}
+	}
+	served := 0
+	now := time.Duration(0)
+	for rounds := 0; q.Pending() > 0; rounds++ {
+		for _, b := range q.NextBatch(now) {
+			served += len(b.SubQueries)
+		}
+		now += 100 * time.Millisecond
+		if rounds > 1000 {
+			t.Fatal("drain did not terminate")
+		}
+	}
+	if served != total {
+		t.Fatalf("served %d, want %d", served, total)
+	}
+}
+
+func TestQoSUtilityProvider(t *testing.T) {
+	q := newQoSForTest(8, time.Second)
+	sq := subQueryAt(1, 3, 0, 0, 0, 50)
+	q.Enqueue(sq, 0)
+	if q.AtomUtility(sq.Atom) <= 0 {
+		t.Fatal("no utility for pending atom")
+	}
+	if q.StepMean(3) <= 0 {
+		t.Fatal("no step mean")
+	}
+	if steps := q.PendingSteps(); len(steps) != 1 || steps[0] != 3 {
+		t.Fatalf("PendingSteps = %v", steps)
+	}
+	if q.Alpha() != 0 {
+		t.Fatalf("Alpha = %g", q.Alpha())
+	}
+	q.OnRunEnd(1, 1) // must not panic
+}

@@ -1,0 +1,208 @@
+// Package sched implements the query schedulers the paper evaluates:
+//
+//   - NoShare — every query evaluated independently, in arrival order;
+//   - LifeRaft — data-driven batch processing by the (aged) workload
+//     throughput metric of §III.C, with a fixed age bias α;
+//   - JAWS — LifeRaft extended with two-level scheduling (§V) and
+//     adaptive starvation resistance (§V.A). Job-aware gating (§IV) is
+//     layered on by the execution engine via the jobgraph package.
+//
+// A scheduler owns the per-atom workload queues: each pending sub-query
+// sits in the queue of its primary atom, and the scheduler picks which
+// atom queue(s) to drain next.
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// CostModel carries the constants of Eq. 1: T_b estimates the time to
+// read an atom from disk and T_m the computation cost of a single
+// position. Both are derived empirically (the engine measures T_b from
+// the disk model's parameters).
+type CostModel struct {
+	Tb time.Duration
+	Tm time.Duration
+}
+
+// Batch is one unit of execution handed to the engine: all pending
+// sub-queries of one atom, co-scheduled in a single pass over the data.
+type Batch struct {
+	Atom       store.AtomID
+	SubQueries []*query.SubQuery
+}
+
+// Positions returns the total number of positions in the batch.
+func (b *Batch) Positions() int {
+	n := 0
+	for _, sq := range b.SubQueries {
+		n += len(sq.Points)
+	}
+	return n
+}
+
+// Scheduler is the engine-facing interface all three algorithms satisfy.
+// Implementations are not safe for concurrent use; the engine serializes.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Enqueue admits one pre-processed sub-query at virtual time now.
+	Enqueue(sq *query.SubQuery, now time.Duration)
+	// NextBatch selects and removes the next batch(es) of work. It
+	// returns nil when no work is pending.
+	NextBatch(now time.Duration) []Batch
+	// Pending reports the number of queued sub-queries.
+	Pending() int
+	// OnRunEnd delivers the measured mean response time (seconds) and
+	// query throughput (queries/second) of the run that just ended;
+	// adaptive schedulers tune their age bias here.
+	OnRunEnd(rt, tp float64)
+	// Alpha reports the current age bias (diagnostic; 0 for NoShare).
+	Alpha() float64
+}
+
+// UtilityProvider is implemented by contention-based schedulers that can
+// expose their ranking for cache coordination (URC, §V.B).
+type UtilityProvider interface {
+	// AtomUtility returns the current workload-throughput metric of the
+	// atom (0 if it has no pending work).
+	AtomUtility(id store.AtomID) float64
+	// StepMean returns the mean workload throughput of the step's pending
+	// atoms (0 if the step has no pending work).
+	StepMean(step int) float64
+	// PendingSteps lists the steps with pending work.
+	PendingSteps() []int
+}
+
+// atomQueue is the workload queue of one atom: the union of the pending
+// W_j^i over all queries (§III.C).
+type atomQueue struct {
+	id        store.AtomID
+	subs      []*query.SubQuery
+	positions int
+	oldest    time.Duration // enqueue time of the oldest sub-query
+}
+
+// queues indexes the atom queues by atom and by time step.
+type queues struct {
+	byAtom   map[store.AtomID]*atomQueue
+	byStep   map[int]map[store.AtomID]*atomQueue
+	subs     int
+	resident func(store.AtomID) bool
+	cost     CostModel
+}
+
+func newQueues(cost CostModel, resident func(store.AtomID) bool) *queues {
+	if resident == nil {
+		resident = func(store.AtomID) bool { return false }
+	}
+	return &queues{
+		byAtom:   make(map[store.AtomID]*atomQueue),
+		byStep:   make(map[int]map[store.AtomID]*atomQueue),
+		resident: resident,
+		cost:     cost,
+	}
+}
+
+func (q *queues) add(sq *query.SubQuery, now time.Duration) {
+	aq, ok := q.byAtom[sq.Atom]
+	if !ok {
+		aq = &atomQueue{id: sq.Atom, oldest: now}
+		q.byAtom[sq.Atom] = aq
+		step := q.byStep[sq.Atom.Step]
+		if step == nil {
+			step = make(map[store.AtomID]*atomQueue)
+			q.byStep[sq.Atom.Step] = step
+		}
+		step[sq.Atom] = aq
+	}
+	aq.subs = append(aq.subs, sq)
+	aq.positions += len(sq.Points)
+	q.subs++
+}
+
+// take removes and returns the queue of atom id as a Batch.
+func (q *queues) take(id store.AtomID) Batch {
+	aq := q.byAtom[id]
+	delete(q.byAtom, id)
+	step := q.byStep[id.Step]
+	delete(step, id)
+	if len(step) == 0 {
+		delete(q.byStep, id.Step)
+	}
+	q.subs -= len(aq.subs)
+	return Batch{Atom: aq.id, SubQueries: aq.subs}
+}
+
+// ut computes the workload throughput metric of Eq. 1:
+//
+//	U_t(i) = ΣW / (T_b·φ(i) + T_m·ΣW)
+//
+// in positions per second, where φ(i) is 0 if the atom is resident in the
+// cache and 1 otherwise.
+func (q *queues) ut(aq *atomQueue) float64 {
+	w := float64(aq.positions)
+	phi := 1.0
+	if q.resident(aq.id) {
+		phi = 0
+	}
+	denom := q.cost.Tb.Seconds()*phi + q.cost.Tm.Seconds()*w
+	if denom <= 0 {
+		return 0
+	}
+	return w / denom
+}
+
+// ue computes the aged workload throughput metric of Eq. 2:
+//
+//	U_e(i) = U_t(i)·(1−α) + E(i)·α
+//
+// where E(i) is the queuing time of the oldest sub-query, in milliseconds
+// (the paper's unit).
+func (q *queues) ue(aq *atomQueue, alpha float64, now time.Duration) float64 {
+	ageMs := float64(now-aq.oldest) / float64(time.Millisecond)
+	return q.ut(aq)*(1-alpha) + ageMs*alpha
+}
+
+// sortedStepQueues returns the step's atom queues in Morton order.
+// Iterating the map directly would make floating-point sums depend on the
+// runtime's map order and turn whole simulations non-deterministic.
+func (q *queues) sortedStepQueues(step int) []*atomQueue {
+	atoms := q.byStep[step]
+	out := make([]*atomQueue, 0, len(atoms))
+	for _, aq := range atoms {
+		out = append(out, aq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Key() < out[j].id.Key() })
+	return out
+}
+
+// stepMeanUe returns the mean aged metric over the pending atoms of step.
+func (q *queues) stepMeanUe(step int, alpha float64, now time.Duration) float64 {
+	atoms := q.sortedStepQueues(step)
+	if len(atoms) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, aq := range atoms {
+		sum += q.ue(aq, alpha, now)
+	}
+	return sum / float64(len(atoms))
+}
+
+// stepMeanUt returns the mean un-aged metric over the pending atoms.
+func (q *queues) stepMeanUt(step int) float64 {
+	atoms := q.sortedStepQueues(step)
+	if len(atoms) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, aq := range atoms {
+		sum += q.ut(aq)
+	}
+	return sum / float64(len(atoms))
+}

@@ -1,0 +1,159 @@
+// Package store is the simulated Turbulence database on one node: a
+// clustered B+-tree access path, keyed on the combination of Morton index
+// and time step (§III.A), over atoms laid out on a simulated disk array in
+// Morton order within each time step.
+//
+// Reading an atom charges the disk model the nominal 8 MB transfer and
+// materializes the atom's samples from the deterministic synthetic field.
+// Caching is deliberately external (the paper manages its cache outside
+// SQL Server); the store itself always goes to "disk".
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"jaws/internal/btree"
+	"jaws/internal/disk"
+	"jaws/internal/field"
+	"jaws/internal/geom"
+	"jaws/internal/morton"
+)
+
+// AtomID identifies one storage block: a time step plus the Morton code of
+// the atom's grid coordinates. It is the unit of I/O and of scheduling.
+type AtomID struct {
+	Step int
+	Code morton.Code
+}
+
+// String renders the atom ID.
+func (id AtomID) String() string {
+	return fmt.Sprintf("t%d/%s", id.Step, geom.AtomFromCode(id.Code))
+}
+
+// Key packs the ID into the clustered index key: time step in the high
+// bits so a whole step is one contiguous key range (and one contiguous
+// disk extent), Morton code in the low bits for spatial order within it.
+func (id AtomID) Key() uint64 {
+	return uint64(id.Step)<<40 | uint64(id.Code)
+}
+
+// blockMeta is the indexed location of an atom on the simulated disk.
+type blockMeta struct {
+	addr int64
+	size int64
+}
+
+// Config parameterizes a store.
+type Config struct {
+	Space geom.Space
+	// Steps is the number of stored time steps (31 in the paper's 800 GB
+	// evaluation sample, 1024 in production).
+	Steps int
+	// SampleSide is the per-axis sample resolution atoms are materialized
+	// at in memory (the disk model still charges the nominal 8 MB).
+	SampleSide int
+	// SampleGhost is the replication halo in samples on each side of the
+	// atom (§III.A stores four voxels of replication); 0 disables.
+	SampleGhost int
+	// Seed drives the synthetic field.
+	Seed int64
+	// Disks is the stripe width; 0 means the paper's 4.
+	Disks int
+	// DiskParams override the default spindle model when non-zero.
+	DiskParams disk.Params
+}
+
+// Store is a single-node atom database.
+type Store struct {
+	cfg   Config
+	field *field.Field
+	array *disk.Array
+	index *btree.Tree[uint64, blockMeta]
+}
+
+// Open builds the store and its clustered index.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("store: need at least one time step, got %d", cfg.Steps)
+	}
+	if cfg.SampleSide <= 0 {
+		cfg.SampleSide = 8
+	}
+	if cfg.Disks <= 0 {
+		cfg.Disks = 4
+	}
+	if cfg.DiskParams.TransferRate == 0 {
+		cfg.DiskParams = disk.DefaultParams()
+	}
+	s := &Store{
+		cfg:   cfg,
+		field: field.New(cfg.Seed, 0, 0),
+		array: disk.NewArray(cfg.Disks, cfg.DiskParams),
+		index: btree.New[uint64, blockMeta](64, func(a, b uint64) bool { return a < b }),
+	}
+	// Lay atoms out in (step, Morton) order: because the atom grid side is
+	// a power of two, Morton codes are dense in [0, atomsPerStep), so the
+	// layout has no holes and Morton-adjacent atoms are disk-adjacent.
+	per := int64(cfg.Space.AtomsPerStep())
+	for step := 0; step < cfg.Steps; step++ {
+		for c := int64(0); c < per; c++ {
+			id := AtomID{Step: step, Code: morton.Code(c)}
+			addr := (int64(step)*per + c) * field.NominalAtomBytes
+			s.index.Put(id.Key(), blockMeta{addr: addr, size: field.NominalAtomBytes})
+		}
+	}
+	return s, nil
+}
+
+// Space returns the store's geometry.
+func (s *Store) Space() geom.Space { return s.cfg.Space }
+
+// Steps returns the number of stored time steps.
+func (s *Store) Steps() int { return s.cfg.Steps }
+
+// AtomsPerStep returns the number of atoms per time step.
+func (s *Store) AtomsPerStep() int { return s.cfg.Space.AtomsPerStep() }
+
+// Field exposes the underlying synthetic field (ground truth for tests and
+// for the example applications' correctness checks).
+func (s *Store) Field() *field.Field { return s.field }
+
+// Contains reports whether the atom exists in this store's partition.
+func (s *Store) Contains(id AtomID) bool {
+	_, ok := s.index.Get(id.Key())
+	return ok
+}
+
+// Read fetches an atom from "disk": it walks the clustered index, charges
+// the disk array for the transfer, and materializes the samples. The
+// returned duration is the simulated I/O cost to charge to the virtual
+// clock.
+func (s *Store) Read(id AtomID) (*field.Atom, time.Duration, error) {
+	meta, ok := s.index.Get(id.Key())
+	if !ok {
+		return nil, 0, fmt.Errorf("store: atom %v not in this partition", id)
+	}
+	cost := s.array.Read(meta.addr, meta.size)
+	a := s.field.SampleGhost(id.Step, s.cfg.Space, geom.AtomFromCode(id.Code), s.cfg.SampleSide, s.cfg.SampleGhost)
+	return a, cost, nil
+}
+
+// ScanStep calls fn for every atom of the given step in Morton order.
+func (s *Store) ScanStep(step int, fn func(id AtomID) bool) {
+	lo := AtomID{Step: step, Code: 0}.Key()
+	hi := AtomID{Step: step + 1, Code: 0}.Key()
+	s.index.Scan(lo, hi, func(k uint64, _ blockMeta) bool {
+		return fn(AtomID{Step: int(k >> 40), Code: morton.Code(k & (1<<40 - 1))})
+	})
+}
+
+// DiskStats returns a snapshot of the disk array's counters.
+func (s *Store) DiskStats() disk.Stats { return s.array.Snapshot() }
+
+// ResetDiskStats clears the disk counters between experiment phases.
+func (s *Store) ResetDiskStats() { s.array.ResetStats() }

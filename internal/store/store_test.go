@@ -1,0 +1,216 @@
+package store
+
+import (
+	"testing"
+
+	"jaws/internal/geom"
+	"jaws/internal/morton"
+)
+
+func testConfig() Config {
+	return Config{
+		Space:      geom.Space{GridSide: 128, AtomSide: 32}, // 4³ = 64 atoms/step
+		Steps:      4,
+		SampleSide: 4,
+		Seed:       1,
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	bad := testConfig()
+	bad.Steps = 0
+	if _, err := Open(bad); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	bad = testConfig()
+	bad.Space = geom.Space{GridSide: 100, AtomSide: 32}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("invalid space accepted")
+	}
+}
+
+func TestOpenDefaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.SampleSide = 0
+	cfg.Disks = 0
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := s.Read(AtomID{Step: 0, Code: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Side != 8 {
+		t.Fatalf("default sample side = %d, want 8", a.Side)
+	}
+}
+
+func TestReadKnownAtom(t *testing.T) {
+	s, err := Open(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := AtomID{Step: 2, Code: morton.Encode(1, 2, 3)}
+	a, cost, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil || len(a.Data) == 0 {
+		t.Fatal("empty atom data")
+	}
+	if cost <= 0 {
+		t.Fatalf("read cost = %v, want positive", cost)
+	}
+}
+
+func TestReadMissingAtom(t *testing.T) {
+	s, _ := Open(testConfig())
+	if _, _, err := s.Read(AtomID{Step: 99, Code: 0}); err == nil {
+		t.Fatal("read of missing step succeeded")
+	}
+	if _, _, err := s.Read(AtomID{Step: 0, Code: morton.Code(1 << 30)}); err == nil {
+		t.Fatal("read of out-of-grid atom succeeded")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s, _ := Open(testConfig())
+	if !s.Contains(AtomID{Step: 0, Code: 0}) {
+		t.Fatal("first atom missing")
+	}
+	if !s.Contains(AtomID{Step: 3, Code: morton.Code(63)}) {
+		t.Fatal("last atom missing")
+	}
+	if s.Contains(AtomID{Step: 4, Code: 0}) {
+		t.Fatal("phantom step present")
+	}
+	if s.Contains(AtomID{Step: 0, Code: morton.Code(64)}) {
+		t.Fatal("phantom atom present")
+	}
+}
+
+func TestReadDeterministic(t *testing.T) {
+	s1, _ := Open(testConfig())
+	s2, _ := Open(testConfig())
+	id := AtomID{Step: 1, Code: morton.Encode(2, 0, 1)}
+	a1, _, _ := s1.Read(id)
+	a2, _, _ := s2.Read(id)
+	for i := range a1.Data {
+		if a1.Data[i] != a2.Data[i] {
+			t.Fatalf("atom data not deterministic at %d", i)
+		}
+	}
+}
+
+func TestScanStepMortonOrder(t *testing.T) {
+	s, _ := Open(testConfig())
+	var ids []AtomID
+	s.ScanStep(1, func(id AtomID) bool { ids = append(ids, id); return true })
+	if len(ids) != 64 {
+		t.Fatalf("step scan returned %d atoms, want 64", len(ids))
+	}
+	for i, id := range ids {
+		if id.Step != 1 {
+			t.Fatalf("scan leaked step %d", id.Step)
+		}
+		if int(id.Code) != i {
+			t.Fatalf("scan out of Morton order at %d: code %d", i, id.Code)
+		}
+	}
+}
+
+func TestScanStepEarlyStop(t *testing.T) {
+	s, _ := Open(testConfig())
+	n := 0
+	s.ScanStep(0, func(AtomID) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestSequentialStepScanIsCheaper(t *testing.T) {
+	// Reading a whole step in Morton order should cost less than reading
+	// the same atoms in a scattered order, thanks to sequential-run
+	// detection in the disk model. This is the physical basis for
+	// Morton-sorted batch execution.
+	seq, _ := Open(testConfig())
+	var seqCost, scatterCost int64
+	for c := 0; c < 64; c++ {
+		_, d, err := seq.Read(AtomID{Step: 0, Code: morton.Code(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqCost += int64(d)
+	}
+	scatter, _ := Open(testConfig())
+	// Stride pattern that never continues a run.
+	for i := 0; i < 64; i++ {
+		c := (i * 37) % 64
+		_, d, err := scatter.Read(AtomID{Step: 0, Code: morton.Code(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scatterCost += int64(d)
+	}
+	if seqCost >= scatterCost {
+		t.Fatalf("Morton scan (%d) not cheaper than scattered (%d)", seqCost, scatterCost)
+	}
+}
+
+func TestDiskStats(t *testing.T) {
+	s, _ := Open(testConfig())
+	s.Read(AtomID{Step: 0, Code: 0})
+	s.Read(AtomID{Step: 0, Code: 1})
+	st := s.DiskStats()
+	if st.Reads != 2 {
+		t.Fatalf("Reads = %d, want 2", st.Reads)
+	}
+	s.ResetDiskStats()
+	if st := s.DiskStats(); st.Reads != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+}
+
+func TestAtomIDKeyOrdering(t *testing.T) {
+	// Keys must order by step first, then Morton code.
+	a := AtomID{Step: 1, Code: morton.Code(1000)}
+	b := AtomID{Step: 2, Code: 0}
+	if a.Key() >= b.Key() {
+		t.Fatal("key ordering broken across steps")
+	}
+	c := AtomID{Step: 1, Code: morton.Code(999)}
+	if c.Key() >= a.Key() {
+		t.Fatal("key ordering broken within step")
+	}
+}
+
+func TestAtomIDString(t *testing.T) {
+	if (AtomID{Step: 3, Code: morton.Encode(1, 2, 3)}).String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s, _ := Open(testConfig())
+	if s.Steps() != 4 {
+		t.Fatalf("Steps = %d", s.Steps())
+	}
+	if s.AtomsPerStep() != 64 {
+		t.Fatalf("AtomsPerStep = %d", s.AtomsPerStep())
+	}
+	if s.Field() == nil {
+		t.Fatal("nil field")
+	}
+	if s.Space() != (geom.Space{GridSide: 128, AtomSide: 32}) {
+		t.Fatalf("Space = %+v", s.Space())
+	}
+}
+
+func BenchmarkReadAtom(b *testing.B) {
+	s, _ := Open(testConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Read(AtomID{Step: i % 4, Code: morton.Code(i % 64)})
+	}
+}

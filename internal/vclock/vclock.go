@@ -1,0 +1,128 @@
+// Package vclock provides a virtual clock and a future-event list for
+// deterministic discrete-event simulation.
+//
+// All JAWS experiments run against a virtual clock rather than wall time so
+// that throughput and response-time measurements are reproducible and so
+// that a simulated 800 GB database can be exercised in milliseconds of real
+// time. The clock only moves forward; components charge costs to it by
+// calling Advance and schedule future work (query arrivals, gated releases)
+// through the EventList.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock. The zero value is a
+// clock at virtual time zero, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now returns the current virtual time as an offset from the simulation
+// start.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Advancing by a negative duration is a programming error and panics:
+// virtual time, like real time, never rewinds.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: cannot advance by negative duration %v", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t. If t is in the past the clock is
+// left unchanged; simulation components use this to fast-forward to the
+// next arrival when the system is idle.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero. Only tests and back-to-back experiment
+// runs should call this.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}
+
+// Event is an entry in the future-event list: an opaque payload that
+// becomes runnable at a virtual time.
+type Event struct {
+	At      time.Duration
+	Payload any
+
+	seq int // tie-break so equal-time events pop in push order
+}
+
+// EventList is a min-heap of future events ordered by virtual time.
+// It is not safe for concurrent use; the simulation loop owns it.
+type EventList struct {
+	h   eventHeap
+	seq int
+}
+
+// Push schedules payload to become runnable at virtual time at.
+func (l *EventList) Push(at time.Duration, payload any) {
+	l.seq++
+	heap.Push(&l.h, &Event{At: at, Payload: payload, seq: l.seq})
+}
+
+// Pop removes and returns the earliest event. It returns nil when empty.
+func (l *EventList) Pop() *Event {
+	if len(l.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&l.h).(*Event)
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (l *EventList) Peek() *Event {
+	if len(l.h) == 0 {
+		return nil
+	}
+	return l.h[0]
+}
+
+// Len reports the number of pending events.
+func (l *EventList) Len() int { return len(l.h) }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

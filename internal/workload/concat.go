@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"time"
+
+	"jaws/internal/job"
+	"jaws/internal/query"
+)
+
+// Concat splices workload phases into one trace: each part's arrivals are
+// shifted to begin `gap` after the previous part's last arrival, and job,
+// query, and user identities are renumbered so the phases cannot collide.
+// The experiments use it to build traces whose saturation changes midway
+// (a saturated burst, an idle lull, another burst), which is the regime
+// the §V.A adaptive age bias is designed for.
+func Concat(parts []*Workload, gap time.Duration) *Workload {
+	out := &Workload{}
+	var jobOffset int64
+	var queryOffset query.ID
+	userOffset := 0
+	shift := time.Duration(0)
+
+	for _, part := range parts {
+		var maxArrival time.Duration
+		var maxJob int64
+		var maxQuery query.ID
+		maxUser := 0
+		for _, j := range part.Jobs {
+			nj := &job.Job{
+				ID:        j.ID + jobOffset,
+				User:      j.User + userOffset,
+				Type:      j.Type,
+				ThinkTime: j.ThinkTime,
+			}
+			if j.ID > maxJob {
+				maxJob = j.ID
+			}
+			if j.User > maxUser {
+				maxUser = j.User
+			}
+			for _, q := range j.Queries {
+				nq := &query.Query{
+					ID:     q.ID + queryOffset,
+					JobID:  q.JobID + jobOffset,
+					Seq:    q.Seq,
+					Step:   q.Step,
+					Points: q.Points,
+					Kernel: q.Kernel,
+					User:   q.User,
+				}
+				if q.Arrival > 0 || q.Seq == 0 || j.Type == job.Batched {
+					nq.Arrival = q.Arrival + shift
+				}
+				if q.ID > maxQuery {
+					maxQuery = q.ID
+				}
+				if nq.Arrival > maxArrival {
+					maxArrival = nq.Arrival
+				}
+				nj.Queries = append(nj.Queries, nq)
+			}
+			out.Jobs = append(out.Jobs, nj)
+		}
+		for _, r := range part.Records {
+			nr := r
+			nr.QueryID += queryOffset
+			nr.TrueJobID += jobOffset
+			nr.User += userOffset
+			nr.Submitted += shift
+			out.Records = append(out.Records, nr)
+		}
+		if len(part.StepAccess) > len(out.StepAccess) {
+			grown := make([]int, len(part.StepAccess))
+			copy(grown, out.StepAccess)
+			out.StepAccess = grown
+		}
+		for s, c := range part.StepAccess {
+			out.StepAccess[s] += c
+		}
+		out.Durations = append(out.Durations, part.Durations...)
+
+		jobOffset += maxJob
+		queryOffset += maxQuery
+		userOffset += maxUser
+		shift = maxArrival + gap
+	}
+	return out
+}

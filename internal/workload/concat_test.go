@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"jaws/internal/query"
+)
+
+func TestConcatRenumbersAndShifts(t *testing.T) {
+	a := Generate(Config{Seed: 1, Jobs: 10, Steps: 4})
+	b := Generate(Config{Seed: 2, Jobs: 10, Steps: 4})
+	gap := 30 * time.Second
+	w := Concat([]*Workload{a, b}, gap)
+
+	if len(w.Jobs) != 20 {
+		t.Fatalf("jobs = %d", len(w.Jobs))
+	}
+	if w.TotalQueries() != a.TotalQueries()+b.TotalQueries() {
+		t.Fatal("queries lost in concat")
+	}
+	// IDs unique across phases.
+	seenJobs := map[int64]bool{}
+	seenQueries := map[query.ID]bool{}
+	for _, j := range w.Jobs {
+		if seenJobs[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		seenJobs[j.ID] = true
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range j.Queries {
+			if seenQueries[q.ID] {
+				t.Fatalf("duplicate query ID %d", q.ID)
+			}
+			seenQueries[q.ID] = true
+		}
+	}
+	// Phase 2 arrivals begin at least `gap` after phase 1's last arrival.
+	var lastA time.Duration
+	for _, j := range w.Jobs[:10] {
+		for _, q := range j.Queries {
+			if q.Arrival > lastA {
+				lastA = q.Arrival
+			}
+		}
+	}
+	firstB := w.Jobs[10].Queries[0].Arrival
+	if firstB < lastA+gap {
+		t.Fatalf("phase 2 starts at %v, want ≥ %v", firstB, lastA+gap)
+	}
+	// Records renumbered consistently.
+	if len(w.Records) != len(a.Records)+len(b.Records) {
+		t.Fatal("records lost")
+	}
+	for _, r := range w.Records {
+		if !seenQueries[r.QueryID] {
+			t.Fatalf("record references unknown query %d", r.QueryID)
+		}
+	}
+}
+
+func TestConcatSinglePartIdentity(t *testing.T) {
+	a := Generate(Config{Seed: 1, Jobs: 5, Steps: 4})
+	w := Concat([]*Workload{a}, time.Second)
+	if w.TotalQueries() != a.TotalQueries() || len(w.Jobs) != len(a.Jobs) {
+		t.Fatal("single-part concat changed the trace")
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	w := Concat(nil, time.Second)
+	if len(w.Jobs) != 0 {
+		t.Fatal("empty concat produced jobs")
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hammers the trace loader with arbitrary bytes: it must never
+// panic, and anything it accepts must be a structurally valid workload.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real trace (both encodings) and near-miss corruptions.
+	w := Generate(Config{Seed: 1, Jobs: 5, Steps: 4})
+	var plain, gz bytes.Buffer
+	if err := Save(&plain, w, false); err != nil {
+		f.Fatal(err)
+	}
+	if err := Save(&gz, w, true); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(gz.Bytes())
+	f.Add([]byte(`{"magic":"jaws-trace","version":1,"workload":{}}`))
+	f.Add([]byte(`{"magic":"jaws-trace"`))
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, j := range got.Jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("Load accepted invalid job: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzGenerate checks the generator never produces an invalid workload
+// for any parameter combination.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(4), uint8(20))
+	f.Add(int64(-5), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, jobs, steps, points uint8) {
+		cfg := Config{
+			Seed:           seed,
+			Jobs:           int(jobs%50) + 1,
+			Steps:          int(steps%16) + 1,
+			PointsPerQuery: int(points%40) + 1,
+		}
+		w := Generate(cfg)
+		if len(w.Jobs) != cfg.Jobs {
+			t.Fatalf("generated %d jobs, want %d", len(w.Jobs), cfg.Jobs)
+		}
+		for _, j := range w.Jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range j.Queries {
+				if q.Step < 0 || q.Step >= cfg.Steps {
+					t.Fatalf("step %d out of range [0,%d)", q.Step, cfg.Steps)
+				}
+			}
+		}
+		if len(w.Records) != w.TotalQueries() {
+			t.Fatal("records do not cover queries")
+		}
+		if !strings.Contains(Describe(w), "jobs") {
+			t.Fatal("Describe broken")
+		}
+	})
+}

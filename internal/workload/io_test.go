@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		w := Generate(smallConfig())
+		var buf bytes.Buffer
+		if err := Save(&buf, w, compress); err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if got.TotalQueries() != w.TotalQueries() || len(got.Jobs) != len(w.Jobs) {
+			t.Fatalf("compress=%v: trace shape changed: %d/%d jobs, %d/%d queries",
+				compress, len(got.Jobs), len(w.Jobs), got.TotalQueries(), w.TotalQueries())
+		}
+		// Spot-check deep equality of a query.
+		a := w.Jobs[3].Queries[0]
+		b := got.Jobs[3].Queries[0]
+		if a.ID != b.ID || a.Step != b.Step || len(a.Points) != len(b.Points) || a.Points[0] != b.Points[0] {
+			t.Fatalf("compress=%v: query contents changed", compress)
+		}
+		if len(got.Records) != len(w.Records) {
+			t.Fatalf("compress=%v: records lost", compress)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"magic":"other","version":1,"workload":{}}`)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"magic":"jaws-trace","version":99,"workload":{}}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"magic":"jaws-trace","version":1}`)); err == nil {
+		t.Fatal("missing body accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadValidatesJobs(t *testing.T) {
+	// A trace whose job structure is corrupt must be rejected.
+	in := `{"magic":"jaws-trace","version":1,"workload":{"Jobs":[{"ID":1,"User":1,"Type":1,"Queries":[]}],"Records":null,"StepAccess":null,"Durations":null}}`
+	if _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("corrupt job accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	w := Generate(smallConfig())
+	s := Describe(w)
+	if !strings.Contains(s, "jobs") || !strings.Contains(s, "queries") {
+		t.Fatalf("Describe = %q", s)
+	}
+	empty := &Workload{}
+	if !strings.Contains(Describe(empty), "empty") {
+		t.Fatal("empty trace not described")
+	}
+}
+
+func TestSaveLoadCompressedSmaller(t *testing.T) {
+	w := Generate(smallConfig())
+	var plain, gz bytes.Buffer
+	if err := Save(&plain, w, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&gz, w, true); err != nil {
+		t.Fatal(err)
+	}
+	if gz.Len() >= plain.Len() {
+		t.Fatalf("gzip trace (%d) not smaller than plain (%d)", gz.Len(), plain.Len())
+	}
+}

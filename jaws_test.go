@@ -1,0 +1,241 @@
+package jaws
+
+import (
+	"testing"
+	"time"
+)
+
+// smallConfig keeps façade tests fast: a tiny store and workload.
+func smallConfig(s Scheduler) Config {
+	return Config{
+		Space:      Space{GridSide: 128, AtomSide: 32},
+		Steps:      4,
+		SampleSide: 4,
+		Scheduler:  s,
+		BatchSize:  5,
+		CacheAtoms: 16,
+		Cost:       CostModel{Tb: 40 * time.Millisecond, Tm: 20 * time.Microsecond},
+	}
+}
+
+func smallWorkload(seed int64, jobs int) *Workload {
+	return GenerateWorkload(WorkloadConfig{
+		Seed:           seed,
+		Space:          Space{GridSide: 128, AtomSide: 32},
+		Steps:          4,
+		Jobs:           jobs,
+		PointsPerQuery: 20,
+		MeanJobGap:     200 * time.Millisecond,
+		ThinkTime:      10 * time.Millisecond,
+		QueryScale:     20,
+	})
+}
+
+func TestOpenDefaults(t *testing.T) {
+	sys, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Store().Steps() != 31 {
+		t.Fatalf("default steps = %d, want 31", sys.Store().Steps())
+	}
+}
+
+func TestOpenRejectsBadPolicy(t *testing.T) {
+	cfg := smallConfig(SchedJAWS2)
+	cfg.Policy = CachePolicy(99)
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestEndToEndAllSchedulers(t *testing.T) {
+	w := smallWorkload(5, 30)
+	total := w.TotalQueries()
+	for _, s := range []Scheduler{SchedNoShare, SchedLifeRaft1, SchedLifeRaft2, SchedJAWS1, SchedJAWS2} {
+		sys, err := Open(smallConfig(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		rep, err := sys.Run(smallWorkload(5, 30).Jobs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.Completed != total {
+			t.Fatalf("%v completed %d/%d", s, rep.Completed, total)
+		}
+		if rep.ThroughputQPS <= 0 || rep.MeanResponse <= 0 {
+			t.Fatalf("%v produced empty metrics: %+v", s, rep)
+		}
+	}
+}
+
+func TestJAWS2BeatsNoShareOnContendedTrace(t *testing.T) {
+	// The headline claim at small scale: shared scheduling outperforms
+	// independent evaluation under contention.
+	run := func(s Scheduler) float64 {
+		sys, err := Open(smallConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := smallWorkload(7, 60)
+		rep, err := sys.Run(w.Jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ThroughputQPS
+	}
+	noshare := run(SchedNoShare)
+	jaws2 := run(SchedJAWS2)
+	if jaws2 <= noshare {
+		t.Fatalf("JAWS2 (%.3f qps) did not beat NoShare (%.3f qps)", jaws2, noshare)
+	}
+}
+
+func TestAllCachePolicies(t *testing.T) {
+	for _, p := range []CachePolicy{PolicyLRUK, PolicySLRU, PolicyURC, PolicyLRU, PolicyFIFO, PolicyTwoQ} {
+		cfg := smallConfig(SchedJAWS1)
+		cfg.Policy = p
+		sys, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		w := smallWorkload(3, 20)
+		if _, err := sys.Run(w.Jobs); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		st := sys.CacheStats()
+		if st.Hits+st.Misses == 0 {
+			t.Fatalf("%v: cache never touched", p)
+		}
+	}
+}
+
+func TestJobIdentificationFacade(t *testing.T) {
+	w := smallWorkload(11, 50)
+	assignment := IdentifyJobs(w.Records)
+	if len(assignment) != len(w.Records) {
+		t.Fatalf("assignment covers %d of %d records", len(assignment), len(w.Records))
+	}
+	if acc := JobIdentificationAccuracy(w.Records, assignment); acc < 0.85 {
+		t.Fatalf("accuracy %.3f too low", acc)
+	}
+}
+
+func TestRunCluster(t *testing.T) {
+	cfg := ClusterConfig{Nodes: 4, Node: smallConfig(SchedJAWS1)}
+	w := smallWorkload(13, 20)
+	rep, err := RunCluster(cfg, w.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != w.TotalQueries() {
+		t.Fatalf("cluster completed %d/%d", rep.Completed, w.TotalQueries())
+	}
+	if rep.AggregateThroughput <= 0 {
+		t.Fatal("no aggregate throughput")
+	}
+}
+
+func TestComputeEndToEnd(t *testing.T) {
+	cfg := smallConfig(SchedJAWS2)
+	cfg.Compute = true
+	cfg.KeepResults = true
+	sys, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallWorkload(17, 5)
+	rep, err := sys.Run(w.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != rep.Completed {
+		t.Fatalf("results %d != completed %d", len(rep.Results), rep.Completed)
+	}
+	for _, r := range rep.Results {
+		if len(r.Positions) == 0 {
+			t.Fatal("query completed without computed positions")
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []Scheduler{SchedNoShare, SchedLifeRaft1, SchedLifeRaft2, SchedJAWS1, SchedJAWS2, Scheduler(42)} {
+		if s.String() == "" {
+			t.Fatal("empty scheduler name")
+		}
+	}
+	for _, p := range []CachePolicy{PolicyLRUK, PolicySLRU, PolicyURC, PolicyLRU, PolicyFIFO, PolicyTwoQ, CachePolicy(42)} {
+		if p.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+func TestDefaultEvaluationCost(t *testing.T) {
+	c := DefaultEvaluationCost()
+	if c.Tb <= 0 || c.Tm <= 0 {
+		t.Fatalf("bad default cost %+v", c)
+	}
+}
+
+func TestExtensionsEndToEnd(t *testing.T) {
+	// The §VII extensions — prefetch, declared jobs, QoS — must all run a
+	// workload to completion through the public API.
+	cfg := smallConfig(SchedJAWS2)
+	cfg.Prefetch = true
+	cfg.DeclareJobs = true
+	cfg.QoSStretch = 8
+	sys, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallWorkload(23, 25)
+	rep, err := sys.Run(w.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != w.TotalQueries() {
+		t.Fatalf("completed %d/%d", rep.Completed, w.TotalQueries())
+	}
+	if rep.Scheduler != "JAWS+QoS" {
+		t.Fatalf("scheduler = %q, want the QoS wrapper", rep.Scheduler)
+	}
+	if rep.PrefetchedAtoms == 0 {
+		t.Fatal("prefetch idle on an ordered-job workload")
+	}
+}
+
+func TestOpenSession(t *testing.T) {
+	sess, err := OpenSession(smallConfig(SchedJAWS2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := smallWorkload(29, 6)
+	for _, j := range w.Jobs {
+		if err := sess.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	timeout := time.After(20 * time.Second)
+	for got < w.TotalQueries() {
+		select {
+		case r := <-sess.Results():
+			if r == nil {
+				t.Fatal("stream closed early")
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("timed out with %d/%d results", got, w.TotalQueries())
+		}
+	}
+	rep := sess.Close()
+	if rep.Completed != w.TotalQueries() {
+		t.Fatalf("completed %d/%d", rep.Completed, w.TotalQueries())
+	}
+	if sess.Err() != nil {
+		t.Fatal(sess.Err())
+	}
+}
