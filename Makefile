@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test race race-obs bench-sched
+
+## check: everything CI should gate on.
+check: vet build test race-obs
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the full suite under the race detector (slow).
+race:
+	$(GO) test -race ./...
+
+## race-obs: race-check the packages with real concurrency — the obs
+## layer (atomic registry, locked tracer) and its concurrent users.
+race-obs:
+	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/
+
+## bench-sched: the scheduling benches used to bound instrumentation
+## overhead (compare against a pre-change baseline).
+bench-sched:
+	$(GO) test -run xxx -bench BenchmarkFig10Schedulers -benchtime 2x .

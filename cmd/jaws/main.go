@@ -37,6 +37,8 @@ func main() {
 		steps     = flag.Int("steps", 31, "stored time steps")
 		compute   = flag.Bool("compute", false, "evaluate interpolation kernels for real")
 		verbose   = flag.Bool("v", false, "print per-run adaptation history")
+		traceOut  = flag.String("trace-out", "", "write a JSONL decision trace to this file (read it with tracestat)")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry in Prometheus text format after the run")
 	)
 	flag.Parse()
 
@@ -92,6 +94,23 @@ func main() {
 	}
 	fmt.Printf("workload: %s\n", workload.Describe(w))
 
+	var o *jaws.Obs
+	var tracer *jaws.Tracer
+	if *traceOut != "" || *metrics {
+		o = &jaws.Obs{}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			tracer = jaws.NewTracer(0, f)
+			o.Trace = tracer
+		}
+		if *metrics {
+			o.Reg = jaws.NewRegistry()
+		}
+	}
+
 	sys, err := jaws.Open(jaws.Config{
 		Steps:        *steps,
 		Seed:         *seed,
@@ -103,6 +122,7 @@ func main() {
 		Policy:       pol,
 		CacheAtoms:   *cacheAt,
 		Compute:      *compute,
+		Obs:          o,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -139,6 +159,19 @@ func main() {
 		for i, r := range rep.Runs {
 			fmt.Printf("%3d  %7.1fs  %8.3fs  %9.3f  %.3f\n",
 				i, r.EndedAt.Seconds(), r.MeanRespSec, r.Throughput, r.Alpha)
+		}
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Printf("trace           %d events -> %s\n", tracer.Total(), *traceOut)
+	}
+	if *metrics {
+		fmt.Println()
+		if err := o.Reg.WriteText(os.Stdout); err != nil {
+			fatalf("metrics: %v", err)
 		}
 	}
 }

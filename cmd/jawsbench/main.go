@@ -24,6 +24,7 @@ import (
 
 	"jaws/internal/experiments"
 	"jaws/internal/metrics"
+	"jaws/internal/obs"
 )
 
 var asCSV bool
@@ -34,6 +35,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "override the number of jobs in the trace")
 	seed := flag.Int64("seed", 0, "override the workload/field seed")
 	format := flag.String("format", "text", "output format: text or csv")
+	traceOut := flag.String("trace-out", "", "write a JSONL decision trace of every experiment engine to this file")
+	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry after the experiments")
 	flag.Parse()
 
 	switch *format {
@@ -54,6 +57,21 @@ func main() {
 	}
 	if *seed != 0 {
 		scale.Seed = *seed
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" || *showMetrics {
+		o := &obs.Obs{}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fail(err)
+			tracer = obs.NewTracer(0, f)
+			o.Trace = tracer
+		}
+		if *showMetrics {
+			o.Reg = obs.NewRegistry()
+		}
+		scale.Obs = o
 	}
 
 	which := strings.ToLower(*exp)
@@ -164,6 +182,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jawsbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if tracer != nil {
+		fail(tracer.Close())
+		if !asCSV {
+			fmt.Printf("\ntrace: %d events -> %s\n", tracer.Total(), *traceOut)
+		}
+	}
+	if *showMetrics {
+		fmt.Println()
+		fail(scale.Obs.Reg.WriteText(os.Stdout))
 	}
 	if !asCSV {
 		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,277 @@
+// Command tracestat summarizes a JSONL decision trace written by
+// jaws -trace-out (or jawsbench -trace-out): the decision mix per
+// scheduler, batch-size statistics, cache hit ratio over virtual time,
+// the adaptive α trajectory, per-query gating waits, and the disk-read
+// profile.
+//
+// Usage:
+//
+//	jaws -sched jaws2 -jobs 200 -trace-out run.jsonl
+//	tracestat run.jsonl
+//	tracestat < run.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"jaws/internal/metrics"
+	"jaws/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+
+	events, err := parse(in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(events) == 0 {
+		fatalf("%s: no events", name)
+	}
+	fmt.Printf("trace: %s (%d events, %.1f virtual seconds)\n",
+		name, len(events), span(events).Seconds())
+
+	printKindMix(events)
+	printDecisions(events)
+	printCacheTimeline(events)
+	printAlphaTrajectory(events)
+	printGating(events)
+	printDisk(events)
+}
+
+// parse decodes one JSON event per line, skipping blank lines.
+func parse(r io.Reader) ([]obs.Event, error) {
+	var out []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// span returns the virtual time of the last event.
+func span(events []obs.Event) time.Duration {
+	var max time.Duration
+	for _, ev := range events {
+		if ev.T > max {
+			max = ev.T
+		}
+	}
+	return max
+}
+
+// printKindMix tabulates event counts by kind.
+func printKindMix(events []obs.Event) {
+	counts := make(map[obs.Kind]int)
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	order := []obs.Kind{
+		obs.KindDecision, obs.KindCacheHit, obs.KindCacheMiss,
+		obs.KindCacheEvict, obs.KindDiskRead, obs.KindEdgeAdmit,
+		obs.KindEdgeReject, obs.KindGateBlock, obs.KindGateAdmit,
+		obs.KindPrefetch, obs.KindAlpha,
+	}
+	tb := &metrics.Table{Header: []string{"kind", "events", "share"}}
+	for _, k := range order {
+		if counts[k] == 0 {
+			continue
+		}
+		tb.AddRow(string(k), fmt.Sprintf("%d", counts[k]),
+			fmt.Sprintf("%.1f%%", 100*float64(counts[k])/float64(len(events))))
+	}
+	fmt.Println("\n== event mix ==")
+	fmt.Print(tb.String())
+}
+
+// printDecisions summarizes the scheduling decisions per scheduler.
+func printDecisions(events []obs.Event) {
+	type agg struct {
+		atoms    int
+		k        metrics.Summary
+		ut, ue   metrics.Summary
+		lastSeen time.Duration
+	}
+	bySched := make(map[string]*agg)
+	var order []string
+	for _, ev := range events {
+		if ev.Kind != obs.KindDecision {
+			continue
+		}
+		a := bySched[ev.Sched]
+		if a == nil {
+			a = &agg{}
+			bySched[ev.Sched] = a
+			order = append(order, ev.Sched)
+		}
+		a.atoms++
+		a.k.Add(float64(ev.K))
+		a.ut.Add(ev.Ut)
+		a.ue.Add(ev.Ue)
+		a.lastSeen = ev.T
+	}
+	if len(order) == 0 {
+		return
+	}
+	tb := &metrics.Table{Header: []string{"scheduler", "atoms", "mean k", "mean U_t", "mean U_e"}}
+	for _, s := range order {
+		a := bySched[s]
+		tb.AddRow(s, fmt.Sprintf("%d", a.atoms),
+			fmt.Sprintf("%.1f", a.k.Mean()),
+			fmt.Sprintf("%.1f", a.ut.Mean()),
+			fmt.Sprintf("%.1f", a.ue.Mean()))
+	}
+	fmt.Println("\n== scheduling decisions ==")
+	fmt.Print(tb.String())
+}
+
+// printCacheTimeline buckets hits/misses over virtual time and charts the
+// hit ratio's evolution.
+func printCacheTimeline(events []obs.Event) {
+	var hits, misses int
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindCacheHit:
+			hits++
+		case obs.KindCacheMiss:
+			misses++
+		}
+	}
+	if hits+misses == 0 {
+		return
+	}
+	fmt.Println("\n== cache ==")
+	fmt.Printf("overall: %.1f%% hit (%d hits / %d misses)\n",
+		100*float64(hits)/float64(hits+misses), hits, misses)
+
+	const buckets = 20
+	total := span(events)
+	if total <= 0 {
+		return
+	}
+	var h, m [buckets]int
+	for _, ev := range events {
+		if ev.Kind != obs.KindCacheHit && ev.Kind != obs.KindCacheMiss {
+			continue
+		}
+		i := int(int64(ev.T) * buckets / int64(total+1))
+		if ev.Kind == obs.KindCacheHit {
+			h[i]++
+		} else {
+			m[i]++
+		}
+	}
+	s := metrics.Series{Label: "hit ratio % over virtual time"}
+	for i := 0; i < buckets; i++ {
+		if h[i]+m[i] == 0 {
+			continue
+		}
+		at := total.Seconds() * (float64(i) + 0.5) / buckets
+		s.Append(at, 100*float64(h[i])/float64(h[i]+m[i]))
+	}
+	if len(s.X) > 1 {
+		fmt.Print(metrics.LineChart([]metrics.Series{s}, 8))
+	}
+}
+
+// printAlphaTrajectory charts α over the adaptation runs.
+func printAlphaTrajectory(events []obs.Event) {
+	s := metrics.Series{Label: "α by adaptation run"}
+	for _, ev := range events {
+		if ev.Kind == obs.KindAlpha {
+			s.Append(float64(ev.Run), ev.Alpha)
+		}
+	}
+	if len(s.X) == 0 {
+		return
+	}
+	fmt.Println("\n== adaptive age bias ==")
+	fmt.Printf("runs: %d   final α: %.3f\n", len(s.X), s.Y[len(s.Y)-1])
+	if len(s.X) > 1 {
+		fmt.Print(metrics.LineChart([]metrics.Series{s}, 8))
+	}
+}
+
+// printGating summarizes per-query gating waits and edge decisions.
+func printGating(events []obs.Event) {
+	var wait metrics.Summary
+	var blocked, admitted, edgeAdmit, edgeReject int
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindGateBlock:
+			blocked++
+		case obs.KindGateAdmit:
+			admitted++
+			wait.Add(ev.Wait.Seconds())
+		case obs.KindEdgeAdmit:
+			edgeAdmit++
+		case obs.KindEdgeReject:
+			edgeReject++
+		}
+	}
+	if blocked+admitted+edgeAdmit+edgeReject == 0 {
+		return
+	}
+	fmt.Println("\n== job-aware gating ==")
+	fmt.Printf("edges: %d admitted, %d rejected\n", edgeAdmit, edgeReject)
+	fmt.Printf("queries blocked: %d, later admitted: %d\n", blocked, admitted)
+	if wait.N() > 0 {
+		fmt.Printf("gating wait: mean %.3fs  min %.3fs  max %.3fs\n",
+			wait.Mean(), wait.Min(), wait.Max())
+	}
+}
+
+// printDisk summarizes the read profile.
+func printDisk(events []obs.Event) {
+	var reads, seq int
+	var bytes int64
+	var cost metrics.Summary
+	for _, ev := range events {
+		if ev.Kind != obs.KindDiskRead {
+			continue
+		}
+		reads++
+		if ev.Seq {
+			seq++
+		}
+		bytes += ev.Bytes
+		cost.Add(ev.Cost.Seconds())
+	}
+	if reads == 0 {
+		return
+	}
+	fmt.Println("\n== disk ==")
+	fmt.Printf("reads: %d (%.1f%% sequential), %.2f GB, mean cost %.1f ms\n",
+		reads, 100*float64(seq)/float64(reads), float64(bytes)/1e9, cost.Mean()*1e3)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracestat: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -61,12 +61,14 @@ func main() {
 	// concurrent clients enter the same JAWS workload queues (where their
 	// I/O can be shared), and a demultiplexer routes streamed results
 	// back to the waiting handler.
+	reg := jaws.NewRegistry()
 	sess, err := jaws.OpenSession(jaws.Config{
 		Space:      nodeCfg.Space,
 		Steps:      nodeCfg.Steps,
 		Scheduler:  jaws.SchedJAWS1,
 		CacheAtoms: 32,
 		Compute:    true,
+		Obs:        &jaws.Obs{Reg: reg},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -137,6 +139,15 @@ func main() {
 		rw.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(rw).Encode(out)
 	})
+	// Prometheus-style scrape endpoint over the session's registry: the
+	// same counters a production deployment would alert on (decision rate,
+	// cache hit ratio, disk traffic) for free from the obs layer.
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WriteText(rw); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -179,5 +190,24 @@ func main() {
 		fmt.Printf("  u(%.2f, %.2f, %.2f) = (%+.4f, %+.4f, %+.4f), p = %+.4f\n",
 			v.Position.X, v.Position.Y, v.Position.Z,
 			v.Velocity[0], v.Velocity[1], v.Velocity[2], v.Pressure)
+	}
+
+	// Scrape the metrics endpoint, as a monitoring agent would.
+	mresp, err := client.Get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/metrics sample:\n")
+	for i, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if i >= 8 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", line)
 	}
 }

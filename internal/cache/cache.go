@@ -55,12 +55,21 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Observer receives per-atom cache events for tracing. Any hook may be
+// nil; hooks run synchronously on the accessing goroutine.
+type Observer struct {
+	Hit   func(id store.AtomID)
+	Miss  func(id store.AtomID)
+	Evict func(id store.AtomID)
+}
+
 // Cache is an atom cache with a pluggable replacement policy.
 type Cache struct {
 	capacity int
 	policy   Policy
 	entries  map[store.AtomID]any
 	stats    Stats
+	obs      Observer
 }
 
 // New creates a cache holding up to capacity atoms. capacity must be
@@ -79,6 +88,10 @@ func New(capacity int, policy Policy) *Cache {
 	}
 }
 
+// SetObserver installs (or, with the zero Observer, removes) the event
+// hooks. The cache serializes calls to the hooks with its own accesses.
+func (c *Cache) SetObserver(o Observer) { c.obs = o }
+
 // Get returns the cached value for id, if resident.
 func (c *Cache) Get(id store.AtomID) (any, bool) {
 	v, ok := c.entries[id]
@@ -87,8 +100,14 @@ func (c *Cache) Get(id store.AtomID) (any, bool) {
 		start := time.Now()
 		c.policy.OnHit(id)
 		c.stats.PolicyTime += time.Since(start)
+		if c.obs.Hit != nil {
+			c.obs.Hit(id)
+		}
 	} else {
 		c.stats.Misses++
+		if c.obs.Miss != nil {
+			c.obs.Miss(id)
+		}
 	}
 	return v, ok
 }
@@ -120,6 +139,9 @@ func (c *Cache) Put(id store.AtomID, v any) {
 		delete(c.entries, victim)
 		c.policy.OnEvict(victim)
 		c.stats.Evictions++
+		if c.obs.Evict != nil {
+			c.obs.Evict(victim)
+		}
 	}
 	c.entries[id] = v
 	c.policy.OnInsert(id)
@@ -163,6 +185,9 @@ func (c *Cache) Flush() {
 		delete(c.entries, id)
 		c.policy.OnEvict(id)
 		c.stats.Evictions++
+		if c.obs.Evict != nil {
+			c.obs.Evict(id)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"jaws/internal/cache"
 	"jaws/internal/engine"
 	"jaws/internal/job"
+	"jaws/internal/obs"
 	"jaws/internal/query"
 	"jaws/internal/sched"
 	"jaws/internal/store"
@@ -107,6 +108,10 @@ type Config struct {
 	RunLength int
 	// Strategy selects the atom→node mapping; default Contiguous.
 	Strategy Strategy
+	// Observe gives every node its own metrics registry and merges them
+	// into Report.Metrics. Per-node registries (not one shared) keep the
+	// nodes' goroutines from contending on the same counters.
+	Observe bool
 }
 
 // NodeReport pairs a node index with its engine report.
@@ -126,6 +131,9 @@ type Report struct {
 	MaxElapsed float64
 	// AggregateThroughput is completed / MaxElapsed.
 	AggregateThroughput float64
+	// Metrics is the cluster-wide metric aggregate (counters summed,
+	// histograms pooled across nodes); nil unless Config.Observe.
+	Metrics *obs.Registry
 }
 
 // Cluster is a set of simulated nodes behind a partitioner.
@@ -226,6 +234,7 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 	type result struct {
 		node int
 		rep  *engine.Report
+		reg  *obs.Registry
 		err  error
 	}
 	var wg sync.WaitGroup
@@ -244,6 +253,12 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 				return
 			}
 			ch := cache.New(c.cfg.CacheAtoms, c.cfg.NewPolicy())
+			var o *obs.Obs
+			var reg *obs.Registry
+			if c.cfg.Observe {
+				reg = obs.NewRegistry()
+				o = &obs.Obs{Reg: reg}
+			}
 			e, err := engine.New(engine.Config{
 				Store:     st,
 				Cache:     ch,
@@ -251,19 +266,23 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 				Cost:      c.cfg.Cost,
 				JobAware:  c.cfg.JobAware,
 				RunLength: c.cfg.RunLength,
+				Obs:       o,
 			})
 			if err != nil {
 				results <- result{node: n, err: err}
 				return
 			}
 			rep, err := e.Run(njobs)
-			results <- result{node: n, rep: rep, err: err}
+			results <- result{node: n, rep: rep, reg: reg, err: err}
 		}(n, njobs)
 	}
 	wg.Wait()
 	close(results)
 
 	rep := &Report{Completed: len(logical)}
+	if c.cfg.Observe {
+		rep.Metrics = obs.NewRegistry()
+	}
 	for r := range results {
 		if r.err != nil {
 			return nil, fmt.Errorf("cluster node %d: %w", r.node, r.err)
@@ -271,6 +290,9 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 		rep.PerNode = append(rep.PerNode, NodeReport{Node: r.node, Report: r.rep})
 		if s := r.rep.Elapsed.Seconds(); s > rep.MaxElapsed {
 			rep.MaxElapsed = s
+		}
+		if rep.Metrics != nil {
+			rep.Metrics.Merge(r.reg)
 		}
 	}
 	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Node < rep.PerNode[j].Node })

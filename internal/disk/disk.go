@@ -45,7 +45,8 @@ type Array struct {
 	n       int
 	lastEnd []int64 // per-spindle last byte address read, -1 = cold
 
-	stats Stats
+	stats    Stats
+	observer func(addr, size int64, seq bool, cost time.Duration)
 }
 
 // Stats accumulates I/O accounting for an Array.
@@ -86,7 +87,6 @@ func (a *Array) Read(addr int64, size int64) time.Duration {
 		return 0
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
 
 	// Which spindle owns the first stripe unit of this extent. Large atom
 	// reads span all spindles; we model the dominant spindle's seek and
@@ -94,10 +94,11 @@ func (a *Array) Read(addr int64, size int64) time.Duration {
 	spindle := int((addr / StripeUnit) % int64(a.n))
 
 	var seek time.Duration
-	if a.lastEnd[spindle] != addr {
-		seek = a.params.SeekTime + a.params.RotationalLatency
-	} else {
+	seq := a.lastEnd[spindle] == addr
+	if seq {
 		a.stats.SeqReads++
+	} else {
+		seek = a.params.SeekTime + a.params.RotationalLatency
 	}
 	a.lastEnd[spindle] = addr + size
 
@@ -109,7 +110,22 @@ func (a *Array) Read(addr int64, size int64) time.Duration {
 	a.stats.SeekTime += seek
 	a.stats.TransferDur += transfer
 	a.stats.BusyTime += seek + transfer
+	observer := a.observer
+	a.mu.Unlock()
+
+	if observer != nil {
+		observer(addr, size, seq, seek+transfer)
+	}
 	return seek + transfer
+}
+
+// SetObserver registers fn to be called after every read with the extent,
+// whether it continued a sequential run, and the charged virtual-time
+// cost. The hook runs outside the array lock; nil disables it.
+func (a *Array) SetObserver(fn func(addr, size int64, seq bool, cost time.Duration)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.observer = fn
 }
 
 // Snapshot returns a copy of the accumulated statistics.

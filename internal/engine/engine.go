@@ -25,6 +25,7 @@ import (
 	"jaws/internal/job"
 	"jaws/internal/jobgraph"
 	"jaws/internal/metrics"
+	"jaws/internal/obs"
 	"jaws/internal/prefetch"
 	"jaws/internal/query"
 	"jaws/internal/sched"
@@ -88,6 +89,10 @@ type Config struct {
 	// is bounded by the think time and charged to the disk statistics but
 	// not to the virtual clock.
 	Prefetch bool
+	// Obs enables decision tracing and metrics. Nil (the default) runs the
+	// engine uninstrumented: every instrumentation point reduces to one nil
+	// check (see the obs package's zero-overhead contract).
+	Obs *obs.Obs
 }
 
 // QueryResult is a completed query with its measured response time and
@@ -159,6 +164,8 @@ type Engine struct {
 	predictor  *prefetch.Predictor
 	prefetched int64
 
+	inst *instruments
+
 	completedRT []time.Duration
 	runCount    int
 	runStart    time.Duration
@@ -218,6 +225,11 @@ func New(cfg Config) (*Engine, error) {
 			return false
 		})
 	}
+	// Install (or, uninstrumented, clear) the observability hooks. The
+	// facade reuses store/cache/scheduler across engines, so this must run
+	// unconditionally to drop hooks a previous instrumented run left.
+	e.inst = newInstruments(cfg.Obs)
+	e.inst.install(e)
 	return e, nil
 }
 
@@ -359,6 +371,7 @@ func (e *Engine) admitArrived() bool {
 	admitted := false
 	for _, q := range e.arrived {
 		if !e.canDispatch(q) {
+			e.inst.noteBlocked(q, e.clock.Now())
 			kept = append(kept, q)
 			continue
 		}
@@ -407,6 +420,7 @@ func (e *Engine) dispatch(q *query.Query) {
 	}
 	e.states[q.ID] = st
 	now := e.clock.Now()
+	e.inst.noteDispatched(q, now)
 	for _, sq := range sqs {
 		e.cfg.Sched.Enqueue(sq, now)
 	}
@@ -418,6 +432,7 @@ func (e *Engine) dispatch(q *query.Query) {
 // up front in that order so Morton-adjacent atoms produce sequential disk
 // runs — the two effects the paper's two-level batching banks on.
 func (e *Engine) execute(batches []sched.Batch) {
+	e.inst.noteDecision(len(batches))
 	e.clock.Advance(e.cfg.DecisionOverhead)
 	atoms := make(map[store.AtomID]*field.Atom, len(batches))
 	for i := range batches {
@@ -551,6 +566,7 @@ func (e *Engine) complete(st *queryState, now time.Duration) {
 	rt := now - st.q.Arrival
 	e.completedRT = append(e.completedRT, rt)
 	e.report.Completed++
+	e.inst.noteCompleted(rt)
 	if st.result != nil {
 		st.result.Completed = now
 		e.report.Results = append(e.report.Results, st.result)
@@ -589,6 +605,7 @@ func (e *Engine) complete(st *queryState, now time.Duration) {
 			Alpha:       e.cfg.Sched.Alpha(),
 		})
 		e.cfg.Sched.OnRunEnd(e.runRT.Mean(), tp)
+		e.inst.noteRunEnd(now, len(e.report.Runs), e.cfg.Sched.Alpha(), e.runRT.Mean(), tp)
 		e.cfg.Cache.EndRun()
 		e.runCount = 0
 		e.runStart = now
@@ -617,6 +634,7 @@ func (e *Engine) pushUtilities() {
 	for _, id := range e.cfg.Cache.Keys() {
 		urc.SetAtomUtility(id, up.AtomUtility(id))
 	}
+	e.inst.noteUtilityPush()
 }
 
 // prefetchFor observes the just-completed query and fetches the predicted
@@ -646,6 +664,7 @@ func (e *Engine) prefetchFor(j *job.Job, q *query.Query) {
 		}
 		e.cfg.Cache.Put(id, a)
 		e.prefetched++
+		e.inst.notePrefetch(e.clock.Now(), j.ID, id, cost)
 		budget -= cost
 	}
 }

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"time"
+
+	"jaws/internal/cache"
+	"jaws/internal/jobgraph"
+	"jaws/internal/obs"
+	"jaws/internal/query"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// responseBounds buckets query response times (seconds) from the
+// interactive regime the paper targets up to heavily saturated runs.
+var responseBounds = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+// decisionBounds buckets the per-decision batch size k; the paper finds
+// the optimum between 10 and 15.
+var decisionBounds = []float64{1, 2, 5, 10, 15, 20, 30, 50}
+
+// waitBounds buckets gating wait (seconds).
+var waitBounds = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 300, 600}
+
+// instruments pre-resolves every metric the engine updates so hot paths
+// pay one pointer dereference, not a registry lookup. A nil *instruments
+// (observability not configured) is valid: all methods no-op, and the
+// obs package's own nil-receiver contract covers the individual metrics.
+type instruments struct {
+	trace *obs.Tracer
+
+	decisions     *obs.Counter   // scheduling decisions submitted
+	decisionAtoms *obs.Histogram // batch size k per decision
+	batchAtoms    *obs.Counter   // atoms executed in decisions
+	completed     *obs.Counter   // queries completed
+	response      *obs.Histogram // per-query response time (s)
+	runs          *obs.Counter   // adaptation runs ended
+	alphaGauge    *obs.Gauge     // current age bias α
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+
+	diskReads    *obs.Counter
+	diskSeqReads *obs.Counter
+	diskBytes    *obs.Counter
+
+	prefetchAtoms *obs.Counter
+
+	gateBlocked   *obs.Counter
+	gateWait      *obs.Histogram // gating delay per admitted query (s)
+	edgesAdmitted *obs.Counter
+	edgesRejected *obs.Counter
+
+	utilityPushes *obs.Counter
+
+	// blockedAt records the virtual time gating first held each query
+	// back, so the eventual admission can carry the accumulated wait.
+	blockedAt map[query.ID]time.Duration
+}
+
+// newInstruments resolves the engine's metrics against o's registry and
+// captures its tracer. Returns nil when o carries neither, so the
+// uninstrumented engine holds a single nil pointer.
+func newInstruments(o *obs.Obs) *instruments {
+	if o == nil || (o.Trace == nil && o.Reg == nil) {
+		return nil
+	}
+	reg := o.Registry()
+	return &instruments{
+		trace:          o.Tracer(),
+		decisions:      reg.Counter("jaws_decisions_total"),
+		decisionAtoms:  reg.Histogram("jaws_decision_atoms", decisionBounds...),
+		batchAtoms:     reg.Counter("jaws_batch_atoms_total"),
+		completed:      reg.Counter("jaws_queries_completed_total"),
+		response:       reg.Histogram("jaws_response_seconds", responseBounds...),
+		runs:           reg.Counter("jaws_runs_total"),
+		alphaGauge:     reg.Gauge("jaws_alpha"),
+		cacheHits:      reg.Counter("jaws_cache_hits_total"),
+		cacheMisses:    reg.Counter("jaws_cache_misses_total"),
+		cacheEvictions: reg.Counter("jaws_cache_evictions_total"),
+		diskReads:      reg.Counter("jaws_disk_reads_total"),
+		diskSeqReads:   reg.Counter("jaws_disk_seq_reads_total"),
+		diskBytes:      reg.Counter("jaws_disk_bytes_total"),
+		prefetchAtoms:  reg.Counter("jaws_prefetch_atoms_total"),
+		gateBlocked:    reg.Counter("jaws_gate_blocked_total"),
+		gateWait:       reg.Histogram("jaws_gate_wait_seconds", waitBounds...),
+		edgesAdmitted:  reg.Counter("jaws_gate_edges_admitted_total"),
+		edgesRejected:  reg.Counter("jaws_gate_edges_rejected_total"),
+		utilityPushes:  reg.Counter("jaws_utility_pushes_total"),
+		blockedAt:      make(map[query.ID]time.Duration),
+	}
+}
+
+// install wires the observability hooks into the engine's components.
+// It runs unconditionally from New — with a nil receiver it clears any
+// hooks a previous engine left on the shared store/cache/scheduler (the
+// facade reuses them across runs), so a later uninstrumented run never
+// emits into a dead tracer.
+func (in *instruments) install(e *Engine) {
+	if in == nil {
+		e.cfg.Cache.SetObserver(cache.Observer{})
+		e.cfg.Store.SetIOObserver(nil)
+		if tr, ok := e.cfg.Sched.(sched.Traced); ok {
+			tr.SetTracer(nil)
+		}
+		if e.graph != nil {
+			e.graph.SetObserver(nil)
+		}
+		return
+	}
+	e.cfg.Cache.SetObserver(cache.Observer{
+		Hit: func(id store.AtomID) {
+			in.cacheHits.Inc()
+			in.trace.CacheHit(e.clock.Now(), id.Step, uint64(id.Code))
+		},
+		Miss: func(id store.AtomID) {
+			in.cacheMisses.Inc()
+			in.trace.CacheMiss(e.clock.Now(), id.Step, uint64(id.Code))
+		},
+		Evict: func(id store.AtomID) {
+			in.cacheEvictions.Inc()
+			in.trace.CacheEvict(e.clock.Now(), id.Step, uint64(id.Code))
+		},
+	})
+	e.cfg.Store.SetIOObserver(func(addr, size int64, seq bool, cost time.Duration) {
+		in.diskReads.Inc()
+		if seq {
+			in.diskSeqReads.Inc()
+		}
+		in.diskBytes.Add(size)
+		in.trace.DiskRead(e.clock.Now(), addr, size, seq, cost)
+	})
+	if tr, ok := e.cfg.Sched.(sched.Traced); ok {
+		tr.SetTracer(in.trace)
+	}
+	if e.graph != nil {
+		e.graph.SetObserver(func(admitted bool, u, v jobgraph.Ref) {
+			if admitted {
+				in.edgesAdmitted.Inc()
+			} else {
+				in.edgesRejected.Inc()
+			}
+			in.trace.GateEdge(e.clock.Now(), admitted, u.Job, u.Seq, v.Job, v.Seq)
+		})
+	}
+}
+
+// noteDecision records one scheduler decision of len(batches) atoms.
+func (in *instruments) noteDecision(batches int) {
+	if in == nil {
+		return
+	}
+	in.decisions.Inc()
+	in.decisionAtoms.Observe(float64(batches))
+	in.batchAtoms.Add(int64(batches))
+}
+
+// noteCompleted records a finished query's response time.
+func (in *instruments) noteCompleted(rt time.Duration) {
+	if in == nil {
+		return
+	}
+	in.completed.Inc()
+	in.response.Observe(rt.Seconds())
+}
+
+// noteRunEnd records an adaptation-run boundary and the α the scheduler
+// settled on after seeing the run's performance.
+func (in *instruments) noteRunEnd(now time.Duration, run int, alpha, rt, tp float64) {
+	if in == nil {
+		return
+	}
+	in.runs.Inc()
+	in.alphaGauge.Set(alpha)
+	in.trace.Alpha(now, run, alpha, rt, tp)
+}
+
+// noteBlocked records that gating held q back, once per query.
+func (in *instruments) noteBlocked(q *query.Query, now time.Duration) {
+	if in == nil {
+		return
+	}
+	if _, ok := in.blockedAt[q.ID]; ok {
+		return
+	}
+	in.blockedAt[q.ID] = now
+	in.gateBlocked.Inc()
+	in.trace.GateBlock(now, int64(q.ID), q.JobID, q.Seq)
+}
+
+// noteDispatched records a query entering the workload queues; queries
+// gating previously held back carry their accumulated wait.
+func (in *instruments) noteDispatched(q *query.Query, now time.Duration) {
+	if in == nil {
+		return
+	}
+	blocked, ok := in.blockedAt[q.ID]
+	if !ok {
+		return
+	}
+	delete(in.blockedAt, q.ID)
+	wait := now - blocked
+	in.gateWait.Observe(wait.Seconds())
+	in.trace.GateAdmit(now, int64(q.ID), q.JobID, q.Seq, wait)
+}
+
+// notePrefetch records one atom loaded by trajectory prefetching.
+func (in *instruments) notePrefetch(now time.Duration, job int64, id store.AtomID, cost time.Duration) {
+	if in == nil {
+		return
+	}
+	in.prefetchAtoms.Inc()
+	in.trace.Prefetch(now, job, id.Step, uint64(id.Code), cost)
+}
+
+// noteUtilityPush records one URC coordination pass.
+func (in *instruments) noteUtilityPush() {
+	if in == nil {
+		return
+	}
+	in.utilityPushes.Inc()
+}

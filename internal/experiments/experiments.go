@@ -18,6 +18,7 @@ import (
 	"jaws/internal/geom"
 	"jaws/internal/job"
 	"jaws/internal/metrics"
+	"jaws/internal/obs"
 	"jaws/internal/sched"
 	"jaws/internal/store"
 	"jaws/internal/workload"
@@ -38,6 +39,9 @@ type Scale struct {
 	BatchSize      int
 	RunLength      int
 	Cost           sched.CostModel
+	// Obs, when non-nil, instruments every engine the suite builds
+	// (jawsbench threads its -trace-out/-metrics flags through here).
+	Obs *obs.Obs
 }
 
 // DefaultScale is the evaluation scale used by jawsbench and the benches:
@@ -167,6 +171,7 @@ func runOne(s Scale, alg Algorithm, policy func(capacity int) cache.Policy, jobs
 		Cost:      s.Cost,
 		JobAware:  alg == AlgJAWS2,
 		RunLength: s.RunLength,
+		Obs:       s.Obs,
 		// NoShare shares no I/O across queries (§VI): the cache is
 		// flushed after every query, as in the paper's methodology.
 		FlushPerDecision: alg == AlgNoShare,

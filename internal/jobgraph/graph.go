@@ -70,6 +70,11 @@ type Graph struct {
 
 	// stats
 	admitted, rejected int
+
+	// obs, when set, is called with the outcome of every gating-edge
+	// admission attempt (tracing; the graph carries no virtual clock, so
+	// the observer stamps events itself).
+	obs func(admitted bool, u, v Ref)
 }
 
 // New creates an empty graph. shares reports whether two queries (from
@@ -97,6 +102,10 @@ func newGraph(shares func(a, b Ref) bool, byArrival bool) *Graph {
 	g.mergeByArrival = byArrival
 	return g
 }
+
+// SetObserver registers fn to be notified of every gating-edge admission
+// decision (admitted or refused) between queries u and v. nil disables.
+func (g *Graph) SetObserver(fn func(admitted bool, u, v Ref)) { g.obs = fn }
 
 // Jobs returns the number of registered jobs.
 func (g *Graph) Jobs() int { return len(g.jobLen) }
@@ -260,8 +269,7 @@ func (g *Graph) admitEdge(u, v Ref) bool {
 	}
 	for _, m := range mv {
 		if _, clash := jobs[m.Job]; clash {
-			g.rejected++
-			return false
+			return g.rejectEdge(u, v)
 		}
 		jobs[m.Job] = m.Seq
 	}
@@ -274,8 +282,7 @@ func (g *Graph) admitEdge(u, v Ref) bool {
 	for _, a := range mu {
 		for _, b := range mv {
 			if g.wouldCross(a, b) {
-				g.rejected++
-				return false
+				return g.rejectEdge(u, v)
 			}
 		}
 	}
@@ -302,26 +309,22 @@ func (g *Graph) admitEdge(u, v Ref) bool {
 	switch {
 	case cu != nil && cv != nil:
 		if cu.level != cv.level {
-			g.rejected++
-			return false
+			return g.rejectEdge(u, v)
 		}
 		level = cu.level
 	case cu != nil:
 		if cu.level < lower {
-			g.rejected++
-			return false
+			return g.rejectEdge(u, v)
 		}
 		level = cu.level
 	case cv != nil:
 		if cv.level < lower {
-			g.rejected++
-			return false
+			return g.rejectEdge(u, v)
 		}
 		level = cv.level
 	}
 	if level >= upper {
-		g.rejected++
-		return false
+		return g.rejectEdge(u, v)
 	}
 
 	// Admit: union into one component at the agreed level.
@@ -339,7 +342,19 @@ func (g *Graph) admitEdge(u, v Ref) bool {
 		g.comp[m] = merged
 	}
 	g.admitted++
+	if g.obs != nil {
+		g.obs(true, u, v)
+	}
 	return true
+}
+
+// rejectEdge counts and reports one refused gating edge.
+func (g *Graph) rejectEdge(u, v Ref) bool {
+	g.rejected++
+	if g.obs != nil {
+		g.obs(false, u, v)
+	}
+	return false
 }
 
 // wouldCross reports whether co-scheduling a with b would cross an

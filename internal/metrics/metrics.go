@@ -33,6 +33,28 @@ func (s *Summary) Add(v float64) {
 	s.sumSq += v * v
 }
 
+// Merge folds another summary into s, as if s had also seen every
+// observation o saw. The cluster report uses this to pool per-node
+// response-time summaries.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+}
+
 // N returns the observation count.
 func (s *Summary) N() int64 { return s.n }
 
@@ -155,6 +177,11 @@ func (h *Histogram) Percentile(frac float64) time.Duration {
 			if i < len(h.Bounds) {
 				return h.Bounds[i]
 			}
+			if len(h.Bounds) == 0 {
+				// A bound-less histogram has only the open bucket and no
+				// edge to extrapolate from.
+				return 0
+			}
 			return h.Bounds[len(h.Bounds)-1] * 2 // open bucket: report beyond the edge
 		}
 	}
@@ -191,7 +218,12 @@ func (t *Table) String() string {
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			// Rows may be ragged: wider rows grow the width table so the
+			// extra columns still render instead of indexing out of range.
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

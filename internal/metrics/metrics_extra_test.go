@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Regression: Percentile on a histogram built with no bounds (only the
+// open bucket) used to index Bounds[-1] and panic.
+func TestHistogramPercentileNoBounds(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Percentile(0.5); got != 0 {
+		t.Fatalf("empty no-bounds histogram Percentile = %v, want 0", got)
+	}
+	h.Add(5)
+	h.Add(7)
+	if got := h.Percentile(0.95); got != 0 {
+		t.Fatalf("no-bounds histogram Percentile = %v, want 0", got)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", h.Total())
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	b.Add(3)
+	b.Add(5)
+
+	merged := a
+	merged.Merge(b)
+	if merged.N() != 2 || merged.Mean() != 4 || merged.Min() != 3 || merged.Max() != 5 {
+		t.Fatalf("empty.Merge(b) = n=%d mean=%g min=%g max=%g", merged.N(), merged.Mean(), merged.Min(), merged.Max())
+	}
+
+	merged = b
+	merged.Merge(Summary{})
+	if merged.N() != 2 || merged.Mean() != 4 {
+		t.Fatalf("b.Merge(empty) changed the summary: n=%d mean=%g", merged.N(), merged.Mean())
+	}
+}
+
+// Property: merging two summaries is indistinguishable from one summary
+// that saw the pooled observations.
+func TestSummaryMergeEqualsPooled(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, pooled Summary
+		for _, v := range xs {
+			a.Add(v)
+			pooled.Add(v)
+		}
+		for _, v := range ys {
+			b.Add(v)
+			pooled.Add(v)
+		}
+		a.Merge(b)
+		if a.N() != pooled.N() || a.Min() != pooled.Min() || a.Max() != pooled.Max() {
+			return false
+		}
+		eq := func(x, y float64) bool { return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y)) }
+		return eq(a.Mean(), pooled.Mean()) && eq(a.Std(), pooled.Std())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the first observation passes through the EWMA unchanged,
+// whatever the weight.
+func TestEWMAFirstObservationPassthrough(t *testing.T) {
+	f := func(v float64, w float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		w = math.Mod(math.Abs(w), 1)
+		if w == 0 {
+			w = 0.5
+		}
+		e := NewEWMA(w)
+		return e.Observe(v) == v && e.Value() == v && e.Started()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMAWeightPanicMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewEWMA(0) did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "EWMA weight must be in (0,1]") || !strings.Contains(msg, "0") {
+			t.Fatalf("panic message %q does not name the constraint and value", msg)
+		}
+	}()
+	NewEWMA(0)
+}
+
+// Regression: a row wider than the header used to index past the width
+// table and panic; now the extra columns render.
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	s := tb.String()
+	if !strings.Contains(s, "3") {
+		t.Fatalf("extra column dropped from rendering:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), s)
+	}
+}

@@ -1,0 +1,43 @@
+// Package obs is the observability layer of the reproduction: a registry
+// of named counters/gauges/histograms with atomic updates and a
+// Prometheus-style text exposition, plus a virtual-clock-stamped
+// structured event tracer (ring buffer with an optional JSONL sink).
+//
+// The engine's behaviour is driven by internal state — the workload
+// throughput metric U_t, the aged U_e, the adaptive α, gating admissions,
+// cache and disk interactions — that end-of-run aggregates cannot
+// explain. This package captures those decisions as they happen so that
+// tools (cmd/tracestat, the /metrics endpoint of examples/clusterservice)
+// can reconstruct why a batch was chosen and where time went.
+//
+// Zero-overhead-when-disabled contract: every update method on *Counter,
+// *Gauge, *Histogram, *Registry, *Tracer and *Obs is nil-safe — calling
+// it on a nil receiver returns immediately. Instrumented hot paths hold
+// possibly-nil pointers and never need to branch on a config flag, so a
+// disabled run costs one nil check per instrumentation point.
+package obs
+
+// Obs bundles the two observability facilities a component may be handed.
+// A nil *Obs (and nil fields) disables everything.
+type Obs struct {
+	// Trace receives structured events; nil disables tracing.
+	Trace *Tracer
+	// Reg receives counter/gauge/histogram updates; nil disables metrics.
+	Reg *Registry
+}
+
+// Tracer returns the event tracer, nil-safely.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Registry returns the metrics registry, nil-safely.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}

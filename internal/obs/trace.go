@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind string
+
+// The event vocabulary. Every event is stamped with the virtual time at
+// which it happened; atoms are identified by (time step, Morton code) so
+// the trace stays free of internal pointer types.
+const (
+	// KindDecision is one atom selected by a scheduling decision: the
+	// scheduler's name, the decision's batch size K, and the atom's
+	// workload throughput U_t / aged U_e / age bias α at pick time.
+	KindDecision Kind = "decision"
+	// KindCacheHit / KindCacheMiss / KindCacheEvict are per-atom cache
+	// events; Step doubles as the segment for per-step hit accounting.
+	KindCacheHit   Kind = "cache_hit"
+	KindCacheMiss  Kind = "cache_miss"
+	KindCacheEvict Kind = "cache_evict"
+	// KindDiskRead is one read issued to the simulated array; Seq marks a
+	// read that continued a sequential run (no seek charged).
+	KindDiskRead Kind = "disk_read"
+	// KindEdgeAdmit / KindEdgeReject are gating-edge decisions in the
+	// precedence graph: query (Job, QSeq) against (Job2, QSeq2).
+	KindEdgeAdmit  Kind = "edge_admit"
+	KindEdgeReject Kind = "edge_reject"
+	// KindGateBlock fires the first time gating holds an arrived query
+	// back; KindGateAdmit fires when it finally dispatches, carrying the
+	// accumulated Wait.
+	KindGateBlock Kind = "gate_block"
+	KindGateAdmit Kind = "gate_admit"
+	// KindPrefetch is one atom fetched by trajectory prefetching.
+	KindPrefetch Kind = "prefetch"
+	// KindAlpha is an adaptation-run boundary: the run's smoothed inputs
+	// and the α the controller settled on.
+	KindAlpha Kind = "alpha"
+)
+
+// Event is one structured trace record. Fields are a flat union across
+// kinds (unused ones are omitted from the JSONL encoding) so a trace file
+// is one self-describing object per line.
+type Event struct {
+	T    time.Duration `json:"t"` // virtual time, nanoseconds
+	Kind Kind          `json:"kind"`
+
+	Sched string  `json:"sched,omitempty"` // decision: scheduler name
+	Step  int     `json:"step,omitempty"`  // atom time step (segment)
+	Code  uint64  `json:"code,omitempty"`  // atom Morton code
+	K     int     `json:"k,omitempty"`     // decision: atoms in this batch
+	Ut    float64 `json:"ut,omitempty"`    // workload throughput at pick time
+	Ue    float64 `json:"ue,omitempty"`    // aged metric at pick time
+	Alpha float64 `json:"alpha,omitempty"` // age bias
+
+	Seq   bool          `json:"seq,omitempty"`   // disk: sequential run
+	Addr  int64         `json:"addr,omitempty"`  // disk: extent address
+	Bytes int64         `json:"bytes,omitempty"` // disk: extent size
+	Cost  time.Duration `json:"cost,omitempty"`  // charged virtual time
+
+	Job   int64         `json:"job,omitempty"`   // gating: job id
+	QSeq  int           `json:"qseq,omitempty"`  // gating: query sequence
+	Job2  int64         `json:"job2,omitempty"`  // gating edge: partner job
+	QSeq2 int           `json:"qseq2,omitempty"` // gating edge: partner seq
+	Query int64         `json:"query,omitempty"` // gating: query id
+	Wait  time.Duration `json:"wait,omitempty"`  // gating: admit − first block
+
+	Run int     `json:"run,omitempty"` // alpha: adaptation-run index
+	Rt  float64 `json:"rt,omitempty"`  // alpha: smoothed mean response (s)
+	Tp  float64 `json:"tp,omitempty"`  // alpha: smoothed throughput (q/s)
+}
+
+// Tracer records events into a bounded ring buffer and, when a sink is
+// configured, streams them as JSONL. A nil *Tracer is a valid disabled
+// tracer: every method is a no-op, so instrumented code passes tracers
+// around without branching.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int // ring write cursor
+	total int64
+	enc   *json.Encoder
+	buf   *bufio.Writer
+	sink  io.Writer
+	err   error
+}
+
+// DefaultRingSize bounds the in-memory event window when the caller does
+// not choose one.
+const DefaultRingSize = 4096
+
+// NewTracer creates a tracer keeping the last ringSize events in memory
+// (DefaultRingSize if ≤ 0). sink, when non-nil, additionally receives
+// every event as one JSON object per line; call Flush or Close before
+// reading the sink.
+func NewTracer(ringSize int, sink io.Writer) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]Event, 0, ringSize)}
+	if sink != nil {
+		t.sink = sink
+		t.buf = bufio.NewWriter(sink)
+		t.enc = json.NewEncoder(t.buf)
+	}
+	return t
+}
+
+// Enabled reports whether events are being recorded. Call sites that must
+// compute event payloads (e.g. re-deriving U_t/U_e for a picked atom) may
+// guard on this to keep the disabled path free of the computation.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event. Nil-safe no-op.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	if t.enc != nil && t.err == nil {
+		t.err = t.enc.Encode(&ev)
+	}
+}
+
+// Total returns the number of events emitted so far (0 for nil).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the buffered window in emission order (oldest first).
+// Nil tracers return nil.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		return append([]Event(nil), t.ring...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Flush writes buffered sink output through. Nil-safe.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if t.buf != nil {
+		t.err = t.buf.Flush()
+	}
+	return t.err
+}
+
+// Close flushes and, when the sink is an io.Closer, closes it. Nil-safe.
+func (t *Tracer) Close() error {
+	err := t.Flush()
+	if t == nil {
+		return nil
+	}
+	if c, ok := t.sink.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// --- typed emitters ------------------------------------------------------
+//
+// Each emitter front-loads the nil check so a disabled tracer costs one
+// branch; arguments are plain scalars the caller already has in hand.
+
+// Decision records one atom picked by a scheduling decision.
+func (t *Tracer) Decision(now time.Duration, sched string, step int, code uint64, k int, ut, ue, alpha float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindDecision, Sched: sched, Step: step, Code: code, K: k, Ut: ut, Ue: ue, Alpha: alpha})
+}
+
+// CacheHit records a hit on a resident atom.
+func (t *Tracer) CacheHit(now time.Duration, step int, code uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindCacheHit, Step: step, Code: code})
+}
+
+// CacheMiss records a lookup that went to disk.
+func (t *Tracer) CacheMiss(now time.Duration, step int, code uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindCacheMiss, Step: step, Code: code})
+}
+
+// CacheEvict records an eviction.
+func (t *Tracer) CacheEvict(now time.Duration, step int, code uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindCacheEvict, Step: step, Code: code})
+}
+
+// DiskRead records one read against the simulated array.
+func (t *Tracer) DiskRead(now time.Duration, addr, bytes int64, seq bool, cost time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindDiskRead, Addr: addr, Bytes: bytes, Seq: seq, Cost: cost})
+}
+
+// GateEdge records a gating-edge admission decision between two queries.
+func (t *Tracer) GateEdge(now time.Duration, admitted bool, job int64, qseq int, job2 int64, qseq2 int) {
+	if t == nil {
+		return
+	}
+	kind := KindEdgeAdmit
+	if !admitted {
+		kind = KindEdgeReject
+	}
+	t.Emit(Event{T: now, Kind: kind, Job: job, QSeq: qseq, Job2: job2, QSeq2: qseq2})
+}
+
+// GateBlock records the first time gating held a query back.
+func (t *Tracer) GateBlock(now time.Duration, queryID, job int64, qseq int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindGateBlock, Query: queryID, Job: job, QSeq: qseq})
+}
+
+// GateAdmit records a previously blocked query entering the workload
+// queues after wait of gating delay.
+func (t *Tracer) GateAdmit(now time.Duration, queryID, job int64, qseq int, wait time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindGateAdmit, Query: queryID, Job: job, QSeq: qseq, Wait: wait})
+}
+
+// Prefetch records one atom loaded by trajectory prefetching for job.
+func (t *Tracer) Prefetch(now time.Duration, job int64, step int, code uint64, cost time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindPrefetch, Job: job, Step: step, Code: code, Cost: cost})
+}
+
+// Alpha records an adaptation-run boundary.
+func (t *Tracer) Alpha(now time.Duration, run int, alpha, rt, tp float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindAlpha, Run: run, Alpha: alpha, Rt: rt, Tp: tp})
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"jaws/internal/metrics"
+	"jaws/internal/obs"
 	"jaws/internal/query"
 	"jaws/internal/store"
 )
@@ -39,6 +40,7 @@ type JAWS struct {
 	k        int
 	ctrl     *alphaController
 	noMorton bool
+	trace    *obs.Tracer
 }
 
 // NewJAWS creates a JAWS scheduler.
@@ -129,12 +131,21 @@ func (s *JAWS) NextBatch(now time.Duration) []Batch {
 			return selected[i].id.Key() < selected[j].id.Key()
 		})
 	}
+	if s.trace.Enabled() {
+		for _, aq := range selected {
+			s.trace.Decision(now, s.Name(), aq.id.Step, uint64(aq.id.Code),
+				len(selected), s.q.ut(aq), s.q.ue(aq, alpha, now), alpha)
+		}
+	}
 	out := make([]Batch, len(selected))
 	for i, aq := range selected {
 		out[i] = s.q.take(aq.id)
 	}
 	return out
 }
+
+// SetTracer implements Traced.
+func (s *JAWS) SetTracer(t *obs.Tracer) { s.trace = t }
 
 // Pending implements Scheduler.
 func (s *JAWS) Pending() int { return s.q.subs }
@@ -172,6 +183,7 @@ func (s *JAWS) PendingSteps() []int {
 var (
 	_ Scheduler       = (*JAWS)(nil)
 	_ UtilityProvider = (*JAWS)(nil)
+	_ Traced          = (*JAWS)(nil)
 )
 
 // alphaController implements the adaptive starvation resistance of §V.A.

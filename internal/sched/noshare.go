@@ -3,6 +3,7 @@ package sched
 import (
 	"time"
 
+	"jaws/internal/obs"
 	"jaws/internal/query"
 	"jaws/internal/store"
 )
@@ -15,6 +16,7 @@ type NoShare struct {
 	fifo    []*noShareQuery
 	byQuery map[query.ID]*noShareQuery
 	pending int
+	trace   *obs.Tracer
 }
 
 type noShareQuery struct {
@@ -45,7 +47,7 @@ func (s *NoShare) Enqueue(sq *query.SubQuery, now time.Duration) {
 
 // NextBatch implements Scheduler: the whole next query, one batch per
 // atom, in the Morton order pre-processing produced.
-func (s *NoShare) NextBatch(time.Duration) []Batch {
+func (s *NoShare) NextBatch(now time.Duration) []Batch {
 	if len(s.fifo) == 0 {
 		return nil
 	}
@@ -55,10 +57,15 @@ func (s *NoShare) NextBatch(time.Duration) []Batch {
 	out := make([]Batch, len(qs.subs))
 	for i, sq := range qs.subs {
 		out[i] = Batch{Atom: sq.Atom, SubQueries: []*query.SubQuery{sq}}
+		// Arrival-order scheduling has no metric to report: U_t/U_e stay 0.
+		s.trace.Decision(now, s.Name(), sq.Atom.Step, uint64(sq.Atom.Code), len(qs.subs), 0, 0, 0)
 	}
 	s.pending -= len(qs.subs)
 	return out
 }
+
+// SetTracer implements Traced.
+func (s *NoShare) SetTracer(t *obs.Tracer) { s.trace = t }
 
 // Pending implements Scheduler.
 func (s *NoShare) Pending() int { return s.pending }
@@ -69,7 +76,10 @@ func (s *NoShare) OnRunEnd(rt, tp float64) {}
 // Alpha implements Scheduler.
 func (s *NoShare) Alpha() float64 { return 0 }
 
-var _ Scheduler = (*NoShare)(nil)
+var (
+	_ Scheduler = (*NoShare)(nil)
+	_ Traced    = (*NoShare)(nil)
+)
 
 // LifeRaft is the data-driven batch scheduler of §III adapted to
 // Turbulence: one atom queue at a time, chosen by the aged workload
@@ -81,6 +91,7 @@ var _ Scheduler = (*NoShare)(nil)
 type LifeRaft struct {
 	q     *queues
 	alpha float64
+	trace *obs.Tracer
 }
 
 // NewLifeRaft creates a LifeRaft scheduler. resident reports cache
@@ -116,8 +127,15 @@ func (s *LifeRaft) NextBatch(now time.Duration) []Batch {
 	if best == nil {
 		return nil
 	}
+	if s.trace.Enabled() {
+		s.trace.Decision(now, s.Name(), best.id.Step, uint64(best.id.Code),
+			1, s.q.ut(best), bestScore, s.alpha)
+	}
 	return []Batch{s.q.take(best.id)}
 }
+
+// SetTracer implements Traced.
+func (s *LifeRaft) SetTracer(t *obs.Tracer) { s.trace = t }
 
 // Pending implements Scheduler.
 func (s *LifeRaft) Pending() int { return s.q.subs }
@@ -152,4 +170,5 @@ func (s *LifeRaft) PendingSteps() []int {
 var (
 	_ Scheduler       = (*LifeRaft)(nil)
 	_ UtilityProvider = (*LifeRaft)(nil)
+	_ Traced          = (*LifeRaft)(nil)
 )

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"jaws/internal/obs"
 	"jaws/internal/query"
 	"jaws/internal/store"
 )
@@ -176,6 +177,11 @@ func (s *QoS) DeadlineMisses() int { return s.missed }
 // DeadlinesMet reports how many queries finished within their bound.
 func (s *QoS) DeadlinesMet() int { return s.met }
 
+// SetTracer implements Traced by forwarding to the inner JAWS instance,
+// so urgent batches taken directly from the inner queues are still traced
+// by the fallthrough path's decisions.
+func (s *QoS) SetTracer(t *obs.Tracer) { s.inner.SetTracer(t) }
+
 // AtomUtility implements UtilityProvider.
 func (s *QoS) AtomUtility(id store.AtomID) float64 { return s.inner.AtomUtility(id) }
 
@@ -188,4 +194,5 @@ func (s *QoS) PendingSteps() []int { return s.inner.PendingSteps() }
 var (
 	_ Scheduler       = (*QoS)(nil)
 	_ UtilityProvider = (*QoS)(nil)
+	_ Traced          = (*QoS)(nil)
 )

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"jaws/internal/obs"
 	"jaws/internal/query"
 	"jaws/internal/store"
 )
@@ -63,6 +64,14 @@ type Scheduler interface {
 	OnRunEnd(rt, tp float64)
 	// Alpha reports the current age bias (diagnostic; 0 for NoShare).
 	Alpha() float64
+}
+
+// Traced is implemented by schedulers that can emit per-decision trace
+// events (the atom picked, the decision's batch size, and the U_t/U_e/α
+// values that justified the pick). The engine installs the tracer when
+// observability is configured; a nil tracer disables emission.
+type Traced interface {
+	SetTracer(t *obs.Tracer)
 }
 
 // UtilityProvider is implemented by contention-based schedulers that can

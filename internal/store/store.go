@@ -152,6 +152,13 @@ func (s *Store) ScanStep(step int, fn func(id AtomID) bool) {
 	})
 }
 
+// SetIOObserver registers fn on the underlying disk array: it is called
+// after every read with the extent, whether the read continued a
+// sequential run, and the charged virtual-time cost. nil disables it.
+func (s *Store) SetIOObserver(fn func(addr, size int64, seq bool, cost time.Duration)) {
+	s.array.SetObserver(fn)
+}
+
 // DiskStats returns a snapshot of the disk array's counters.
 func (s *Store) DiskStats() disk.Stats { return s.array.Snapshot() }
 

@@ -32,6 +32,7 @@ import (
 	"jaws/internal/field"
 	"jaws/internal/geom"
 	"jaws/internal/job"
+	"jaws/internal/obs"
 	"jaws/internal/query"
 	"jaws/internal/sched"
 	"jaws/internal/store"
@@ -77,7 +78,26 @@ type (
 	Gradient = field.Gradient
 	// ClusterReport aggregates a multi-node run.
 	ClusterReport = cluster.Report
+	// Obs bundles a tracer and a metrics registry for a run; see the
+	// internal/obs package docs for the zero-overhead contract.
+	Obs = obs.Obs
+	// Tracer records virtual-clock-stamped scheduling/cache/disk/gating
+	// events into a ring buffer and an optional JSONL sink.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// Registry holds named counters, gauges and histograms with a
+	// Prometheus-style text exposition (WriteText).
+	Registry = obs.Registry
 )
+
+// NewTracer creates a tracer keeping the last ringSize events in memory
+// (obs.DefaultRingSize if ≤ 0); sink, when non-nil, receives every event
+// as JSONL.
+var NewTracer = obs.NewTracer
+
+// NewRegistry creates an empty metrics registry.
+var NewRegistry = obs.NewRegistry
 
 // Job types.
 const (
@@ -229,6 +249,9 @@ type Config struct {
 	// QoSHorizon is how far ahead of a deadline a query becomes urgent;
 	// zero means 2 s of virtual time.
 	QoSHorizon time.Duration
+	// Obs enables scheduling-decision tracing and metrics for every run of
+	// the system; nil (the default) keeps the engine uninstrumented.
+	Obs *Obs
 }
 
 // System is an assembled single-node JAWS instance.
@@ -341,6 +364,7 @@ func (s *System) Run(jobs []*Job) (*Report, error) {
 		FlushPerDecision: s.cfg.Scheduler == SchedNoShare,
 		Prefetch:         s.cfg.Prefetch,
 		DeclareUpfront:   s.cfg.DeclareJobs,
+		Obs:              s.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -375,6 +399,7 @@ func OpenSession(cfg Config) (*Session, error) {
 		Parallelism:      sys.cfg.Parallelism,
 		Prefetch:         sys.cfg.Prefetch,
 		FlushPerDecision: sys.cfg.Scheduler == SchedNoShare,
+		Obs:              sys.cfg.Obs,
 	})
 }
 
@@ -403,6 +428,9 @@ type ClusterConfig struct {
 	Nodes int
 	// Node is the per-node system configuration.
 	Node Config
+	// Observe gives every node a metrics registry and merges them into
+	// ClusterReport.Metrics.
+	Observe bool
 }
 
 // RunCluster partitions the jobs spatially across Nodes independent JAWS
@@ -470,6 +498,7 @@ func RunCluster(cfg ClusterConfig, jobs []*Job) (*ClusterReport, error) {
 		Cost:      node.Cost,
 		JobAware:  node.Scheduler == SchedJAWS2,
 		RunLength: node.RunLength,
+		Observe:   cfg.Observe,
 	})
 	if err != nil {
 		return nil, err
