@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race race-obs bench-sched
+.PHONY: check build vet test race race-obs fuzz-smoke bench-sched
 
 ## check: everything CI should gate on.
-check: vet build test race-obs
+check: vet build test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ race:
 ## layer (atomic registry, locked tracer) and its concurrent users.
 race-obs:
 	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/
+
+## fuzz-smoke: a short burst on every fuzz target (Go runs one -fuzz
+## pattern per invocation, hence the repetition).
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzRoundTrip -fuzztime 10s ./internal/morton/
+	$(GO) test -run xxx -fuzz FuzzCubeRange -fuzztime 10s ./internal/morton/
+	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime 10s ./internal/workload/
+	$(GO) test -run xxx -fuzz FuzzGenerate -fuzztime 10s ./internal/workload/
+	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault/
 
 ## bench-sched: the scheduling benches used to bound instrumentation
 ## overhead (compare against a pre-change baseline).

@@ -39,6 +39,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-run adaptation history")
 		traceOut  = flag.String("trace-out", "", "write a JSONL decision trace to this file (read it with tracestat)")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry in Prometheus text format after the run")
+		faultSpec = flag.String("fault-spec", "", "deterministic fault schedule, e.g. 'disk-transient:p=0.05;disk-slow:p=0.1,extra=50ms' (see internal/fault)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector (same spec+seed replays identically)")
 	)
 	flag.Parse()
 
@@ -111,6 +113,11 @@ func main() {
 		}
 	}
 
+	spec, err := jaws.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	sys, err := jaws.Open(jaws.Config{
 		Steps:        *steps,
 		Seed:         *seed,
@@ -123,6 +130,8 @@ func main() {
 		CacheAtoms:   *cacheAt,
 		Compute:      *compute,
 		Obs:          o,
+		Fault:        spec,
+		FaultSeed:    *faultSeed,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"jaws/internal/experiments"
+	"jaws/internal/fault"
 	"jaws/internal/metrics"
 	"jaws/internal/obs"
 )
@@ -37,6 +38,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	traceOut := flag.String("trace-out", "", "write a JSONL decision trace of every experiment engine to this file")
 	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry after the experiments")
+	faultSpec := flag.String("fault-spec", "", "deterministic fault schedule for every experiment engine (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
 	flag.Parse()
 
 	switch *format {
@@ -57,6 +60,12 @@ func main() {
 	}
 	if *seed != 0 {
 		scale.Seed = *seed
+	}
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		fail(err)
+		scale.FaultSpec = spec
+		scale.FaultSeed = *faultSeed
 	}
 
 	var tracer *obs.Tracer

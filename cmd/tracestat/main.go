@@ -96,7 +96,8 @@ func printKindMix(events []obs.Event) {
 		obs.KindDecision, obs.KindCacheHit, obs.KindCacheMiss,
 		obs.KindCacheEvict, obs.KindDiskRead, obs.KindEdgeAdmit,
 		obs.KindEdgeReject, obs.KindGateBlock, obs.KindGateAdmit,
-		obs.KindPrefetch, obs.KindAlpha,
+		obs.KindPrefetch, obs.KindAlpha, obs.KindFaultRetry,
+		obs.KindFaultAbort, obs.KindNodeCrash, obs.KindStallAbort,
 	}
 	tb := &metrics.Table{Header: []string{"kind", "events", "share"}}
 	for _, k := range order {

@@ -41,6 +41,10 @@ type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// Corruptions counts resident entries dropped because their payload
+	// failed integrity verification (fault injection); each is also
+	// counted as a miss, since the caller must re-read from disk.
+	Corruptions int64
 	// PolicyTime is real (wall-clock) time spent inside policy decisions;
 	// it backs Table I's overhead-per-query column.
 	PolicyTime time.Duration
@@ -58,9 +62,10 @@ func (s Stats) HitRatio() float64 {
 // Observer receives per-atom cache events for tracing. Any hook may be
 // nil; hooks run synchronously on the accessing goroutine.
 type Observer struct {
-	Hit   func(id store.AtomID)
-	Miss  func(id store.AtomID)
-	Evict func(id store.AtomID)
+	Hit     func(id store.AtomID)
+	Miss    func(id store.AtomID)
+	Evict   func(id store.AtomID)
+	Corrupt func(id store.AtomID)
 }
 
 // Cache is an atom cache with a pluggable replacement policy.
@@ -70,6 +75,10 @@ type Cache struct {
 	entries  map[store.AtomID]any
 	stats    Stats
 	obs      Observer
+	// integrity, when non-nil, verifies a resident payload on every hit
+	// (the checksum pass a real buffer manager performs); false drops the
+	// entry and reports a miss so the caller re-reads from disk.
+	integrity func(id store.AtomID) bool
 }
 
 // New creates a cache holding up to capacity atoms. capacity must be
@@ -92,9 +101,29 @@ func New(capacity int, policy Policy) *Cache {
 // hooks. The cache serializes calls to the hooks with its own accesses.
 func (c *Cache) SetObserver(o Observer) { c.obs = o }
 
+// SetIntegrity installs (or, with nil, removes) the payload verifier
+// consulted on every hit. See internal/fault for the deterministic
+// corruption injector that normally backs it.
+func (c *Cache) SetIntegrity(fn func(id store.AtomID) bool) { c.integrity = fn }
+
 // Get returns the cached value for id, if resident.
 func (c *Cache) Get(id store.AtomID) (any, bool) {
 	v, ok := c.entries[id]
+	if ok && c.integrity != nil && !c.integrity(id) {
+		// Checksum mismatch: the resident copy is garbage. Drop it and
+		// report a miss so the caller restores the atom from disk.
+		delete(c.entries, id)
+		c.policy.OnEvict(id)
+		c.stats.Corruptions++
+		c.stats.Misses++
+		if c.obs.Corrupt != nil {
+			c.obs.Corrupt(id)
+		}
+		if c.obs.Miss != nil {
+			c.obs.Miss(id)
+		}
+		return nil, false
+	}
 	if ok {
 		c.stats.Hits++
 		start := time.Now()

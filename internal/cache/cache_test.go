@@ -600,3 +600,43 @@ func TestTwoQConformance(t *testing.T) {
 }
 
 func BenchmarkTwoQPut(b *testing.B) { benchPolicy(b, NewTwoQ(256)) }
+
+func TestIntegrityCorruptionDropsEntry(t *testing.T) {
+	c := New(4, NewLRU())
+	c.Put(id(0, 1), "payload")
+
+	bad := map[store.AtomID]bool{id(0, 1): true}
+	var corrupted, missed []store.AtomID
+	c.SetObserver(Observer{
+		Corrupt: func(i store.AtomID) { corrupted = append(corrupted, i) },
+		Miss:    func(i store.AtomID) { missed = append(missed, i) },
+	})
+	c.SetIntegrity(func(i store.AtomID) bool { return !bad[i] })
+
+	if _, ok := c.Get(id(0, 1)); ok {
+		t.Fatal("corrupted entry served as a hit")
+	}
+	if c.Contains(id(0, 1)) {
+		t.Fatal("corrupted entry still resident")
+	}
+	st := c.Stats()
+	if st.Corruptions != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(corrupted) != 1 || len(missed) != 1 {
+		t.Fatalf("observer saw %d corruptions, %d misses", len(corrupted), len(missed))
+	}
+
+	// The re-read path restores the atom; a clean hit then works and the
+	// policy state stayed coherent (eviction bookkeeping not corrupted).
+	delete(bad, id(0, 1))
+	c.Put(id(0, 1), "fresh")
+	if v, ok := c.Get(id(0, 1)); !ok || v != "fresh" {
+		t.Fatalf("restored entry: %v, %v", v, ok)
+	}
+
+	c.SetIntegrity(nil)
+	if _, ok := c.Get(id(0, 1)); !ok {
+		t.Fatal("cleared integrity hook still rejecting")
+	}
+}

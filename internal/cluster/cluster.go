@@ -12,12 +12,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"jaws/internal/cache"
 	"jaws/internal/engine"
+	"jaws/internal/fault"
 	"jaws/internal/job"
 	"jaws/internal/obs"
 	"jaws/internal/query"
@@ -112,11 +114,26 @@ type Config struct {
 	// into Report.Metrics. Per-node registries (not one shared) keep the
 	// nodes' goroutines from contending on the same counters.
 	Observe bool
+	// Replicas is the data replication factor: each node's partition is
+	// also readable on the Replicas-1 nodes that follow it (mod Nodes),
+	// and the mediator reruns a crashed node's jobs on the first live
+	// replica. 0 or 1 disables failover.
+	Replicas int
+	// FaultSpec schedules deterministic fault injection on every node
+	// (see internal/fault); the empty spec disables it. Each node derives
+	// its own independent injector from FaultSeed and its node index.
+	FaultSpec fault.Spec
+	// FaultSeed seeds the fault injectors when FaultSpec is non-empty.
+	FaultSeed int64
 }
 
-// NodeReport pairs a node index with its engine report.
+// NodeReport pairs an executed engine run with the node that hosted it.
 type NodeReport struct {
-	Node   int
+	// Node is the node that executed the run.
+	Node int
+	// For is the node whose partition the run served. It differs from
+	// Node only for failover reruns of a crashed node's jobs.
+	For    int
 	Report *engine.Report
 }
 
@@ -124,16 +141,25 @@ type NodeReport struct {
 type Report struct {
 	PerNode []NodeReport
 	// Completed counts distinct logical queries completed (a query split
-	// across nodes counts once).
+	// across nodes counts once). Queries owned by a node that crashed
+	// without a surviving replica are not counted.
 	Completed int
 	// MaxElapsed is the slowest node's virtual time — the cluster's
-	// makespan.
+	// makespan. A node hosting failover reruns accumulates their elapsed
+	// time on top of its own.
 	MaxElapsed float64
 	// AggregateThroughput is completed / MaxElapsed.
 	AggregateThroughput float64
 	// Metrics is the cluster-wide metric aggregate (counters summed,
 	// histograms pooled across nodes); nil unless Config.Observe.
+	// Crashed runs' registries are discarded — only work that counted
+	// toward Completed is aggregated — and the mediator adds its own
+	// jaws_node_crashes_total / jaws_failovers_total counters.
 	Metrics *obs.Registry
+	// Failovers counts crashed nodes whose jobs a replica successfully
+	// reran; FailedNodes lists nodes whose partitions ended unserved.
+	Failovers   int
+	FailedNodes []int
 }
 
 // Cluster is a set of simulated nodes behind a partitioner.
@@ -152,6 +178,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.CacheAtoms <= 0 {
 		cfg.CacheAtoms = 64
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: %d replicas exceed %d nodes", cfg.Replicas, cfg.Nodes)
 	}
 	if err := cfg.Store.Space.Validate(); err != nil {
 		return nil, err
@@ -218,16 +250,72 @@ func (c *Cluster) SplitJob(j *job.Job) map[int]*job.Job {
 	return out
 }
 
-// Run splits the jobs, executes every node concurrently, and aggregates.
-func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
+// split routes every job across nodes. Each call produces fresh per-node
+// query copies, so a rerun (failover, or a deterministic replay of the
+// whole cluster) never sees arrival times a previous engine run mutated.
+func (c *Cluster) split(jobs []*job.Job) map[int][]*job.Job {
 	perNode := make(map[int][]*job.Job)
-	logical := make(map[query.ID]bool)
 	for _, j := range jobs {
-		for _, q := range j.Queries {
-			logical[q.ID] = true
-		}
 		for n, nj := range c.SplitJob(j) {
 			perNode[n] = append(perNode[n], nj)
+		}
+	}
+	return perNode
+}
+
+// runNode executes njobs on one node with a fresh store, cache, scheduler
+// and — when fault injection is configured — the node's own deterministic
+// injector.
+func (c *Cluster) runNode(node int, njobs []*job.Job) (*engine.Report, *obs.Registry, error) {
+	st, err := store.Open(c.cfg.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := cache.New(c.cfg.CacheAtoms, c.cfg.NewPolicy())
+	var o *obs.Obs
+	var reg *obs.Registry
+	if c.cfg.Observe {
+		reg = obs.NewRegistry()
+		o = &obs.Obs{Reg: reg}
+	}
+	e, err := engine.New(engine.Config{
+		Store:     st,
+		Cache:     ch,
+		Sched:     c.cfg.NewSched(ch),
+		Cost:      c.cfg.Cost,
+		JobAware:  c.cfg.JobAware,
+		RunLength: c.cfg.RunLength,
+		Obs:       o,
+		Fault:     fault.New(c.cfg.FaultSpec, c.cfg.FaultSeed, node),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := e.Run(njobs)
+	return rep, reg, err
+}
+
+// Run splits the jobs, executes every node concurrently, and aggregates.
+//
+// Node failures do not discard the healthy nodes' work: crashed nodes
+// (fault.NodeCrashError) have their full job lists rerun on the first
+// surviving replica when Config.Replicas > 1, and any failures that
+// remain are joined into the returned error alongside a partial Report
+// covering the nodes that did complete. The report is non-nil whenever
+// the split itself succeeded, even if every node failed.
+func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
+	perNode := c.split(jobs)
+	// owners maps each logical query to the nodes holding a piece of it;
+	// the query counts as completed only when all of them served.
+	owners := make(map[query.ID]map[int]bool)
+	for n, njobs := range perNode {
+		for _, nj := range njobs {
+			for _, q := range nj.Queries {
+				if owners[q.ID] == nil {
+					owners[q.ID] = make(map[int]bool)
+				}
+				owners[q.ID][n] = true
+			}
 		}
 	}
 
@@ -247,57 +335,118 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 		wg.Add(1)
 		go func(n int, njobs []*job.Job) {
 			defer wg.Done()
-			st, err := store.Open(c.cfg.Store)
-			if err != nil {
-				results <- result{node: n, err: err}
-				return
-			}
-			ch := cache.New(c.cfg.CacheAtoms, c.cfg.NewPolicy())
-			var o *obs.Obs
-			var reg *obs.Registry
-			if c.cfg.Observe {
-				reg = obs.NewRegistry()
-				o = &obs.Obs{Reg: reg}
-			}
-			e, err := engine.New(engine.Config{
-				Store:     st,
-				Cache:     ch,
-				Sched:     c.cfg.NewSched(ch),
-				Cost:      c.cfg.Cost,
-				JobAware:  c.cfg.JobAware,
-				RunLength: c.cfg.RunLength,
-				Obs:       o,
-			})
-			if err != nil {
-				results <- result{node: n, err: err}
-				return
-			}
-			rep, err := e.Run(njobs)
+			rep, reg, err := c.runNode(n, njobs)
 			results <- result{node: n, rep: rep, reg: reg, err: err}
 		}(n, njobs)
 	}
 	wg.Wait()
 	close(results)
 
-	rep := &Report{Completed: len(logical)}
+	rep := &Report{}
 	if c.cfg.Observe {
 		rep.Metrics = obs.NewRegistry()
 	}
-	for r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("cluster node %d: %w", r.node, r.err)
-		}
-		rep.PerNode = append(rep.PerNode, NodeReport{Node: r.node, Report: r.rep})
-		if s := r.rep.Elapsed.Seconds(); s > rep.MaxElapsed {
-			rep.MaxElapsed = s
-		}
+	served := make(map[int]bool)     // partition → fully executed by someone
+	crashed := make(map[int]bool)    // node → injector killed it (dead host)
+	hostElapsed := make(map[int]float64)
+	var crashes, toFailover []int
+	var errs []error
+
+	keep := func(host, forNode int, r *engine.Report, reg *obs.Registry) {
+		served[forNode] = true
+		rep.PerNode = append(rep.PerNode, NodeReport{Node: host, For: forNode, Report: r})
+		hostElapsed[host] += r.Elapsed.Seconds()
 		if rep.Metrics != nil {
-			rep.Metrics.Merge(r.reg)
+			rep.Metrics.Merge(reg)
 		}
 	}
-	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Node < rep.PerNode[j].Node })
+
+	for r := range results {
+		var crash *fault.NodeCrashError
+		switch {
+		case r.err == nil:
+			keep(r.node, r.node, r.rep, r.reg)
+		case errors.As(r.err, &crash):
+			// The run died mid-flight: discard its partial report and
+			// registry entirely (exactly-once accounting) and line the
+			// partition up for failover.
+			crashed[r.node] = true
+			crashes = append(crashes, r.node)
+			toFailover = append(toFailover, r.node)
+		default:
+			errs = append(errs, fmt.Errorf("cluster node %d: %w", r.node, r.err))
+		}
+	}
+
+	// Failover: rerun each dead node's full job list on its first live
+	// replica, cascading down the replica chain if a rerun crashes too.
+	// Reruns are sequential in node order so replays are deterministic.
+	sort.Ints(toFailover)
+	for _, dead := range toFailover {
+		var lastErr error
+		for k := 1; k < c.cfg.Replicas && !served[dead]; k++ {
+			host := (dead + k) % c.cfg.Nodes
+			if crashed[host] {
+				continue
+			}
+			// Fresh split: the crashed run mutated its copies' arrivals.
+			njobs := c.split(jobs)[dead]
+			frep, freg, err := c.runNode(host, njobs)
+			var crash *fault.NodeCrashError
+			switch {
+			case err == nil:
+				keep(host, dead, frep, freg)
+				rep.Failovers++
+			case errors.As(err, &crash):
+				// The replica's own schedule killed this rerun; the host
+				// is dead for everyone from here on.
+				crashed[host] = true
+				crashes = append(crashes, host)
+				lastErr = err
+			default:
+				lastErr = err
+			}
+		}
+		if !served[dead] {
+			rep.FailedNodes = append(rep.FailedNodes, dead)
+			if lastErr == nil {
+				lastErr = fmt.Errorf("node crashed (replicas=%d)", c.cfg.Replicas)
+			}
+			errs = append(errs, fmt.Errorf("cluster node %d: no surviving replica: %w", dead, lastErr))
+		}
+	}
+
+	for _, own := range owners {
+		all := true
+		for n := range own {
+			if !served[n] {
+				all = false
+				break
+			}
+		}
+		if all {
+			rep.Completed++
+		}
+	}
+	for _, e := range hostElapsed {
+		if e > rep.MaxElapsed {
+			rep.MaxElapsed = e
+		}
+	}
+	if rep.Metrics != nil {
+		// Crashed runs' registries were discarded, so the mediator
+		// re-records the crashes (and the recoveries) itself.
+		rep.Metrics.Counter("jaws_node_crashes_total").Add(int64(len(crashes)))
+		rep.Metrics.Counter("jaws_failovers_total").Add(int64(rep.Failovers))
+	}
+	sort.Slice(rep.PerNode, func(i, j int) bool {
+		if rep.PerNode[i].Node != rep.PerNode[j].Node {
+			return rep.PerNode[i].Node < rep.PerNode[j].Node
+		}
+		return rep.PerNode[i].For < rep.PerNode[j].For
+	})
 	if rep.MaxElapsed > 0 {
 		rep.AggregateThroughput = float64(rep.Completed) / rep.MaxElapsed
 	}
-	return rep, nil
+	return rep, errors.Join(errs...)
 }

@@ -20,6 +20,7 @@ import (
 
 	"jaws/internal/cache"
 	"jaws/internal/disk"
+	"jaws/internal/fault"
 	"jaws/internal/field"
 	"jaws/internal/geom"
 	"jaws/internal/job"
@@ -93,6 +94,20 @@ type Config struct {
 	// engine uninstrumented: every instrumentation point reduces to one nil
 	// check (see the obs package's zero-overhead contract).
 	Obs *obs.Obs
+	// Fault enables deterministic fault injection: transient/permanent
+	// disk errors, latency spikes, cache corruption, and a scheduled node
+	// crash (see internal/fault). Nil (the default) disables injection for
+	// the cost of one nil check per hook, mirroring Obs.
+	Fault *fault.Injector
+	// MaxRetries bounds how many times a read failing with a transient
+	// error is retried before the run aborts; 0 means 4.
+	MaxRetries int
+	// RetryBackoff is the base of the capped exponential backoff charged
+	// to the virtual clock between read attempts; 0 means 10 ms. The
+	// backoff doubles per retry up to RetryBackoffMax.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the per-retry backoff; 0 means 500 ms.
+	RetryBackoffMax time.Duration
 }
 
 // QueryResult is a completed query with its measured response time and
@@ -136,6 +151,11 @@ type Report struct {
 	GatingRejected int
 	// PrefetchedAtoms counts atoms loaded by trajectory prefetching.
 	PrefetchedAtoms int64
+	// Retries counts atom reads re-attempted after transient disk errors.
+	Retries int64
+	// Faults tallies the injected faults of the run (zero without a
+	// configured injector).
+	Faults fault.Counts
 	// Results is populated only with Config.KeepResults.
 	Results []*QueryResult
 }
@@ -200,6 +220,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.DecisionOverhead < 0 {
 		cfg.DecisionOverhead = 0
 	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 500 * time.Millisecond
+	}
 	e := &Engine{
 		cfg:        cfg,
 		states:     make(map[query.ID]*queryState),
@@ -230,6 +259,16 @@ func New(cfg Config) (*Engine, error) {
 	// unconditionally to drop hooks a previous instrumented run left.
 	e.inst = newInstruments(cfg.Obs)
 	e.inst.install(e)
+	// Likewise the fault hooks: install them for this run's injector, or
+	// clear whatever an earlier faulty run left on the shared store/cache.
+	if cfg.Fault != nil {
+		cfg.Fault.BindClock(e.clock.Now)
+		cfg.Store.SetFault(cfg.Fault.DiskRead)
+		cfg.Cache.SetIntegrity(func(store.AtomID) bool { return !cfg.Fault.CorruptHit() })
+	} else {
+		cfg.Store.SetFault(nil)
+		cfg.Cache.SetIntegrity(nil)
+	}
 	return e, nil
 }
 
@@ -267,8 +306,17 @@ func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
 		e.declareAll(jobs)
 	}
 
+	crashAt, willCrash := e.cfg.Fault.CrashAt()
 	stall := 0
 	for e.report.Completed < total {
+		// 0. Honour a scheduled node crash: the node dies the first time
+		// virtual time passes the injector's chosen instant. Everything in
+		// flight is lost; the cluster layer recovers via failover.
+		if willCrash && e.clock.Now() >= crashAt {
+			e.inst.noteCrash(e.clock.Now(), e.cfg.Fault.Node())
+			return nil, &fault.NodeCrashError{Node: e.cfg.Fault.Node(), At: crashAt}
+		}
+
 		progressed := false
 
 		// 1. Deliver due arrivals.
@@ -288,11 +336,19 @@ func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
 		if e.cfg.Sched.Pending() > 0 {
 			batches := e.cfg.Sched.NextBatch(e.clock.Now())
 			if len(batches) > 0 {
-				e.execute(batches)
+				if err := e.execute(batches); err != nil {
+					return nil, err
+				}
 				progressed = true
 			}
 		} else if ev := e.events.Peek(); ev != nil {
-			e.clock.AdvanceTo(ev.At)
+			// Never fast-forward past the crash instant, or a long idle
+			// gap would let the node outlive its own death.
+			at := ev.At
+			if willCrash && crashAt < at {
+				at = crashAt
+			}
+			e.clock.AdvanceTo(at)
 			progressed = true
 		}
 
@@ -302,6 +358,7 @@ func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
 		}
 		stall++
 		if stall > e.cfg.StallLimit {
+			e.inst.noteStallAbort(e.clock.Now())
 			return nil, fmt.Errorf("engine: stalled with %d/%d queries complete (gated-execution deadlock?)",
 				e.report.Completed, total)
 		}
@@ -431,27 +488,34 @@ func (e *Engine) dispatch(q *query.Query) {
 // charged once for the whole group, and all primary atoms are fetched
 // up front in that order so Morton-adjacent atoms produce sequential disk
 // runs — the two effects the paper's two-level batching banks on.
-func (e *Engine) execute(batches []sched.Batch) {
+func (e *Engine) execute(batches []sched.Batch) error {
 	e.inst.noteDecision(len(batches))
 	e.clock.Advance(e.cfg.DecisionOverhead)
 	atoms := make(map[store.AtomID]*field.Atom, len(batches))
 	for i := range batches {
-		atoms[batches[i].Atom] = e.readAtom(batches[i].Atom)
+		a, err := e.readAtom(batches[i].Atom)
+		if err != nil {
+			return err
+		}
+		atoms[batches[i].Atom] = a
 	}
 	for i := range batches {
-		e.executeBatch(&batches[i], atoms[batches[i].Atom])
+		if err := e.executeBatch(&batches[i], atoms[batches[i].Atom]); err != nil {
+			return err
+		}
 	}
 	if e.cfg.FlushPerDecision {
 		e.cfg.Cache.Flush()
 	}
 	e.pushUtilities()
+	return nil
 }
 
 // executeBatch evaluates one atom's sub-queries given its pre-fetched
 // data: reads stencil-footprint atoms through the cache, charges compute
 // time per position, evaluates kernels if configured, and completes
 // queries whose last sub-query finished.
-func (e *Engine) executeBatch(b *sched.Batch, atom *field.Atom) {
+func (e *Engine) executeBatch(b *sched.Batch, atom *field.Atom) error {
 	// Footprint atoms: interpolation stencils near atom faces also touch
 	// neighbouring atoms (§III.B "potentially nearby atoms"). Read each
 	// distinct one once for the whole batch.
@@ -460,7 +524,9 @@ func (e *Engine) executeBatch(b *sched.Batch, atom *field.Atom) {
 		for _, f := range sq.Footprint {
 			if !seen[f] {
 				seen[f] = true
-				e.readAtom(f)
+				if _, err := e.readAtom(f); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -486,20 +552,38 @@ func (e *Engine) executeBatch(b *sched.Batch, atom *field.Atom) {
 			e.complete(st, now)
 		}
 	}
+	return nil
 }
 
 // readAtom fetches an atom through the cache, charging disk time on miss.
-func (e *Engine) readAtom(id store.AtomID) *field.Atom {
+// Reads failing with a transient (injected) error are retried up to
+// MaxRetries times under capped exponential backoff, every attempt and
+// backoff charged to the virtual clock; permanent failures and exhausted
+// retries propagate as errors that abort the run.
+func (e *Engine) readAtom(id store.AtomID) (*field.Atom, error) {
 	if v, ok := e.cfg.Cache.Get(id); ok {
-		return v.(*field.Atom)
+		return v.(*field.Atom), nil
 	}
-	a, cost, err := e.cfg.Store.Read(id)
-	if err != nil {
-		panic(fmt.Sprintf("engine: read of scheduled atom failed: %v", err))
+	backoff := e.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		a, cost, err := e.cfg.Store.Read(id)
+		e.clock.Advance(cost) // on error, cost is the failure-detection latency
+		if err == nil {
+			e.cfg.Cache.Put(id, a)
+			return a, nil
+		}
+		if !fault.IsTransient(err) || attempt >= e.cfg.MaxRetries {
+			e.inst.noteFaultAbort(e.clock.Now(), id, attempt)
+			return nil, fmt.Errorf("engine: read failed after %d attempt(s): %w", attempt+1, err)
+		}
+		e.report.Retries++
+		e.inst.noteRetry(e.clock.Now(), id, attempt, backoff)
+		e.clock.Advance(backoff)
+		backoff *= 2
+		if backoff > e.cfg.RetryBackoffMax {
+			backoff = e.cfg.RetryBackoffMax
+		}
 	}
-	e.clock.Advance(cost)
-	e.cfg.Cache.Put(id, a)
-	return a
 }
 
 // computeBatch evaluates the kernels for every position of the batch in
@@ -691,6 +775,7 @@ func (e *Engine) finishReport() {
 	e.report.DiskStats = e.cfg.Store.DiskStats()
 	e.report.FinalAlpha = e.cfg.Sched.Alpha()
 	e.report.PrefetchedAtoms = e.prefetched
+	e.report.Faults = e.cfg.Fault.Counts()
 	if e.graph != nil {
 		e.report.GatingAdmitted = e.graph.EdgesAdmitted()
 		e.report.GatingRejected = e.graph.EdgesRejected()

@@ -54,6 +54,12 @@ type instruments struct {
 
 	utilityPushes *obs.Counter
 
+	faultRetries     *obs.Counter // reads retried after transient errors
+	faultAborts      *obs.Counter // reads abandoned (run aborts)
+	faultCorruptions *obs.Counter // cache payloads dropped as corrupt
+	nodeCrashes      *obs.Counter // injector-scheduled node deaths
+	stallAborts      *obs.Counter // StallLimit deadlock aborts
+
 	// blockedAt records the virtual time gating first held each query
 	// back, so the eventual admission can carry the accumulated wait.
 	blockedAt map[query.ID]time.Duration
@@ -88,7 +94,14 @@ func newInstruments(o *obs.Obs) *instruments {
 		edgesAdmitted:  reg.Counter("jaws_gate_edges_admitted_total"),
 		edgesRejected:  reg.Counter("jaws_gate_edges_rejected_total"),
 		utilityPushes:  reg.Counter("jaws_utility_pushes_total"),
-		blockedAt:      make(map[query.ID]time.Duration),
+
+		faultRetries:     reg.Counter("jaws_fault_retries_total"),
+		faultAborts:      reg.Counter("jaws_fault_aborts_total"),
+		faultCorruptions: reg.Counter("jaws_fault_corruptions_total"),
+		nodeCrashes:      reg.Counter("jaws_node_crashes_total"),
+		stallAborts:      reg.Counter("jaws_stall_aborts_total"),
+
+		blockedAt: make(map[query.ID]time.Duration),
 	}
 }
 
@@ -121,6 +134,9 @@ func (in *instruments) install(e *Engine) {
 		Evict: func(id store.AtomID) {
 			in.cacheEvictions.Inc()
 			in.trace.CacheEvict(e.clock.Now(), id.Step, uint64(id.Code))
+		},
+		Corrupt: func(id store.AtomID) {
+			in.faultCorruptions.Inc()
 		},
 	})
 	e.cfg.Store.SetIOObserver(func(addr, size int64, seq bool, cost time.Duration) {
@@ -220,4 +236,40 @@ func (in *instruments) noteUtilityPush() {
 		return
 	}
 	in.utilityPushes.Inc()
+}
+
+// noteRetry records one retried atom read and the backoff charged.
+func (in *instruments) noteRetry(now time.Duration, id store.AtomID, attempt int, backoff time.Duration) {
+	if in == nil {
+		return
+	}
+	in.faultRetries.Inc()
+	in.trace.FaultRetry(now, id.Step, uint64(id.Code), attempt, backoff)
+}
+
+// noteFaultAbort records a read abandoned after attempt+1 attempts.
+func (in *instruments) noteFaultAbort(now time.Duration, id store.AtomID, attempt int) {
+	if in == nil {
+		return
+	}
+	in.faultAborts.Inc()
+	in.trace.FaultAbort(now, id.Step, uint64(id.Code), attempt)
+}
+
+// noteCrash records the injector killing this node.
+func (in *instruments) noteCrash(now time.Duration, node int) {
+	if in == nil {
+		return
+	}
+	in.nodeCrashes.Inc()
+	in.trace.NodeCrash(now, node)
+}
+
+// noteStallAbort records a StallLimit abort (gated-execution deadlock).
+func (in *instruments) noteStallAbort(now time.Duration) {
+	if in == nil {
+		return
+	}
+	in.stallAborts.Inc()
+	in.trace.StallAbort(now)
 }

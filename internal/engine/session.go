@@ -179,7 +179,11 @@ func (s *Session) loop(e *Engine) {
 		}
 		if e.cfg.Sched.Pending() > 0 {
 			if batches := e.cfg.Sched.NextBatch(e.clock.Now()); len(batches) > 0 {
-				e.execute(batches)
+				if err := e.execute(batches); err != nil {
+					flush()
+					fail(err)
+					return
+				}
 				worked = true
 			}
 		} else if ev := e.events.Peek(); ev != nil {

@@ -6,6 +6,7 @@ import (
 
 	"jaws/internal/cache"
 	"jaws/internal/engine"
+	"jaws/internal/fault"
 	"jaws/internal/metrics"
 	"jaws/internal/sched"
 	"jaws/internal/store"
@@ -114,6 +115,7 @@ func runAblation(s Scale, cfg ablationConfig) (*AblationRow, error) {
 		RunLength:      s.RunLength,
 		Prefetch:       cfg.prefetch,
 		DeclareUpfront: cfg.declareUpfront,
+		Fault:          fault.New(s.FaultSpec, s.FaultSeed, 0),
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"jaws/internal/cache"
 	"jaws/internal/engine"
+	"jaws/internal/fault"
 	"jaws/internal/metrics"
 	"jaws/internal/sched"
 	"jaws/internal/store"
@@ -74,6 +75,7 @@ func AlphaDynamics(s Scale) (*AlphaResult, error) {
 		Cost:      s.Cost,
 		JobAware:  true,
 		RunLength: s.RunLength,
+		Fault:     fault.New(s.FaultSpec, s.FaultSeed, 0),
 	})
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ import (
 
 	"jaws/internal/cache"
 	"jaws/internal/engine"
+	"jaws/internal/fault"
 	"jaws/internal/geom"
 	"jaws/internal/job"
 	"jaws/internal/metrics"
@@ -42,6 +43,11 @@ type Scale struct {
 	// Obs, when non-nil, instruments every engine the suite builds
 	// (jawsbench threads its -trace-out/-metrics flags through here).
 	Obs *obs.Obs
+	// FaultSpec/FaultSeed inject deterministic faults into every engine
+	// the suite builds (jawsbench's -fault-spec/-fault-seed flags); the
+	// empty spec leaves the engines fault-free.
+	FaultSpec fault.Spec
+	FaultSeed int64
 }
 
 // DefaultScale is the evaluation scale used by jawsbench and the benches:
@@ -172,6 +178,7 @@ func runOne(s Scale, alg Algorithm, policy func(capacity int) cache.Policy, jobs
 		JobAware:  alg == AlgJAWS2,
 		RunLength: s.RunLength,
 		Obs:       s.Obs,
+		Fault:     fault.New(s.FaultSpec, s.FaultSeed, 0),
 		// NoShare shares no I/O across queries (§VI): the cache is
 		// flushed after every query, as in the paper's methodology.
 		FlushPerDecision: alg == AlgNoShare,

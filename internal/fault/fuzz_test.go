@@ -1,0 +1,40 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec hammers the spec parser with arbitrary strings: it must
+// never panic, and anything it accepts must render (String) back into a
+// spec it accepts again with identical rules.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("disk-transient:p=0.05,until=30s")
+	f.Add("crash@1:at=5s;disk-slow:p=0.1,extra=50ms")
+	f.Add("corrupt:p=0.01,after=10s;disk-permanent@3:p=0.001")
+	f.Add("disk-transient:p=;;crash@@1")
+	f.Add("crash:at=9999999999999h")
+	f.Add("disk-slow:p=1,extra=1ns,extra=2ns")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", s, spec.String(), err)
+		}
+		if len(again.Rules) != len(spec.Rules) {
+			t.Fatalf("round trip changed rule count: %q -> %q", s, spec.String())
+		}
+		for i := range spec.Rules {
+			if again.Rules[i] != spec.Rules[i] {
+				t.Fatalf("round trip changed rule %d: %+v vs %+v", i, spec.Rules[i], again.Rules[i])
+			}
+		}
+		for _, r := range spec.Rules {
+			if r.Kind != Crash && !(r.P > 0 && r.P <= 1) {
+				t.Fatalf("accepted out-of-range probability %g in %q", r.P, s)
+			}
+		}
+	})
+}

@@ -41,6 +41,19 @@ const (
 	// KindAlpha is an adaptation-run boundary: the run's smoothed inputs
 	// and the α the controller settled on.
 	KindAlpha Kind = "alpha"
+	// KindFaultRetry is one retried atom read after an injected transient
+	// disk error: Attempt is the zero-based retry index and Cost the
+	// backoff charged to the virtual clock before the next attempt.
+	KindFaultRetry Kind = "fault_retry"
+	// KindFaultAbort is a read abandoned after exhausting retries (or a
+	// non-retryable failure); the engine run errors out.
+	KindFaultAbort Kind = "fault_abort"
+	// KindNodeCrash marks the injector killing the node; Node carries the
+	// node index.
+	KindNodeCrash Kind = "node_crash"
+	// KindStallAbort marks the engine giving up after StallLimit
+	// iterations without progress (gated-execution deadlock).
+	KindStallAbort Kind = "stall_abort"
 )
 
 // Event is one structured trace record. Fields are a flat union across
@@ -73,6 +86,9 @@ type Event struct {
 	Run int     `json:"run,omitempty"` // alpha: adaptation-run index
 	Rt  float64 `json:"rt,omitempty"`  // alpha: smoothed mean response (s)
 	Tp  float64 `json:"tp,omitempty"`  // alpha: smoothed throughput (q/s)
+
+	Attempt int `json:"attempt,omitempty"` // fault: zero-based retry index
+	Node    int `json:"node,omitempty"`    // fault: crashed node index
 }
 
 // Tracer records events into a bounded ring buffer and, when a sink is
@@ -280,4 +296,37 @@ func (t *Tracer) Alpha(now time.Duration, run int, alpha, rt, tp float64) {
 		return
 	}
 	t.Emit(Event{T: now, Kind: KindAlpha, Run: run, Alpha: alpha, Rt: rt, Tp: tp})
+}
+
+// FaultRetry records a retried atom read: the atom, the zero-based retry
+// index, and the backoff charged before the next attempt.
+func (t *Tracer) FaultRetry(now time.Duration, step int, code uint64, attempt int, backoff time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindFaultRetry, Step: step, Code: code, Attempt: attempt, Cost: backoff})
+}
+
+// FaultAbort records a read abandoned after attempt+1 failed attempts.
+func (t *Tracer) FaultAbort(now time.Duration, step int, code uint64, attempt int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindFaultAbort, Step: step, Code: code, Attempt: attempt})
+}
+
+// NodeCrash records the injector killing node at virtual time now.
+func (t *Tracer) NodeCrash(now time.Duration, node int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindNodeCrash, Node: node})
+}
+
+// StallAbort records the engine aborting a stalled run.
+func (t *Tracer) StallAbort(now time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: now, Kind: KindStallAbort})
 }

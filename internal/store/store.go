@@ -138,9 +138,22 @@ func (s *Store) Read(id AtomID) (*field.Atom, time.Duration, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("store: atom %v not in this partition", id)
 	}
-	cost := s.array.Read(meta.addr, meta.size)
+	cost, err := s.array.ReadChecked(meta.addr, meta.size)
+	if err != nil {
+		// cost is the failure-detection latency; the engine charges it to
+		// the virtual clock before retrying or aborting.
+		return nil, cost, fmt.Errorf("store: atom %v: %w", id, err)
+	}
 	a := s.field.SampleGhost(id.Step, s.cfg.Space, geom.AtomFromCode(id.Code), s.cfg.SampleSide, s.cfg.SampleGhost)
 	return a, cost, nil
+}
+
+// SetFault installs (or, with nil, removes) a fault hook on the
+// underlying disk array: it is consulted before every read and may inject
+// an error or extra latency. See internal/fault for the deterministic
+// injector that normally backs it.
+func (s *Store) SetFault(fn func(addr, size int64) (time.Duration, error)) {
+	s.array.SetFault(fn)
 }
 
 // ScanStep calls fn for every atom of the given step in Morton order.

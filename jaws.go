@@ -29,6 +29,7 @@ import (
 	"jaws/internal/cache"
 	"jaws/internal/cluster"
 	"jaws/internal/engine"
+	"jaws/internal/fault"
 	"jaws/internal/field"
 	"jaws/internal/geom"
 	"jaws/internal/job"
@@ -89,7 +90,20 @@ type (
 	// Registry holds named counters, gauges and histograms with a
 	// Prometheus-style text exposition (WriteText).
 	Registry = obs.Registry
+	// FaultSpec is a parsed deterministic fault schedule (see
+	// ParseFaultSpec for the grammar).
+	FaultSpec = fault.Spec
+	// FaultCounts tallies the faults an injector imposed during a run.
+	FaultCounts = fault.Counts
+	// NodeCrashError is returned by a run whose node the fault injector
+	// crashed; the cluster layer recovers via replica failover.
+	NodeCrashError = fault.NodeCrashError
 )
+
+// ParseFaultSpec parses a fault schedule such as
+// "crash@1:at=5s;disk-transient:p=0.05,until=30s" (see internal/fault for
+// the full grammar). The empty string yields the empty (disabled) spec.
+var ParseFaultSpec = fault.ParseSpec
 
 // NewTracer creates a tracer keeping the last ringSize events in memory
 // (obs.DefaultRingSize if ≤ 0); sink, when non-nil, receives every event
@@ -252,6 +266,13 @@ type Config struct {
 	// Obs enables scheduling-decision tracing and metrics for every run of
 	// the system; nil (the default) keeps the engine uninstrumented.
 	Obs *Obs
+	// Fault schedules deterministic fault injection (disk errors, latency
+	// spikes, cache corruption, a node crash) for every run of the
+	// system; the empty spec leaves the fast path untouched.
+	Fault FaultSpec
+	// FaultSeed seeds the injector when Fault is non-empty; runs with the
+	// same (Fault, FaultSeed) replay identically.
+	FaultSeed int64
 }
 
 // System is an assembled single-node JAWS instance.
@@ -365,6 +386,7 @@ func (s *System) Run(jobs []*Job) (*Report, error) {
 		Prefetch:         s.cfg.Prefetch,
 		DeclareUpfront:   s.cfg.DeclareJobs,
 		Obs:              s.cfg.Obs,
+		Fault:            fault.New(s.cfg.Fault, s.cfg.FaultSeed, 0),
 	})
 	if err != nil {
 		return nil, err
@@ -400,6 +422,7 @@ func OpenSession(cfg Config) (*Session, error) {
 		Prefetch:         sys.cfg.Prefetch,
 		FlushPerDecision: sys.cfg.Scheduler == SchedNoShare,
 		Obs:              sys.cfg.Obs,
+		Fault:            fault.New(sys.cfg.Fault, sys.cfg.FaultSeed, 0),
 	})
 }
 
@@ -431,6 +454,15 @@ type ClusterConfig struct {
 	// Observe gives every node a metrics registry and merges them into
 	// ClusterReport.Metrics.
 	Observe bool
+	// Replicas is the data replication factor: a crashed node's jobs are
+	// rerun on the next live replica ((node+k) mod Nodes). 0 or 1
+	// disables failover.
+	Replicas int
+	// Fault/FaultSeed schedule deterministic fault injection on every
+	// node; each node derives its own independent stream. Node.Fault is
+	// ignored for cluster runs — use these instead.
+	Fault     FaultSpec
+	FaultSeed int64
 }
 
 // RunCluster partitions the jobs spatially across Nodes independent JAWS
@@ -499,6 +531,9 @@ func RunCluster(cfg ClusterConfig, jobs []*Job) (*ClusterReport, error) {
 		JobAware:  node.Scheduler == SchedJAWS2,
 		RunLength: node.RunLength,
 		Observe:   cfg.Observe,
+		Replicas:  cfg.Replicas,
+		FaultSpec: cfg.Fault,
+		FaultSeed: cfg.FaultSeed,
 	})
 	if err != nil {
 		return nil, err
