@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-obs fuzz-smoke bench-sched
+.PHONY: check build vet test race race-obs fuzz-smoke bench-sched bench bench-compare
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
@@ -36,3 +36,15 @@ fuzz-smoke:
 ## overhead (compare against a pre-change baseline).
 bench-sched:
 	$(GO) test -run xxx -bench BenchmarkFig10Schedulers -benchtime 2x .
+
+## bench: measure this tree into a versioned BENCH_*.json artifact
+## (byte-deterministic for a fixed config; see DESIGN.md §11).
+bench:
+	$(GO) run ./cmd/jawsbench -bench-out BENCH_pr.json
+
+## bench-compare: gate this tree against a committed baseline artifact
+## (exits 3 past the regression threshold). Usage:
+##   make bench-compare BASELINE=BENCH_main.json
+BASELINE ?= BENCH_main.json
+bench-compare:
+	$(GO) run ./cmd/jawsbench -compare $(BASELINE)

@@ -13,6 +13,16 @@
 // The mapping from experiment IDs to paper results is documented in
 // DESIGN.md §4; measured-versus-paper shapes are recorded in
 // EXPERIMENTS.md.
+//
+// Benchmark trajectory mode (DESIGN.md §11) sidesteps the experiment
+// tables and produces or gates a versioned BENCH_*.json artifact:
+//
+//	jawsbench -bench-out BENCH_pr.json             # measure this tree
+//	jawsbench -compare BENCH_main.json             # re-measure and gate
+//	jawsbench -compare BENCH_main.json -with BENCH_pr.json   # gate two files
+//
+// Compare mode exits 3 when throughput drops or p95 response rises by
+// more than -regress (default 10%).
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"jaws/internal/bench"
 	"jaws/internal/experiments"
 	"jaws/internal/fault"
 	"jaws/internal/metrics"
@@ -40,6 +51,11 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry after the experiments")
 	faultSpec := flag.String("fault-spec", "", "deterministic fault schedule for every experiment engine (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
+	benchOut := flag.String("bench-out", "", "run the benchmark workload and write a BENCH_*.json artifact to this file (skips the experiment tables)")
+	benchName := flag.String("bench-name", "jaws2", "artifact name recorded in -bench-out / fresh -compare runs")
+	compareWith := flag.String("compare", "", "baseline BENCH_*.json to gate against (re-measures unless -with is given; exits 3 on regression)")
+	withFile := flag.String("with", "", "candidate BENCH_*.json for -compare (instead of re-measuring)")
+	regress := flag.Float64("regress", 0.10, "regression threshold for -compare: max fractional throughput drop / p95 rise")
 	flag.Parse()
 
 	switch *format {
@@ -66,6 +82,11 @@ func main() {
 		fail(err)
 		scale.FaultSpec = spec
 		scale.FaultSeed = *faultSeed
+	}
+
+	if *benchOut != "" || *compareWith != "" {
+		benchMode(scale, *benchOut, *benchName, *compareWith, *withFile, *regress)
+		return
 	}
 
 	var tracer *obs.Tracer
@@ -205,6 +226,45 @@ func main() {
 	if !asCSV {
 		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// benchMode handles -bench-out and -compare: measure the tree, write the
+// artifact, and/or gate against a baseline. Exits 3 on regression.
+func benchMode(scale experiments.Scale, outPath, name, basePath, withPath string, threshold float64) {
+	var cur *bench.Artifact
+	if withPath != "" {
+		var err error
+		cur, err = bench.Load(withPath)
+		fail(err)
+	} else {
+		start := time.Now()
+		a, err := bench.Run(scale, name)
+		fail(err)
+		cur = a
+		fmt.Printf("benchmark: %d queries, %.3f q/s, p95 %.1f ms, cache hit %.0f%% (measured in %v)\n",
+			cur.Completed, cur.ThroughputQPS, cur.P95ResponseMS, cur.CacheHitRate*100,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if outPath != "" {
+		fail(cur.WriteFile(outPath))
+		fmt.Printf("artifact: %s\n", outPath)
+	}
+	if basePath == "" {
+		return
+	}
+	base, err := bench.Load(basePath)
+	fail(err)
+	regs, err := bench.Compare(base, cur, threshold)
+	fail(err)
+	if len(regs) == 0 {
+		fmt.Printf("gate: PASS vs %s (threshold %.0f%%)\n", basePath, threshold*100)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "gate: FAIL vs %s (threshold %.0f%%)\n", basePath, threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  regression: %s\n", r)
+	}
+	os.Exit(3)
 }
 
 // fig11Series groups the Fig. 11 grid into per-algorithm series.

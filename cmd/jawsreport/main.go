@@ -1,0 +1,148 @@
+// Command jawsreport reconstructs query lifecycles from a JSONL trace
+// (written by jaws -trace-out or jawsbench -trace-out) and reports where
+// response time went: percentiles, the per-phase attribution table, and
+// the starvation tail — the worst-k queries with their phase breakdowns.
+//
+// It also audits the trace itself: every span is checked against the
+// attribution invariant (phase components must sum exactly to the
+// response time), and the trace footer's drop counters are surfaced so a
+// truncated trace is never mistaken for a complete one.
+//
+// Usage:
+//
+//	jaws -sched jaws2 -jobs 200 -trace-out run.jsonl
+//	jawsreport run.jsonl
+//	jawsreport -k 20 < run.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"jaws/internal/metrics"
+	"jaws/internal/obs"
+)
+
+func main() {
+	worstK := flag.Int("k", 10, "size of the starvation tail (worst-k queries)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	if err := run(in, name, os.Stdout, *worstK); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// run streams the trace and writes the lifecycle report. Split out from
+// main so tests can drive it against golden files.
+func run(in io.Reader, name string, out io.Writer, worstK int) error {
+	var (
+		spans      []obs.Span
+		footer     *obs.TraceFooter
+		events     int64
+		violations int
+	)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		switch ev.Kind {
+		case obs.KindSpan:
+			if ev.Span == nil {
+				return fmt.Errorf("line %d: span event without payload", line)
+			}
+			if ev.Span.PhaseSum() != ev.Span.Total() {
+				violations++
+			}
+			spans = append(spans, *ev.Span)
+		case obs.KindFooter:
+			footer = ev.Footer
+		default:
+			events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no span events (was the trace written with lifecycle spans enabled?)", name)
+	}
+
+	sum := obs.SummarizeSpans(spans, worstK)
+	fmt.Fprintf(out, "trace: %s (%d spans, %d other events)\n", name, len(spans), events)
+
+	fmt.Fprintln(out, "\n== response time ==")
+	fmt.Fprintf(out, "queries: %d (%d gate-blocked)\n", sum.Count, sum.Blocked)
+	fmt.Fprintf(out, "mean %s   p50 %s   p90 %s   p95 %s   p99 %s   max %s\n",
+		fd(sum.Mean), fd(sum.P50), fd(sum.P90), fd(sum.P95), fd(sum.P99), fd(sum.Max))
+
+	fmt.Fprintln(out, "\n== attribution ==")
+	tb := &metrics.Table{Header: []string{"phase", "total", "share", "mean/query"}}
+	for _, row := range sum.Attribution() {
+		tb.AddRow(row.Name, fd(row.Total), fmt.Sprintf("%.1f%%", row.Share*100), fd(row.MeanPerQuery))
+	}
+	fmt.Fprint(out, tb.String())
+
+	if len(sum.WorstK) > 0 {
+		fmt.Fprintf(out, "\n== starvation tail (worst %d) ==\n", len(sum.WorstK))
+		wt := &metrics.Table{Header: []string{"query", "job", "total", "gated", "queued", "overhead", "disk", "compute", "dec", "hit/miss"}}
+		for i := range sum.WorstK {
+			sp := &sum.WorstK[i]
+			wt.AddRow(fmt.Sprint(sp.Query), fmt.Sprint(sp.Job), fd(sp.Total()),
+				fd(sp.Gated), fd(sp.Queued), fd(sp.Overhead), fd(sp.Disk), fd(sp.Compute),
+				fmt.Sprint(sp.Decisions), fmt.Sprintf("%d/%d", sp.Hits, sp.Misses))
+		}
+		fmt.Fprint(out, wt.String())
+	}
+
+	fmt.Fprintln(out, "\n== trace integrity ==")
+	if violations > 0 {
+		fmt.Fprintf(out, "WARNING: %d spans violate the attribution invariant (phase sum != total)\n", violations)
+	} else {
+		fmt.Fprintf(out, "attribution invariant: all %d spans conserve (phase sum == total)\n", len(spans))
+	}
+	switch {
+	case footer == nil:
+		fmt.Fprintln(out, "WARNING: no trace footer — the trace was cut short (writer crashed or was not closed)")
+	case footer.SinkDropped > 0:
+		fmt.Fprintf(out, "WARNING: footer reports %d events lost to sink write errors\n", footer.SinkDropped)
+	default:
+		fmt.Fprintf(out, "footer: %d events emitted, 0 lost\n", footer.Total)
+	}
+	return nil
+}
+
+// fd renders a duration with millisecond precision so reports stay
+// readable (and byte-stable) across runs.
+func fd(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jawsreport: "+format+"\n", args...)
+	os.Exit(1)
+}

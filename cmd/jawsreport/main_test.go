@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden locks the report's rendering against golden files; run with
+// -update after intentional output changes.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct{ fixture, golden string }{
+		{"trace.jsonl", "trace.golden"},
+		{"truncated.jsonl", "truncated.golden"},
+	} {
+		t.Run(tc.fixture, func(t *testing.T) {
+			in, err := os.Open(filepath.Join("testdata", tc.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer in.Close()
+			var out bytes.Buffer
+			if err := run(in, tc.fixture, &out, 10); err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (rerun with -update after intentional changes):\n%s", tc.golden, out.String())
+			}
+		})
+	}
+}
+
+// TestNoSpans checks the error path for a trace without lifecycle spans.
+func TestNoSpans(t *testing.T) {
+	in := bytes.NewBufferString(`{"t":0,"kind":"cache_hit","step":1,"code":5}` + "\n")
+	var out bytes.Buffer
+	if err := run(in, "nospans", &out, 10); err == nil {
+		t.Fatal("expected an error for a span-free trace")
+	}
+}

@@ -1,8 +1,11 @@
 // Command tracestat summarizes a JSONL decision trace written by
 // jaws -trace-out (or jawsbench -trace-out): the decision mix per
 // scheduler, batch-size statistics, cache hit ratio over virtual time,
-// the adaptive α trajectory, per-query gating waits, and the disk-read
-// profile.
+// the adaptive α trajectory, per-query gating waits, the disk-read
+// profile, and the trace footer's drop accounting.
+//
+// The trace is processed as a stream — one event in memory at a time —
+// so traces far larger than RAM summarize fine.
 //
 // Usage:
 //
@@ -35,29 +38,16 @@ func main() {
 		in = f
 		name = os.Args[1]
 	}
-
-	events, err := parse(in)
-	if err != nil {
+	if err := run(in, name, os.Stdout); err != nil {
 		fatalf("%v", err)
 	}
-	if len(events) == 0 {
-		fatalf("%s: no events", name)
-	}
-	fmt.Printf("trace: %s (%d events, %.1f virtual seconds)\n",
-		name, len(events), span(events).Seconds())
-
-	printKindMix(events)
-	printDecisions(events)
-	printCacheTimeline(events)
-	printAlphaTrajectory(events)
-	printGating(events)
-	printDisk(events)
 }
 
-// parse decodes one JSON event per line, skipping blank lines.
-func parse(r io.Reader) ([]obs.Event, error) {
-	var out []obs.Event
-	sc := bufio.NewScanner(r)
+// run streams the trace through an aggregator and prints the summary.
+// Split out from main so tests can drive it against golden files.
+func run(in io.Reader, name string, out io.Writer) error {
+	agg := newAggregator()
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	line := 0
 	for sc.Scan() {
@@ -68,208 +58,274 @@ func parse(r io.Reader) ([]obs.Event, error) {
 		}
 		var ev obs.Event
 		if err := json.Unmarshal(b, &ev); err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+			return fmt.Errorf("line %d: %w", line, err)
 		}
-		out = append(out, ev)
+		agg.add(&ev)
 	}
-	return out, sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if agg.events == 0 {
+		return fmt.Errorf("%s: no events", name)
+	}
+	agg.print(out, name)
+	return nil
 }
 
-// span returns the virtual time of the last event.
-func span(events []obs.Event) time.Duration {
-	var max time.Duration
-	for _, ev := range events {
-		if ev.T > max {
-			max = ev.T
-		}
+// timelineSlots is the fixed resolution of the streaming cache timeline.
+const timelineSlots = 32
+
+// schedAgg accumulates one scheduler's decision statistics.
+type schedAgg struct {
+	atoms  int
+	k      metrics.Summary
+	ut, ue metrics.Summary
+}
+
+// aggregator folds trace events into bounded state as they stream by:
+// every structure here is fixed-size or bounded by the event vocabulary
+// (schedulers, adaptation runs), never by the trace length.
+type aggregator struct {
+	events int64
+	maxT   time.Duration
+	counts map[obs.Kind]int64
+
+	bySched    map[string]*schedAgg
+	schedOrder []string
+
+	// Cache timeline: fixed slot count over a growing window. When an
+	// event lands past the window, the slot width doubles and adjacent
+	// pairs merge, so resolution degrades gracefully instead of memory
+	// growing with trace length.
+	slotDur      time.Duration
+	hitSlots     [timelineSlots]int64
+	missSlots    [timelineSlots]int64
+	hits, misses int64
+
+	alpha metrics.Series
+
+	wait                                   metrics.Summary
+	blocked, admitted, edgeAdm, edgeRej    int64
+	reads, seqReads                        int64
+	readBytes                              int64
+	readCost                               metrics.Summary
+	spans                                  int64
+	faultRetries, faultAborts, nodeCrashes int64
+
+	footer *obs.TraceFooter
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{
+		counts:  make(map[obs.Kind]int64),
+		bySched: make(map[string]*schedAgg),
+		slotDur: time.Millisecond,
+		alpha:   metrics.Series{Label: "α by adaptation run"},
 	}
-	return max
+}
+
+// slot buckets t into the timeline, widening the window as needed.
+func (a *aggregator) slot(t time.Duration) int {
+	if t < 0 {
+		t = 0
+	}
+	for t >= a.slotDur*timelineSlots {
+		for i := 0; i < timelineSlots/2; i++ {
+			a.hitSlots[i] = a.hitSlots[2*i] + a.hitSlots[2*i+1]
+			a.missSlots[i] = a.missSlots[2*i] + a.missSlots[2*i+1]
+		}
+		for i := timelineSlots / 2; i < timelineSlots; i++ {
+			a.hitSlots[i], a.missSlots[i] = 0, 0
+		}
+		a.slotDur *= 2
+	}
+	return int(t / a.slotDur)
+}
+
+// add folds one event in.
+func (a *aggregator) add(ev *obs.Event) {
+	if ev.Kind == obs.KindFooter {
+		a.footer = ev.Footer
+		return // a file property, not a simulation event
+	}
+	a.events++
+	a.counts[ev.Kind]++
+	if ev.T > a.maxT {
+		a.maxT = ev.T
+	}
+	switch ev.Kind {
+	case obs.KindDecision:
+		s := a.bySched[ev.Sched]
+		if s == nil {
+			s = &schedAgg{}
+			a.bySched[ev.Sched] = s
+			a.schedOrder = append(a.schedOrder, ev.Sched)
+		}
+		s.atoms++
+		s.k.Add(float64(ev.K))
+		s.ut.Add(ev.Ut)
+		s.ue.Add(ev.Ue)
+	case obs.KindCacheHit:
+		a.hits++
+		a.hitSlots[a.slot(ev.T)]++
+	case obs.KindCacheMiss:
+		a.misses++
+		a.missSlots[a.slot(ev.T)]++
+	case obs.KindAlpha:
+		a.alpha.Append(float64(ev.Run), ev.Alpha)
+	case obs.KindGateBlock:
+		a.blocked++
+	case obs.KindGateAdmit:
+		a.admitted++
+		a.wait.Add(ev.Wait.Seconds())
+	case obs.KindEdgeAdmit:
+		a.edgeAdm++
+	case obs.KindEdgeReject:
+		a.edgeRej++
+	case obs.KindDiskRead:
+		a.reads++
+		if ev.Seq {
+			a.seqReads++
+		}
+		a.readBytes += ev.Bytes
+		a.readCost.Add(ev.Cost.Seconds())
+	case obs.KindSpan:
+		a.spans++
+	case obs.KindFaultRetry:
+		a.faultRetries++
+	case obs.KindFaultAbort:
+		a.faultAborts++
+	case obs.KindNodeCrash:
+		a.nodeCrashes++
+	}
+}
+
+func (a *aggregator) print(out io.Writer, name string) {
+	fmt.Fprintf(out, "trace: %s (%d events, %.1f virtual seconds)\n",
+		name, a.events, a.maxT.Seconds())
+	a.printKindMix(out)
+	a.printDecisions(out)
+	a.printCacheTimeline(out)
+	a.printAlphaTrajectory(out)
+	a.printGating(out)
+	a.printDisk(out)
+	a.printFooter(out)
 }
 
 // printKindMix tabulates event counts by kind.
-func printKindMix(events []obs.Event) {
-	counts := make(map[obs.Kind]int)
-	for _, ev := range events {
-		counts[ev.Kind]++
-	}
+func (a *aggregator) printKindMix(out io.Writer) {
 	order := []obs.Kind{
 		obs.KindDecision, obs.KindCacheHit, obs.KindCacheMiss,
 		obs.KindCacheEvict, obs.KindDiskRead, obs.KindEdgeAdmit,
 		obs.KindEdgeReject, obs.KindGateBlock, obs.KindGateAdmit,
 		obs.KindPrefetch, obs.KindAlpha, obs.KindFaultRetry,
 		obs.KindFaultAbort, obs.KindNodeCrash, obs.KindStallAbort,
+		obs.KindSpan,
 	}
 	tb := &metrics.Table{Header: []string{"kind", "events", "share"}}
 	for _, k := range order {
-		if counts[k] == 0 {
+		if a.counts[k] == 0 {
 			continue
 		}
-		tb.AddRow(string(k), fmt.Sprintf("%d", counts[k]),
-			fmt.Sprintf("%.1f%%", 100*float64(counts[k])/float64(len(events))))
+		tb.AddRow(string(k), fmt.Sprintf("%d", a.counts[k]),
+			fmt.Sprintf("%.1f%%", 100*float64(a.counts[k])/float64(a.events)))
 	}
-	fmt.Println("\n== event mix ==")
-	fmt.Print(tb.String())
+	fmt.Fprintln(out, "\n== event mix ==")
+	fmt.Fprint(out, tb.String())
 }
 
 // printDecisions summarizes the scheduling decisions per scheduler.
-func printDecisions(events []obs.Event) {
-	type agg struct {
-		atoms    int
-		k        metrics.Summary
-		ut, ue   metrics.Summary
-		lastSeen time.Duration
-	}
-	bySched := make(map[string]*agg)
-	var order []string
-	for _, ev := range events {
-		if ev.Kind != obs.KindDecision {
-			continue
-		}
-		a := bySched[ev.Sched]
-		if a == nil {
-			a = &agg{}
-			bySched[ev.Sched] = a
-			order = append(order, ev.Sched)
-		}
-		a.atoms++
-		a.k.Add(float64(ev.K))
-		a.ut.Add(ev.Ut)
-		a.ue.Add(ev.Ue)
-		a.lastSeen = ev.T
-	}
-	if len(order) == 0 {
+func (a *aggregator) printDecisions(out io.Writer) {
+	if len(a.schedOrder) == 0 {
 		return
 	}
 	tb := &metrics.Table{Header: []string{"scheduler", "atoms", "mean k", "mean U_t", "mean U_e"}}
-	for _, s := range order {
-		a := bySched[s]
-		tb.AddRow(s, fmt.Sprintf("%d", a.atoms),
-			fmt.Sprintf("%.1f", a.k.Mean()),
-			fmt.Sprintf("%.1f", a.ut.Mean()),
-			fmt.Sprintf("%.1f", a.ue.Mean()))
+	for _, s := range a.schedOrder {
+		g := a.bySched[s]
+		tb.AddRow(s, fmt.Sprintf("%d", g.atoms),
+			fmt.Sprintf("%.1f", g.k.Mean()),
+			fmt.Sprintf("%.1f", g.ut.Mean()),
+			fmt.Sprintf("%.1f", g.ue.Mean()))
 	}
-	fmt.Println("\n== scheduling decisions ==")
-	fmt.Print(tb.String())
+	fmt.Fprintln(out, "\n== scheduling decisions ==")
+	fmt.Fprint(out, tb.String())
 }
 
-// printCacheTimeline buckets hits/misses over virtual time and charts the
-// hit ratio's evolution.
-func printCacheTimeline(events []obs.Event) {
-	var hits, misses int
-	for _, ev := range events {
-		switch ev.Kind {
-		case obs.KindCacheHit:
-			hits++
-		case obs.KindCacheMiss:
-			misses++
-		}
-	}
-	if hits+misses == 0 {
+// printCacheTimeline charts the hit ratio's evolution over virtual time.
+func (a *aggregator) printCacheTimeline(out io.Writer) {
+	if a.hits+a.misses == 0 {
 		return
 	}
-	fmt.Println("\n== cache ==")
-	fmt.Printf("overall: %.1f%% hit (%d hits / %d misses)\n",
-		100*float64(hits)/float64(hits+misses), hits, misses)
+	fmt.Fprintln(out, "\n== cache ==")
+	fmt.Fprintf(out, "overall: %.1f%% hit (%d hits / %d misses)\n",
+		100*float64(a.hits)/float64(a.hits+a.misses), a.hits, a.misses)
 
-	const buckets = 20
-	total := span(events)
-	if total <= 0 {
-		return
-	}
-	var h, m [buckets]int
-	for _, ev := range events {
-		if ev.Kind != obs.KindCacheHit && ev.Kind != obs.KindCacheMiss {
-			continue
-		}
-		i := int(int64(ev.T) * buckets / int64(total+1))
-		if ev.Kind == obs.KindCacheHit {
-			h[i]++
-		} else {
-			m[i]++
-		}
-	}
 	s := metrics.Series{Label: "hit ratio % over virtual time"}
-	for i := 0; i < buckets; i++ {
-		if h[i]+m[i] == 0 {
+	for i := 0; i < timelineSlots; i++ {
+		h, m := a.hitSlots[i], a.missSlots[i]
+		if h+m == 0 {
 			continue
 		}
-		at := total.Seconds() * (float64(i) + 0.5) / buckets
-		s.Append(at, 100*float64(h[i])/float64(h[i]+m[i]))
+		at := a.slotDur.Seconds() * (float64(i) + 0.5)
+		s.Append(at, 100*float64(h)/float64(h+m))
 	}
 	if len(s.X) > 1 {
-		fmt.Print(metrics.LineChart([]metrics.Series{s}, 8))
+		fmt.Fprint(out, metrics.LineChart([]metrics.Series{s}, 8))
 	}
 }
 
 // printAlphaTrajectory charts α over the adaptation runs.
-func printAlphaTrajectory(events []obs.Event) {
-	s := metrics.Series{Label: "α by adaptation run"}
-	for _, ev := range events {
-		if ev.Kind == obs.KindAlpha {
-			s.Append(float64(ev.Run), ev.Alpha)
-		}
-	}
-	if len(s.X) == 0 {
+func (a *aggregator) printAlphaTrajectory(out io.Writer) {
+	if len(a.alpha.X) == 0 {
 		return
 	}
-	fmt.Println("\n== adaptive age bias ==")
-	fmt.Printf("runs: %d   final α: %.3f\n", len(s.X), s.Y[len(s.Y)-1])
-	if len(s.X) > 1 {
-		fmt.Print(metrics.LineChart([]metrics.Series{s}, 8))
+	fmt.Fprintln(out, "\n== adaptive age bias ==")
+	fmt.Fprintf(out, "runs: %d   final α: %.3f\n", len(a.alpha.X), a.alpha.Y[len(a.alpha.Y)-1])
+	if len(a.alpha.X) > 1 {
+		fmt.Fprint(out, metrics.LineChart([]metrics.Series{a.alpha}, 8))
 	}
 }
 
 // printGating summarizes per-query gating waits and edge decisions.
-func printGating(events []obs.Event) {
-	var wait metrics.Summary
-	var blocked, admitted, edgeAdmit, edgeReject int
-	for _, ev := range events {
-		switch ev.Kind {
-		case obs.KindGateBlock:
-			blocked++
-		case obs.KindGateAdmit:
-			admitted++
-			wait.Add(ev.Wait.Seconds())
-		case obs.KindEdgeAdmit:
-			edgeAdmit++
-		case obs.KindEdgeReject:
-			edgeReject++
-		}
-	}
-	if blocked+admitted+edgeAdmit+edgeReject == 0 {
+func (a *aggregator) printGating(out io.Writer) {
+	if a.blocked+a.admitted+a.edgeAdm+a.edgeRej == 0 {
 		return
 	}
-	fmt.Println("\n== job-aware gating ==")
-	fmt.Printf("edges: %d admitted, %d rejected\n", edgeAdmit, edgeReject)
-	fmt.Printf("queries blocked: %d, later admitted: %d\n", blocked, admitted)
-	if wait.N() > 0 {
-		fmt.Printf("gating wait: mean %.3fs  min %.3fs  max %.3fs\n",
-			wait.Mean(), wait.Min(), wait.Max())
+	fmt.Fprintln(out, "\n== job-aware gating ==")
+	fmt.Fprintf(out, "edges: %d admitted, %d rejected\n", a.edgeAdm, a.edgeRej)
+	fmt.Fprintf(out, "queries blocked: %d, later admitted: %d\n", a.blocked, a.admitted)
+	if a.wait.N() > 0 {
+		fmt.Fprintf(out, "gating wait: mean %.3fs  min %.3fs  max %.3fs\n",
+			a.wait.Mean(), a.wait.Min(), a.wait.Max())
 	}
 }
 
 // printDisk summarizes the read profile.
-func printDisk(events []obs.Event) {
-	var reads, seq int
-	var bytes int64
-	var cost metrics.Summary
-	for _, ev := range events {
-		if ev.Kind != obs.KindDiskRead {
-			continue
-		}
-		reads++
-		if ev.Seq {
-			seq++
-		}
-		bytes += ev.Bytes
-		cost.Add(ev.Cost.Seconds())
-	}
-	if reads == 0 {
+func (a *aggregator) printDisk(out io.Writer) {
+	if a.reads == 0 {
 		return
 	}
-	fmt.Println("\n== disk ==")
-	fmt.Printf("reads: %d (%.1f%% sequential), %.2f GB, mean cost %.1f ms\n",
-		reads, 100*float64(seq)/float64(reads), float64(bytes)/1e9, cost.Mean()*1e3)
+	fmt.Fprintln(out, "\n== disk ==")
+	fmt.Fprintf(out, "reads: %d (%.1f%% sequential), %.2f GB, mean cost %.1f ms\n",
+		a.reads, 100*float64(a.seqReads)/float64(a.reads),
+		float64(a.readBytes)/1e9, a.readCost.Mean()*1e3)
+}
+
+// printFooter audits the trace against its closing record.
+func (a *aggregator) printFooter(out io.Writer) {
+	fmt.Fprintln(out, "\n== trace integrity ==")
+	if a.footer == nil {
+		fmt.Fprintln(out, "WARNING: no trace footer — the trace was cut short (writer crashed or was not closed)")
+		return
+	}
+	fmt.Fprintf(out, "footer: %d events emitted, %d dropped from the ring window, %d lost by the sink\n",
+		a.footer.Total, a.footer.RingDropped, a.footer.SinkDropped)
+	if a.footer.SinkDropped > 0 {
+		fmt.Fprintf(out, "WARNING: %d events missing from this file (sink write errors)\n", a.footer.SinkDropped)
+	}
+	if got := a.events; a.footer.Total != got+a.footer.SinkDropped {
+		fmt.Fprintf(out, "WARNING: file holds %d events but the footer claims %d emitted\n", got, a.footer.Total)
+	}
 }
 
 func fatalf(format string, args ...any) {

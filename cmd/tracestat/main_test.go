@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jaws/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden locks the summary's rendering against golden files; run with
+// -update after intentional output changes.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct{ fixture, golden string }{
+		{"trace.jsonl", "trace.golden"},
+		{"truncated.jsonl", "truncated.golden"},
+	} {
+		t.Run(tc.fixture, func(t *testing.T) {
+			in, err := os.Open(filepath.Join("testdata", tc.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer in.Close()
+			var out bytes.Buffer
+			if err := run(in, tc.fixture, &out); err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (rerun with -update after intentional changes):\n%s", tc.golden, out.String())
+			}
+		})
+	}
+}
+
+// TestStreamingTimelineRescale feeds a synthetic stream whose virtual span
+// vastly exceeds the timeline's initial window and checks the aggregate
+// stays exact while memory stays fixed.
+func TestStreamingTimelineRescale(t *testing.T) {
+	var b strings.Builder
+	const n = 5000
+	for i := 0; i < n; i++ {
+		kind := obs.KindCacheHit
+		if i%4 == 0 {
+			kind = obs.KindCacheMiss
+		}
+		// Spread events over ~83 virtual minutes: the millisecond-wide
+		// initial window must double many times.
+		fmt.Fprintf(&b, `{"t":%d,"kind":"%s","step":1,"code":5}`+"\n", int64(i)*1_000_000_000, kind)
+	}
+	var out bytes.Buffer
+	if err := run(strings.NewReader(b.String()), "synthetic", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, fmt.Sprintf("%d hits", n-n/4)) || !strings.Contains(s, fmt.Sprintf("%d misses", n/4)) {
+		t.Fatalf("hit/miss totals lost in rescaling:\n%s", s)
+	}
+	var hits, misses int64
+	agg := newAggregator()
+	for i := 0; i < n; i++ {
+		ev := obs.Event{T: time.Duration(i) * time.Second, Kind: obs.KindCacheHit}
+		if i%4 == 0 {
+			ev.Kind = obs.KindCacheMiss
+		}
+		agg.add(&ev)
+	}
+	for i := 0; i < timelineSlots; i++ {
+		hits += agg.hitSlots[i]
+		misses += agg.missSlots[i]
+	}
+	if hits != n-n/4 || misses != n/4 {
+		t.Fatalf("slot totals %d/%d after rescale, want %d/%d", hits, misses, n-n/4, n/4)
+	}
+}
+
+// TestEmptyTrace checks the error path.
+func TestEmptyTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), "empty", &out); err == nil {
+		t.Fatal("expected an error for an empty trace")
+	}
+}

@@ -17,10 +17,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,18 @@ import (
 )
 
 func main() {
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	flag.Parse()
+
+	// Diagnostics are served on their own listener, never the public mux:
+	// the public service exposes /query and /metrics only.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			log.Println(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
 	nodeCfg := jaws.Config{
 		Space:      jaws.Space{GridSide: 128, AtomSide: 32},
 		Steps:      8,

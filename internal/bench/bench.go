@@ -1,0 +1,226 @@
+// Package bench produces versioned, machine-readable benchmark artifacts
+// (BENCH_<name>.json) from the evaluation harness, so the repository can
+// track its own performance trajectory PR over PR: each artifact captures
+// throughput, response-time percentiles, per-phase attribution, and the
+// exact configuration that produced them, and Compare gates a new artifact
+// against an old one with a regression threshold.
+//
+// Determinism contract: for a fixed (workload, seed, config) the artifact
+// bytes are identical across runs and machines. Everything in the artifact
+// derives from the virtual clock and integer arithmetic — no wall-clock
+// timestamps, no map iteration, no float accumulation whose order varies.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"jaws/internal/experiments"
+	"jaws/internal/obs"
+)
+
+// ArtifactVersion is the BENCH_*.json schema version. Bump it on any
+// incompatible change to Artifact's shape; Load rejects other versions so
+// cross-version comparisons fail loudly instead of silently misreading.
+const ArtifactVersion = 1
+
+// ConfigRecord pins the simulation parameters that produced an artifact.
+// Two artifacts are comparable only if their configs match.
+type ConfigRecord struct {
+	GridSide       int    `json:"grid_side"`
+	AtomSide       int    `json:"atom_side"`
+	Steps          int    `json:"steps"`
+	Seed           int64  `json:"seed"`
+	Jobs           int    `json:"jobs"`
+	PointsPerQuery int    `json:"points_per_query"`
+	QueryScale     int    `json:"query_scale"`
+	CacheAtoms     int    `json:"cache_atoms"`
+	BatchSize      int    `json:"batch_size"`
+	RunLength      int    `json:"run_length"`
+	TbMillis       int64  `json:"tb_ms"`
+	TmMicros       int64  `json:"tm_us"`
+	Algorithm      string `json:"algorithm"`
+}
+
+// PhaseMeans is the per-query mean of each attribution phase, in
+// milliseconds of virtual time (see obs.Span for phase semantics).
+type PhaseMeans struct {
+	GatedMS    float64 `json:"gated_ms"`
+	QueuedMS   float64 `json:"queued_ms"`
+	OverheadMS float64 `json:"overhead_ms"`
+	DiskMS     float64 `json:"disk_ms"`
+	ComputeMS  float64 `json:"compute_ms"`
+}
+
+// Artifact is one benchmark measurement: the content of a BENCH_*.json
+// file. Field order here is the byte order in the file (encoding/json
+// emits struct fields in declaration order).
+type Artifact struct {
+	Version int          `json:"version"`
+	Name    string       `json:"name"`
+	Config  ConfigRecord `json:"config"`
+
+	Completed     int     `json:"completed"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+
+	MeanResponseMS float64 `json:"mean_response_ms"`
+	P50ResponseMS  float64 `json:"p50_response_ms"`
+	P90ResponseMS  float64 `json:"p90_response_ms"`
+	P95ResponseMS  float64 `json:"p95_response_ms"`
+	P99ResponseMS  float64 `json:"p99_response_ms"`
+	MaxResponseMS  float64 `json:"max_response_ms"`
+
+	Phases PhaseMeans `json:"phase_means"`
+
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	DiskReads    int64   `json:"disk_reads"`
+	DiskSeqReads int64   `json:"disk_seq_reads"`
+	DiskBytes    int64   `json:"disk_bytes"`
+
+	GateBlocked int `json:"gate_blocked"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func record(s experiments.Scale, alg experiments.Algorithm) ConfigRecord {
+	return ConfigRecord{
+		GridSide:       s.Space.GridSide,
+		AtomSide:       s.Space.AtomSide,
+		Steps:          s.Steps,
+		Seed:           s.Seed,
+		Jobs:           s.Jobs,
+		PointsPerQuery: s.PointsPerQuery,
+		QueryScale:     s.QueryScale,
+		CacheAtoms:     s.CacheAtoms,
+		BatchSize:      s.BatchSize,
+		RunLength:      s.RunLength,
+		TbMillis:       s.Cost.Tb.Milliseconds(),
+		TmMicros:       s.Cost.Tm.Microseconds(),
+		Algorithm:      alg.String(),
+	}
+}
+
+// Run executes the JAWS2 benchmark workload at the given scale with span
+// collection enabled and distills the report into an artifact. The scale's
+// Obs is replaced for the run (a fresh span aggregator, no tracer, no
+// registry) so the measurement is self-contained and repeatable.
+func Run(s experiments.Scale, name string) (*Artifact, error) {
+	alg := experiments.AlgJAWS2
+	agg := obs.NewSpanAgg()
+	s.Obs = &obs.Obs{Spans: agg}
+	rep, err := experiments.RunAlgorithm(s, alg, s.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	sum := agg.Summarize(0)
+	a := &Artifact{
+		Version: ArtifactVersion,
+		Name:    name,
+		Config:  record(s, alg),
+
+		Completed:     rep.Completed,
+		ElapsedSec:    rep.Elapsed.Seconds(),
+		ThroughputQPS: rep.ThroughputQPS,
+
+		MeanResponseMS: ms(sum.Mean),
+		P50ResponseMS:  ms(sum.P50),
+		P90ResponseMS:  ms(sum.P90),
+		P95ResponseMS:  ms(sum.P95),
+		P99ResponseMS:  ms(sum.P99),
+		MaxResponseMS:  ms(sum.Max),
+
+		CacheHitRate: rep.CacheStats.HitRatio(),
+		DiskReads:    rep.DiskStats.Reads,
+		DiskSeqReads: rep.DiskStats.SeqReads,
+		DiskBytes:    rep.DiskStats.Bytes,
+
+		GateBlocked: sum.Blocked,
+	}
+	if sum.Count > 0 {
+		n := time.Duration(sum.Count)
+		a.Phases = PhaseMeans{
+			GatedMS:    ms(sum.Phases.Gated / n),
+			QueuedMS:   ms(sum.Phases.Queued / n),
+			OverheadMS: ms(sum.Phases.Overhead / n),
+			DiskMS:     ms(sum.Phases.Disk / n),
+			ComputeMS:  ms(sum.Phases.Compute / n),
+		}
+	}
+	return a, nil
+}
+
+// Encode renders the artifact's canonical byte form: two-space indented
+// JSON in struct declaration order plus a trailing newline. Identical
+// inputs yield identical bytes.
+func (a *Artifact) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the canonical encoding to path.
+func (a *Artifact) WriteFile(path string) error {
+	b, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads an artifact, rejecting unknown schema versions.
+func Load(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, this build reads version %d", path, a.Version, ArtifactVersion)
+	}
+	return &a, nil
+}
+
+// Regression describes one gated metric that moved past the threshold.
+type Regression struct {
+	Metric string  // which number regressed
+	Old    float64 // baseline value
+	New    float64 // measured value
+	Delta  float64 // relative change, signed (negative = worse throughput, positive = worse latency)
+}
+
+// String renders the regression for CLI output.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4f -> %.4f (%+.1f%%)", r.Metric, r.Old, r.New, r.Delta*100)
+}
+
+// Compare gates cur against old: throughput must not drop, and p95
+// response must not rise, by more than threshold (a fraction; 0.10 means
+// 10%). It returns the regressions found (empty means the gate passes) and
+// an error when the artifacts are not comparable at all.
+func Compare(old, cur *Artifact, threshold float64) ([]Regression, error) {
+	if old.Config != cur.Config {
+		return nil, fmt.Errorf("bench: artifacts are not comparable: config %+v vs %+v", old.Config, cur.Config)
+	}
+	var regs []Regression
+	if old.ThroughputQPS > 0 {
+		delta := (cur.ThroughputQPS - old.ThroughputQPS) / old.ThroughputQPS
+		if delta < -threshold {
+			regs = append(regs, Regression{Metric: "throughput_qps", Old: old.ThroughputQPS, New: cur.ThroughputQPS, Delta: delta})
+		}
+	}
+	if old.P95ResponseMS > 0 {
+		delta := (cur.P95ResponseMS - old.P95ResponseMS) / old.P95ResponseMS
+		if delta > threshold {
+			regs = append(regs, Regression{Metric: "p95_response_ms", Old: old.P95ResponseMS, New: cur.P95ResponseMS, Delta: delta})
+		}
+	}
+	return regs, nil
+}

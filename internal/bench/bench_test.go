@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"jaws/internal/experiments"
+)
+
+// TestArtifactByteDeterminism runs the same benchmark twice and demands
+// byte-identical artifacts: the determinism contract the trajectory
+// harness depends on.
+func TestArtifactByteDeterminism(t *testing.T) {
+	s := experiments.TestScale()
+	a1, err := Run(s, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(s, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := a1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("artifact bytes differ between identical runs:\n%s\n--- vs ---\n%s", b1, b2)
+	}
+	if a1.Completed == 0 || a1.ThroughputQPS <= 0 {
+		t.Fatalf("degenerate artifact: %+v", a1)
+	}
+	if a1.Phases == (PhaseMeans{}) {
+		t.Fatal("artifact carries no phase attribution")
+	}
+}
+
+// TestArtifactRoundTrip writes and reloads an artifact.
+func TestArtifactRoundTrip(t *testing.T) {
+	s := experiments.TestScale()
+	a, err := Run(s, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_roundtrip.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("round trip changed artifact:\n got %+v\nwant %+v", got, a)
+	}
+}
+
+// TestLoadRejectsOtherVersions ensures cross-version comparisons fail
+// loudly.
+func TestLoadRejectsOtherVersions(t *testing.T) {
+	s := experiments.TestScale()
+	a, err := Run(s, "ver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Version = ArtifactVersion + 1
+	path := filepath.Join(t.TempDir(), "BENCH_ver.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a foreign schema version")
+	}
+}
+
+// TestCompareGatesRegressions doctors a ≥10% throughput drop and a p95
+// rise and checks both trip the gate, while the identity comparison and
+// sub-threshold drift pass.
+func TestCompareGatesRegressions(t *testing.T) {
+	s := experiments.TestScale()
+	base, err := Run(s, "cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if regs, err := Compare(base, base, 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("identity comparison failed: regs=%v err=%v", regs, err)
+	}
+
+	slow := *base
+	slow.ThroughputQPS = base.ThroughputQPS * 0.85 // 15% drop
+	slow.P95ResponseMS = base.P95ResponseMS * 1.30 // 30% rise
+	regs, err := Compare(base, &slow, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (throughput, p95), got %v", regs)
+	}
+
+	drift := *base
+	drift.ThroughputQPS = base.ThroughputQPS * 0.95 // within threshold
+	if regs, err := Compare(base, &drift, 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("5%% drift should pass a 10%% gate: regs=%v err=%v", regs, err)
+	}
+
+	other := *base
+	other.Config.Seed++
+	if _, err := Compare(base, &other, 0.10); err == nil {
+		t.Fatal("Compare accepted artifacts with different configs")
+	}
+}

@@ -156,6 +156,11 @@ type Report struct {
 	// toward Completed is aggregated — and the mediator adds its own
 	// jaws_node_crashes_total / jaws_failovers_total counters.
 	Metrics *obs.Registry
+	// Spans pools every kept node run's completed query-lifecycle spans
+	// (per-node response-time attribution merged at the mediator); nil
+	// unless Config.Observe. Crashed runs' spans are discarded with the
+	// rest of their report (exactly-once accounting).
+	Spans *obs.SpanAgg
 	// Failovers counts crashed nodes whose jobs a replica successfully
 	// reran; FailedNodes lists nodes whose partitions ended unserved.
 	Failovers   int
@@ -266,17 +271,15 @@ func (c *Cluster) split(jobs []*job.Job) map[int][]*job.Job {
 // runNode executes njobs on one node with a fresh store, cache, scheduler
 // and — when fault injection is configured — the node's own deterministic
 // injector.
-func (c *Cluster) runNode(node int, njobs []*job.Job) (*engine.Report, *obs.Registry, error) {
+func (c *Cluster) runNode(node int, njobs []*job.Job) (*engine.Report, *obs.Obs, error) {
 	st, err := store.Open(c.cfg.Store)
 	if err != nil {
 		return nil, nil, err
 	}
 	ch := cache.New(c.cfg.CacheAtoms, c.cfg.NewPolicy())
 	var o *obs.Obs
-	var reg *obs.Registry
 	if c.cfg.Observe {
-		reg = obs.NewRegistry()
-		o = &obs.Obs{Reg: reg}
+		o = &obs.Obs{Reg: obs.NewRegistry(), Spans: obs.NewSpanAgg()}
 	}
 	e, err := engine.New(engine.Config{
 		Store:     st,
@@ -292,7 +295,7 @@ func (c *Cluster) runNode(node int, njobs []*job.Job) (*engine.Report, *obs.Regi
 		return nil, nil, err
 	}
 	rep, err := e.Run(njobs)
-	return rep, reg, err
+	return rep, o, err
 }
 
 // Run splits the jobs, executes every node concurrently, and aggregates.
@@ -322,7 +325,7 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 	type result struct {
 		node int
 		rep  *engine.Report
-		reg  *obs.Registry
+		obs  *obs.Obs
 		err  error
 	}
 	var wg sync.WaitGroup
@@ -335,8 +338,8 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 		wg.Add(1)
 		go func(n int, njobs []*job.Job) {
 			defer wg.Done()
-			rep, reg, err := c.runNode(n, njobs)
-			results <- result{node: n, rep: rep, reg: reg, err: err}
+			rep, o, err := c.runNode(n, njobs)
+			results <- result{node: n, rep: rep, obs: o, err: err}
 		}(n, njobs)
 	}
 	wg.Wait()
@@ -345,27 +348,29 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 	rep := &Report{}
 	if c.cfg.Observe {
 		rep.Metrics = obs.NewRegistry()
+		rep.Spans = obs.NewSpanAgg()
 	}
-	served := make(map[int]bool)     // partition → fully executed by someone
-	crashed := make(map[int]bool)    // node → injector killed it (dead host)
+	served := make(map[int]bool)  // partition → fully executed by someone
+	crashed := make(map[int]bool) // node → injector killed it (dead host)
 	hostElapsed := make(map[int]float64)
 	var crashes, toFailover []int
 	var errs []error
 
-	keep := func(host, forNode int, r *engine.Report, reg *obs.Registry) {
+	keep := func(host, forNode int, r *engine.Report, o *obs.Obs) {
 		served[forNode] = true
 		rep.PerNode = append(rep.PerNode, NodeReport{Node: host, For: forNode, Report: r})
 		hostElapsed[host] += r.Elapsed.Seconds()
 		if rep.Metrics != nil {
-			rep.Metrics.Merge(reg)
+			rep.Metrics.Merge(o.Registry())
 		}
+		rep.Spans.Merge(o.SpanAggregator())
 	}
 
 	for r := range results {
 		var crash *fault.NodeCrashError
 		switch {
 		case r.err == nil:
-			keep(r.node, r.node, r.rep, r.reg)
+			keep(r.node, r.node, r.rep, r.obs)
 		case errors.As(r.err, &crash):
 			// The run died mid-flight: discard its partial report and
 			// registry entirely (exactly-once accounting) and line the
@@ -391,11 +396,11 @@ func (c *Cluster) Run(jobs []*job.Job) (*Report, error) {
 			}
 			// Fresh split: the crashed run mutated its copies' arrivals.
 			njobs := c.split(jobs)[dead]
-			frep, freg, err := c.runNode(host, njobs)
+			frep, fobs, err := c.runNode(host, njobs)
 			var crash *fault.NodeCrashError
 			switch {
 			case err == nil:
-				keep(host, dead, frep, freg)
+				keep(host, dead, frep, fobs)
 				rep.Failovers++
 			case errors.As(err, &crash):
 				// The replica's own schedule killed this rerun; the host

@@ -272,6 +272,25 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// advance charges d to the virtual clock and attributes it to the
+// in-flight spans under the given cause. Uninstrumented runs pay one nil
+// check on top of the clock bump.
+func (e *Engine) advance(d time.Duration, c spanCause) {
+	e.clock.Advance(d)
+	e.inst.noteAdvance(c, d)
+}
+
+// advanceTo fast-forwards the clock to at (never backwards), attributing
+// the jump as queueing wait.
+func (e *Engine) advanceTo(at time.Duration) {
+	d := at - e.clock.Now()
+	if d <= 0 {
+		return
+	}
+	e.clock.AdvanceTo(at)
+	e.inst.noteAdvance(causeWait, d)
+}
+
 // estimateTb returns the cold-read cost of one nominal atom on the default
 // disk array — the empirically derived T_b of Eq. 1.
 func estimateTb() time.Duration {
@@ -348,7 +367,7 @@ func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
 			if willCrash && crashAt < at {
 				at = crashAt
 			}
-			e.clock.AdvanceTo(at)
+			e.advanceTo(at)
 			progressed = true
 		}
 
@@ -490,7 +509,9 @@ func (e *Engine) dispatch(q *query.Query) {
 // runs — the two effects the paper's two-level batching banks on.
 func (e *Engine) execute(batches []sched.Batch) error {
 	e.inst.noteDecision(len(batches))
-	e.clock.Advance(e.cfg.DecisionOverhead)
+	e.inst.noteBeginDecision(batches)
+	defer e.inst.noteEndDecision()
+	e.advance(e.cfg.DecisionOverhead, causeOverhead)
 	atoms := make(map[store.AtomID]*field.Atom, len(batches))
 	for i := range batches {
 		a, err := e.readAtom(batches[i].Atom)
@@ -537,7 +558,7 @@ func (e *Engine) executeBatch(b *sched.Batch, atom *field.Atom) error {
 		w := sq.Query.Kernel.CostWeight()
 		compute += time.Duration(float64(e.cfg.Cost.Tm) * w * float64(len(sq.Points)))
 	}
-	e.clock.Advance(compute)
+	e.advance(compute, causeCompute)
 
 	if e.cfg.Compute && atom != nil {
 		e.computeBatch(b, atom)
@@ -567,7 +588,7 @@ func (e *Engine) readAtom(id store.AtomID) (*field.Atom, error) {
 	backoff := e.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		a, cost, err := e.cfg.Store.Read(id)
-		e.clock.Advance(cost) // on error, cost is the failure-detection latency
+		e.advance(cost, causeDisk) // on error, cost is the failure-detection latency
 		if err == nil {
 			e.cfg.Cache.Put(id, a)
 			return a, nil
@@ -578,7 +599,7 @@ func (e *Engine) readAtom(id store.AtomID) (*field.Atom, error) {
 		}
 		e.report.Retries++
 		e.inst.noteRetry(e.clock.Now(), id, attempt, backoff)
-		e.clock.Advance(backoff)
+		e.advance(backoff, causeDisk)
 		backoff *= 2
 		if backoff > e.cfg.RetryBackoffMax {
 			backoff = e.cfg.RetryBackoffMax
@@ -650,7 +671,7 @@ func (e *Engine) complete(st *queryState, now time.Duration) {
 	rt := now - st.q.Arrival
 	e.completedRT = append(e.completedRT, rt)
 	e.report.Completed++
-	e.inst.noteCompleted(rt)
+	e.inst.noteCompleted(st.q, rt, now)
 	if st.result != nil {
 		st.result.Completed = now
 		e.report.Results = append(e.report.Results, st.result)

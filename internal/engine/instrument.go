@@ -28,6 +28,10 @@ var waitBounds = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 300, 600}
 // obs package's own nil-receiver contract covers the individual metrics.
 type instruments struct {
 	trace *obs.Tracer
+	// spans tracks query lifecycles; nil unless a tracer or span
+	// aggregator is configured (metrics-only runs skip the per-advance
+	// distribution cost).
+	spans *spanTracker
 
 	decisions     *obs.Counter   // scheduling decisions submitted
 	decisionAtoms *obs.Histogram // batch size k per decision
@@ -69,12 +73,13 @@ type instruments struct {
 // captures its tracer. Returns nil when o carries neither, so the
 // uninstrumented engine holds a single nil pointer.
 func newInstruments(o *obs.Obs) *instruments {
-	if o == nil || (o.Trace == nil && o.Reg == nil) {
+	if o == nil || (o.Trace == nil && o.Reg == nil && o.Spans == nil) {
 		return nil
 	}
 	reg := o.Registry()
 	return &instruments{
 		trace:          o.Tracer(),
+		spans:          newSpanTracker(o),
 		decisions:      reg.Counter("jaws_decisions_total"),
 		decisionAtoms:  reg.Histogram("jaws_decision_atoms", decisionBounds...),
 		batchAtoms:     reg.Counter("jaws_batch_atoms_total"),
@@ -126,10 +131,16 @@ func (in *instruments) install(e *Engine) {
 		Hit: func(id store.AtomID) {
 			in.cacheHits.Inc()
 			in.trace.CacheHit(e.clock.Now(), id.Step, uint64(id.Code))
+			if in.spans != nil {
+				in.spans.noteCache(true)
+			}
 		},
 		Miss: func(id store.AtomID) {
 			in.cacheMisses.Inc()
 			in.trace.CacheMiss(e.clock.Now(), id.Step, uint64(id.Code))
+			if in.spans != nil {
+				in.spans.noteCache(false)
+			}
 		},
 		Evict: func(id store.AtomID) {
 			in.cacheEvictions.Inc()
@@ -172,13 +183,17 @@ func (in *instruments) noteDecision(batches int) {
 	in.batchAtoms.Add(int64(batches))
 }
 
-// noteCompleted records a finished query's response time.
-func (in *instruments) noteCompleted(rt time.Duration) {
+// noteCompleted records a finished query's response time and closes its
+// lifecycle span.
+func (in *instruments) noteCompleted(q *query.Query, rt, now time.Duration) {
 	if in == nil {
 		return
 	}
 	in.completed.Inc()
 	in.response.Observe(rt.Seconds())
+	if in.spans != nil {
+		in.spans.complete(q.ID, now)
+	}
 }
 
 // noteRunEnd records an adaptation-run boundary and the α the scheduler
@@ -205,20 +220,50 @@ func (in *instruments) noteBlocked(q *query.Query, now time.Duration) {
 	in.trace.GateBlock(now, int64(q.ID), q.JobID, q.Seq)
 }
 
-// noteDispatched records a query entering the workload queues; queries
-// gating previously held back carry their accumulated wait.
+// noteDispatched records a query entering the workload queues and opens
+// its lifecycle span; queries gating previously held back carry their
+// accumulated wait.
 func (in *instruments) noteDispatched(q *query.Query, now time.Duration) {
 	if in == nil {
 		return
 	}
-	blocked, ok := in.blockedAt[q.ID]
-	if !ok {
+	blocked, wasBlocked := in.blockedAt[q.ID]
+	if wasBlocked {
+		delete(in.blockedAt, q.ID)
+		wait := now - blocked
+		in.gateWait.Observe(wait.Seconds())
+		in.trace.GateAdmit(now, int64(q.ID), q.JobID, q.Seq, wait)
+	}
+	if in.spans != nil {
+		in.spans.dispatch(q, now, wasBlocked)
+	}
+}
+
+// noteAdvance attributes one virtual-clock advance to the phases of the
+// in-flight spans. This is the engine's hottest instrumentation point:
+// with observability disabled it is a single nil check.
+func (in *instruments) noteAdvance(c spanCause, d time.Duration) {
+	if in == nil || in.spans == nil {
 		return
 	}
-	delete(in.blockedAt, q.ID)
-	wait := now - blocked
-	in.gateWait.Observe(wait.Seconds())
-	in.trace.GateAdmit(now, int64(q.ID), q.JobID, q.Seq, wait)
+	in.spans.advance(c, d)
+}
+
+// noteBeginDecision marks the queries served by the decision about to
+// execute (decision → batch → query linkage for attribution).
+func (in *instruments) noteBeginDecision(batches []sched.Batch) {
+	if in == nil || in.spans == nil {
+		return
+	}
+	in.spans.beginDecision(batches)
+}
+
+// noteEndDecision closes the decision's serving window.
+func (in *instruments) noteEndDecision() {
+	if in == nil || in.spans == nil {
+		return
+	}
+	in.spans.endDecision()
 }
 
 // notePrefetch records one atom loaded by trajectory prefetching.

@@ -187,7 +187,7 @@ func (s *Session) loop(e *Engine) {
 				worked = true
 			}
 		} else if ev := e.events.Peek(); ev != nil {
-			e.clock.AdvanceTo(ev.At)
+			e.advanceTo(ev.At)
 			worked = true
 		}
 		flush()

@@ -17,13 +17,17 @@
 // disabled run costs one nil check per instrumentation point.
 package obs
 
-// Obs bundles the two observability facilities a component may be handed.
+// Obs bundles the observability facilities a component may be handed.
 // A nil *Obs (and nil fields) disables everything.
 type Obs struct {
 	// Trace receives structured events; nil disables tracing.
 	Trace *Tracer
 	// Reg receives counter/gauge/histogram updates; nil disables metrics.
 	Reg *Registry
+	// Spans collects completed query-lifecycle spans; nil disables
+	// collection (spans are still emitted as trace events when Trace is
+	// configured).
+	Spans *SpanAgg
 }
 
 // Tracer returns the event tracer, nil-safely.
@@ -40,4 +44,12 @@ func (o *Obs) Registry() *Registry {
 		return nil
 	}
 	return o.Reg
+}
+
+// SpanAggregator returns the span collector, nil-safely.
+func (o *Obs) SpanAggregator() *SpanAgg {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
 }

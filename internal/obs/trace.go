@@ -54,6 +54,13 @@ const (
 	// KindStallAbort marks the engine giving up after StallLimit
 	// iterations without progress (gated-execution deadlock).
 	KindStallAbort Kind = "stall_abort"
+	// KindSpan is one completed query lifecycle: the full response-time
+	// attribution of the query, emitted at completion (see Span).
+	KindSpan Kind = "span"
+	// KindFooter is the trace's closing record, written once by Close:
+	// the emission total and the drop counters that make a truncated or
+	// error-shortened trace detectable.
+	KindFooter Kind = "trace_footer"
 )
 
 // Event is one structured trace record. Fields are a flat union across
@@ -89,6 +96,21 @@ type Event struct {
 
 	Attempt int `json:"attempt,omitempty"` // fault: zero-based retry index
 	Node    int `json:"node,omitempty"`    // fault: crashed node index
+
+	Span   *Span        `json:"span,omitempty"`   // span: the completed lifecycle
+	Footer *TraceFooter `json:"footer,omitempty"` // trace_footer: closing record
+}
+
+// TraceFooter is the payload of the trace's closing record.
+type TraceFooter struct {
+	// Total is the number of events emitted over the tracer's lifetime.
+	Total int64 `json:"total"`
+	// RingDropped counts events evicted from the in-memory ring window
+	// (Events() is truncated when this is non-zero; the JSONL sink still
+	// saw them).
+	RingDropped int64 `json:"ring_dropped"`
+	// SinkDropped counts events the JSONL sink lost to a write error.
+	SinkDropped int64 `json:"sink_dropped"`
 }
 
 // Tracer records events into a bounded ring buffer and, when a sink is
@@ -96,14 +118,17 @@ type Event struct {
 // tracer: every method is a no-op, so instrumented code passes tracers
 // around without branching.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []Event
-	next  int // ring write cursor
-	total int64
-	enc   *json.Encoder
-	buf   *bufio.Writer
-	sink  io.Writer
-	err   error
+	mu          sync.Mutex
+	ring        []Event
+	next        int // ring write cursor
+	total       int64
+	ringDropped int64 // events evicted from the ring window
+	sinkDropped int64 // events the sink lost to a write error
+	enc         *json.Encoder
+	buf         *bufio.Writer
+	sink        io.Writer
+	err         error
+	footerDone  bool
 }
 
 // DefaultRingSize bounds the in-memory event window when the caller does
@@ -144,10 +169,16 @@ func (t *Tracer) Emit(ev Event) {
 	} else {
 		t.ring[t.next] = ev
 		t.next = (t.next + 1) % cap(t.ring)
+		t.ringDropped++
 	}
 	t.total++
-	if t.enc != nil && t.err == nil {
-		t.err = t.enc.Encode(&ev)
+	if t.enc != nil {
+		if t.err != nil {
+			t.sinkDropped++
+		} else if err := t.enc.Encode(&ev); err != nil {
+			t.err = err
+			t.sinkDropped++
+		}
 	}
 }
 
@@ -159,6 +190,30 @@ func (t *Tracer) Total() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// RingDropped returns the number of events evicted from the in-memory
+// ring window. Non-zero means Events() is a truncated view of the run
+// (the JSONL sink, when configured, still received every event).
+func (t *Tracer) RingDropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ringDropped
+}
+
+// SinkDropped returns the number of events the JSONL sink lost: after a
+// write error the tracer keeps counting emissions but stops encoding, so
+// a partially written trace is detectable rather than silently short.
+func (t *Tracer) SinkDropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkDropped
 }
 
 // Events returns the buffered window in emission order (oldest first).
@@ -194,8 +249,12 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// Close flushes and, when the sink is an io.Closer, closes it. Nil-safe.
+// Close writes the trace footer (once), flushes, and, when the sink is an
+// io.Closer, closes it. Nil-safe. The footer carries the emission total
+// and the drop counters, so a consumer can distinguish a complete trace
+// from one cut short by a crash or a failing sink.
 func (t *Tracer) Close() error {
+	t.writeFooter()
 	err := t.Flush()
 	if t == nil {
 		return nil
@@ -206,6 +265,27 @@ func (t *Tracer) Close() error {
 		}
 	}
 	return err
+}
+
+// writeFooter encodes the closing record straight to the sink (it is a
+// property of the trace file, not a simulation event, so it bypasses the
+// ring and the total). Idempotent and nil-safe.
+func (t *Tracer) writeFooter() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.footerDone || t.enc == nil || t.err != nil {
+		return
+	}
+	t.footerDone = true
+	ev := Event{Kind: KindFooter, Footer: &TraceFooter{
+		Total:       t.total,
+		RingDropped: t.ringDropped,
+		SinkDropped: t.sinkDropped,
+	}}
+	t.err = t.enc.Encode(&ev)
 }
 
 // --- typed emitters ------------------------------------------------------
@@ -329,4 +409,13 @@ func (t *Tracer) StallAbort(now time.Duration) {
 		return
 	}
 	t.Emit(Event{T: now, Kind: KindStallAbort})
+}
+
+// SpanDone records one completed query lifecycle, stamped at its
+// completion time.
+func (t *Tracer) SpanDone(sp Span) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: sp.Done, Kind: KindSpan, Span: &sp})
 }

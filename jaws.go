@@ -90,6 +90,15 @@ type (
 	// Registry holds named counters, gauges and histograms with a
 	// Prometheus-style text exposition (WriteText).
 	Registry = obs.Registry
+	// Span is the complete lifecycle record of one query, its response
+	// time attributed exhaustively to phases (the attribution invariant:
+	// phase components sum exactly to Done − Arrival).
+	Span = obs.Span
+	// SpanAgg pools completed spans; set Obs.Spans to collect them.
+	SpanAgg = obs.SpanAgg
+	// SpanSummary is the aggregate view: percentiles, per-phase
+	// attribution, and the starvation tail.
+	SpanSummary = obs.SpanSummary
 	// FaultSpec is a parsed deterministic fault schedule (see
 	// ParseFaultSpec for the grammar).
 	FaultSpec = fault.Spec
@@ -112,6 +121,9 @@ var NewTracer = obs.NewTracer
 
 // NewRegistry creates an empty metrics registry.
 var NewRegistry = obs.NewRegistry
+
+// NewSpanAgg creates an empty span aggregator for Obs.Spans.
+var NewSpanAgg = obs.NewSpanAgg
 
 // Job types.
 const (
