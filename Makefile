@@ -1,9 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test race race-obs fuzz-smoke bench-sched bench bench-compare
+.PHONY: check check-oracle check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
+
+## check-oracle: the scheduler correctness oracle — every decision of the
+## real schedulers diffed against the reference models over randomized
+## workloads and fault schedules (see DESIGN.md §12).
+check-oracle:
+	$(GO) run ./cmd/jawscheck
+
+## check-bench: measure this tree and gate it against the committed
+## BENCH_main.json baseline (exits 3 past the regression threshold).
+check-bench:
+	$(GO) run ./cmd/jawsbench -compare BENCH_main.json
 
 build:
 	$(GO) build ./...

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,26 +24,39 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jaws", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		schedName = flag.String("sched", "jaws2", "scheduler: noshare, liferaft1, liferaft2, jaws1, jaws2")
-		policy    = flag.String("policy", "lruk", "cache policy: lruk, slru, urc, lru, fifo")
-		tracePath = flag.String("trace", "", "replay a trace file written by tracegen (otherwise generate)")
-		jobs      = flag.Int("jobs", 200, "jobs to generate when no trace is given")
-		seed      = flag.Int64("seed", 1, "workload and field seed")
-		speedup   = flag.Float64("speedup", 1, "arrival speed-up (workload saturation)")
-		batch     = flag.Int("k", 15, "JAWS batch size")
-		alpha     = flag.Float64("alpha", 0.5, "initial age bias α")
-		fixed     = flag.Bool("fixed-alpha", false, "disable adaptive starvation resistance")
-		cacheAt   = flag.Int("cache", 256, "cache capacity in atoms")
-		steps     = flag.Int("steps", 31, "stored time steps")
-		compute   = flag.Bool("compute", false, "evaluate interpolation kernels for real")
-		verbose   = flag.Bool("v", false, "print per-run adaptation history")
-		traceOut  = flag.String("trace-out", "", "write a JSONL decision trace to this file (read it with tracestat)")
-		metrics   = flag.Bool("metrics", false, "print the metrics registry in Prometheus text format after the run")
-		faultSpec = flag.String("fault-spec", "", "deterministic fault schedule, e.g. 'disk-transient:p=0.05;disk-slow:p=0.1,extra=50ms' (see internal/fault)")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector (same spec+seed replays identically)")
+		schedName = fs.String("sched", "jaws2", "scheduler: noshare, liferaft1, liferaft2, jaws1, jaws2")
+		policy    = fs.String("policy", "lruk", "cache policy: lruk, slru, urc, lru, fifo")
+		tracePath = fs.String("trace", "", "replay a trace file written by tracegen (otherwise generate)")
+		jobs      = fs.Int("jobs", 200, "jobs to generate when no trace is given")
+		seed      = fs.Int64("seed", 1, "workload and field seed")
+		speedup   = fs.Float64("speedup", 1, "arrival speed-up (workload saturation)")
+		batch     = fs.Int("k", 15, "JAWS batch size")
+		alpha     = fs.Float64("alpha", 0.5, "initial age bias α")
+		fixed     = fs.Bool("fixed-alpha", false, "disable adaptive starvation resistance")
+		cacheAt   = fs.Int("cache", 256, "cache capacity in atoms")
+		steps     = fs.Int("steps", 31, "stored time steps")
+		compute   = fs.Bool("compute", false, "evaluate interpolation kernels for real")
+		verbose   = fs.Bool("v", false, "print per-run adaptation history")
+		traceOut  = fs.String("trace-out", "", "write a JSONL decision trace to this file (read it with tracestat)")
+		metrics   = fs.Bool("metrics", false, "print the metrics registry in Prometheus text format after the run")
+		faultSpec = fs.String("fault-spec", "", "deterministic fault schedule, e.g. 'disk-transient:p=0.05;disk-slow:p=0.1,extra=50ms' (see internal/fault)")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault injector (same spec+seed replays identically)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	errf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "jaws: "+format+"\n", a...)
+		return 1
+	}
 
 	var sched jaws.Scheduler
 	switch strings.ToLower(*schedName) {
@@ -57,7 +71,7 @@ func main() {
 	case "jaws2":
 		sched = jaws.SchedJAWS2
 	default:
-		fatalf("unknown scheduler %q", *schedName)
+		return errf("unknown scheduler %q", *schedName)
 	}
 	var pol jaws.CachePolicy
 	switch strings.ToLower(*policy) {
@@ -72,19 +86,19 @@ func main() {
 	case "fifo":
 		pol = jaws.PolicyFIFO
 	default:
-		fatalf("unknown cache policy %q", *policy)
+		return errf("unknown cache policy %q", *policy)
 	}
 
 	var w *jaws.Workload
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
-			fatalf("%v", err)
+			return errf("%v", err)
 		}
 		w, err = workload.Load(f)
 		f.Close()
 		if err != nil {
-			fatalf("%v", err)
+			return errf("%v", err)
 		}
 	} else {
 		w = jaws.GenerateWorkload(jaws.WorkloadConfig{
@@ -94,7 +108,7 @@ func main() {
 			SpeedUp: *speedup,
 		})
 	}
-	fmt.Printf("workload: %s\n", workload.Describe(w))
+	fmt.Fprintf(stdout, "workload: %s\n", workload.Describe(w))
 
 	var o *jaws.Obs
 	var tracer *jaws.Tracer
@@ -103,7 +117,7 @@ func main() {
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fatalf("%v", err)
+				return errf("%v", err)
 			}
 			tracer = jaws.NewTracer(0, f)
 			o.Trace = tracer
@@ -115,7 +129,7 @@ func main() {
 
 	spec, err := jaws.ParseFaultSpec(*faultSpec)
 	if err != nil {
-		fatalf("%v", err)
+		return errf("%v", err)
 	}
 
 	sys, err := jaws.Open(jaws.Config{
@@ -134,58 +148,54 @@ func main() {
 		FaultSeed:    *faultSeed,
 	})
 	if err != nil {
-		fatalf("%v", err)
+		return errf("%v", err)
 	}
 
 	start := time.Now()
 	rep, err := sys.Run(w.Jobs)
 	if err != nil {
-		fatalf("%v", err)
+		return errf("%v", err)
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("\nscheduler       %s (k=%d, α₀=%.2f adaptive=%v)\n", sched, *batch, *alpha, !*fixed)
-	fmt.Printf("cache policy    %s (%d atoms)\n", pol, *cacheAt)
-	fmt.Printf("completed       %d queries in %.1f virtual seconds (%.3f q/s)\n",
+	fmt.Fprintf(stdout, "\nscheduler       %s (k=%d, α₀=%.2f adaptive=%v)\n", sched, *batch, *alpha, !*fixed)
+	fmt.Fprintf(stdout, "cache policy    %s (%d atoms)\n", pol, *cacheAt)
+	fmt.Fprintf(stdout, "completed       %d queries in %.1f virtual seconds (%.3f q/s)\n",
 		rep.Completed, rep.Elapsed.Seconds(), rep.ThroughputQPS)
-	fmt.Printf("response time   mean %.3fs  p50 %.3fs  p95 %.3fs\n",
+	fmt.Fprintf(stdout, "response time   mean %.3fs  p50 %.3fs  p95 %.3fs\n",
 		rep.MeanResponse.Seconds(), rep.P50Response.Seconds(), rep.P95Response.Seconds())
-	fmt.Printf("cache           %.1f%% hit (%d hits / %d misses, %d evictions)\n",
+	fmt.Fprintf(stdout, "cache           %.1f%% hit (%d hits / %d misses, %d evictions)\n",
 		rep.CacheStats.HitRatio()*100, rep.CacheStats.Hits, rep.CacheStats.Misses, rep.CacheStats.Evictions)
-	fmt.Printf("disk            %d reads, %d sequential, %.1f GB, busy %.1fs\n",
+	fmt.Fprintf(stdout, "disk            %d reads, %d sequential, %.1f GB, busy %.1fs\n",
 		rep.DiskStats.Reads, rep.DiskStats.SeqReads,
 		float64(rep.DiskStats.Bytes)/1e9, rep.DiskStats.BusyTime.Seconds())
 	if sched == jaws.SchedJAWS2 {
-		fmt.Printf("gating          %d edges admitted, %d rejected\n", rep.GatingAdmitted, rep.GatingRejected)
+		fmt.Fprintf(stdout, "gating          %d edges admitted, %d rejected\n", rep.GatingAdmitted, rep.GatingRejected)
 	}
 	if sched == jaws.SchedJAWS1 || sched == jaws.SchedJAWS2 {
-		fmt.Printf("final α         %.3f\n", rep.FinalAlpha)
+		fmt.Fprintf(stdout, "final α         %.3f\n", rep.FinalAlpha)
 	}
-	fmt.Printf("wall clock      %v\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "wall clock      %v\n", wall.Round(time.Millisecond))
 
 	if *verbose {
-		fmt.Println("\nrun  ended-at  mean-resp  throughput  alpha")
+		fmt.Fprintln(stdout, "\nrun  ended-at  mean-resp  throughput  alpha")
 		for i, r := range rep.Runs {
-			fmt.Printf("%3d  %7.1fs  %8.3fs  %9.3f  %.3f\n",
+			fmt.Fprintf(stdout, "%3d  %7.1fs  %8.3fs  %9.3f  %.3f\n",
 				i, r.EndedAt.Seconds(), r.MeanRespSec, r.Throughput, r.Alpha)
 		}
 	}
 
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
-			fatalf("trace: %v", err)
+			return errf("trace: %v", err)
 		}
-		fmt.Printf("trace           %d events -> %s\n", tracer.Total(), *traceOut)
+		fmt.Fprintf(stdout, "trace           %d events -> %s\n", tracer.Total(), *traceOut)
 	}
 	if *metrics {
-		fmt.Println()
-		if err := o.Reg.WriteText(os.Stdout); err != nil {
-			fatalf("metrics: %v", err)
+		fmt.Fprintln(stdout)
+		if err := o.Reg.WriteText(stdout); err != nil {
+			return errf("metrics: %v", err)
 		}
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "jaws: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny are flags keeping a run under a second.
+var tiny = []string{"-jobs", "4", "-steps", "3", "-cache", "32"}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunReportsAllSections(t *testing.T) {
+	code, out, errb := runCLI(t, append(tiny, "-sched", "jaws2", "-v")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"workload:", "scheduler       JAWS2", "completed", "response time",
+		"cache ", "disk ", "gating", "final α", "run  ended-at", // -v history
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSchedulerSelection(t *testing.T) {
+	for name, wantGating := range map[string]bool{
+		"noshare": false, "liferaft1": false, "liferaft2": false,
+		"jaws1": false, "jaws2": true,
+	} {
+		code, out, errb := runCLI(t, append(tiny, "-sched", name)...)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", name, code, errb)
+		}
+		if got := strings.Contains(out, "gating"); got != wantGating {
+			t.Errorf("%s: gating section present=%v, want %v", name, got, wantGating)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		code int
+		want string
+	}{
+		{[]string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{append(tiny, "-sched", "bogus"), 1, `unknown scheduler "bogus"`},
+		{append(tiny, "-policy", "bogus"), 1, `unknown cache policy "bogus"`},
+		{append(tiny, "-fault-spec", "bogus:nope"), 1, "fault"},
+		{append(tiny, "-trace", "/nonexistent/trace.gz"), 1, "no such file"},
+	}
+	for _, c := range cases {
+		code, _, errb := runCLI(t, c.args...)
+		if code != c.code {
+			t.Errorf("%v: exit %d, want %d (stderr: %s)", c.args, code, c.code, errb)
+		}
+		if !strings.Contains(errb, c.want) {
+			t.Errorf("%v: stderr %q missing %q", c.args, errb, c.want)
+		}
+	}
+}
+
+func TestRunFaultSpecSurvivable(t *testing.T) {
+	// Transient faults with retries: the run must complete with exit 0.
+	code, out, errb := runCLI(t, append(tiny, "-fault-spec", "disk-transient:p=0.1", "-fault-seed", "7")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "completed") {
+		t.Errorf("faulted run produced no report:\n%s", out)
+	}
+}
+
+func TestRunFaultSpecCrashFails(t *testing.T) {
+	// A scheduled node crash aborts the run: non-zero exit, crash on stderr.
+	code, _, errb := runCLI(t, append(tiny, "-fault-spec", "crash@0:at=1s")...)
+	if code != 1 {
+		t.Fatalf("crashed run exited %d, want 1 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, "crash") {
+		t.Errorf("stderr does not mention the crash: %s", errb)
+	}
+}
+
+func TestRunTraceOutAndMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errb := runCLI(t, append(tiny, "-trace-out", path, "-metrics")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "trace ") {
+		t.Errorf("no trace summary in output:\n%s", out)
+	}
+	if !strings.Contains(out, "jaws_") {
+		t.Errorf("no metrics in output:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		t.Error("trace file is empty")
+	}
+}

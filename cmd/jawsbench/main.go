@@ -28,6 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -39,32 +40,49 @@ import (
 	"jaws/internal/obs"
 )
 
-var asCSV bool
-
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, table1, jobid, alpha, ablation")
-	quick := flag.Bool("quick", false, "use a reduced scale for a fast smoke run")
-	jobs := flag.Int("jobs", 0, "override the number of jobs in the trace")
-	seed := flag.Int64("seed", 0, "override the workload/field seed")
-	format := flag.String("format", "text", "output format: text or csv")
-	traceOut := flag.String("trace-out", "", "write a JSONL decision trace of every experiment engine to this file")
-	showMetrics := flag.Bool("metrics", false, "print the aggregated metrics registry after the experiments")
-	faultSpec := flag.String("fault-spec", "", "deterministic fault schedule for every experiment engine (see internal/fault)")
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
-	benchOut := flag.String("bench-out", "", "run the benchmark workload and write a BENCH_*.json artifact to this file (skips the experiment tables)")
-	benchName := flag.String("bench-name", "jaws2", "artifact name recorded in -bench-out / fresh -compare runs")
-	compareWith := flag.String("compare", "", "baseline BENCH_*.json to gate against (re-measures unless -with is given; exits 3 on regression)")
-	withFile := flag.String("with", "", "candidate BENCH_*.json for -compare (instead of re-measuring)")
-	regress := flag.Float64("regress", 0.10, "regression threshold for -compare: max fractional throughput drop / p95 rise")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli carries the per-invocation output streams and format so run is
+// re-entrant under test.
+type cli struct {
+	stdout, stderr io.Writer
+	asCSV          bool
+}
+
+// run is the testable body of the command: flags in, exit code out.
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 3 benchmark
+// regression gate failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	c := &cli{stdout: stdout, stderr: stderr}
+	fs := flag.NewFlagSet("jawsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, table1, jobid, alpha, ablation")
+	quick := fs.Bool("quick", false, "use a reduced scale for a fast smoke run")
+	jobs := fs.Int("jobs", 0, "override the number of jobs in the trace")
+	seed := fs.Int64("seed", 0, "override the workload/field seed")
+	format := fs.String("format", "text", "output format: text or csv")
+	traceOut := fs.String("trace-out", "", "write a JSONL decision trace of every experiment engine to this file")
+	showMetrics := fs.Bool("metrics", false, "print the aggregated metrics registry after the experiments")
+	faultSpec := fs.String("fault-spec", "", "deterministic fault schedule for every experiment engine (see internal/fault)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault injector")
+	benchOut := fs.String("bench-out", "", "run the benchmark workload and write a BENCH_*.json artifact to this file (skips the experiment tables)")
+	benchName := fs.String("bench-name", "jaws2", "artifact name recorded in -bench-out / fresh -compare runs")
+	compareWith := fs.String("compare", "", "baseline BENCH_*.json to gate against (re-measures unless -with is given; exits 3 on regression)")
+	withFile := fs.String("with", "", "candidate BENCH_*.json for -compare (instead of re-measuring)")
+	regress := fs.Float64("regress", 0.10, "regression threshold for -compare: max fractional throughput drop / p95 rise")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch *format {
 	case "text":
 	case "csv":
-		asCSV = true
+		c.asCSV = true
 	default:
-		fmt.Fprintf(os.Stderr, "jawsbench: unknown format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "jawsbench: unknown format %q\n", *format)
+		return 2
 	}
 
 	scale := experiments.DefaultScale()
@@ -79,14 +97,15 @@ func main() {
 	}
 	if *faultSpec != "" {
 		spec, err := fault.ParseSpec(*faultSpec)
-		fail(err)
+		if err != nil {
+			return c.fail(err)
+		}
 		scale.FaultSpec = spec
 		scale.FaultSeed = *faultSeed
 	}
 
 	if *benchOut != "" || *compareWith != "" {
-		benchMode(scale, *benchOut, *benchName, *compareWith, *withFile, *regress)
-		return
+		return c.benchMode(scale, *benchOut, *benchName, *compareWith, *withFile, *regress)
 	}
 
 	var tracer *obs.Tracer
@@ -94,7 +113,9 @@ func main() {
 		o := &obs.Obs{}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
-			fail(err)
+			if err != nil {
+				return c.fail(err)
+			}
 			tracer = obs.NewTracer(0, f)
 			o.Trace = tracer
 		}
@@ -105,166 +126,193 @@ func main() {
 	}
 
 	which := strings.ToLower(*exp)
-	run := func(name string) bool { return which == "all" || which == name }
+	sel := func(name string) bool { return which == "all" || which == name }
 	start := time.Now()
 	any := false
 
-	if run("fig8") {
+	if sel("fig8") {
 		any = true
-		section("Fig. 8 — distribution of jobs by execution time")
-		emit(&experiments.Fig8(scale).Table)
+		c.section("Fig. 8 — distribution of jobs by execution time")
+		c.emit(&experiments.Fig8(scale).Table)
 	}
-	if run("fig9") {
+	if sel("fig9") {
 		any = true
-		section("Fig. 9 — distribution of queries by time step accessed")
+		c.section("Fig. 9 — distribution of queries by time step accessed")
 		r := experiments.Fig9(scale)
-		emit(&r.Table)
-		if !asCSV {
+		c.emit(&r.Table)
+		if !c.asCSV {
 			series := metrics.Series{Label: "queries per step"}
 			for step, c := range r.Counts {
 				series.Append(float64(step), float64(c))
 			}
-			fmt.Println()
-			fmt.Print(metrics.LineChart([]metrics.Series{series}, 10))
+			fmt.Fprintln(c.stdout)
+			fmt.Fprint(c.stdout, metrics.LineChart([]metrics.Series{series}, 10))
 		}
 	}
-	if run("fig10") {
+	if sel("fig10") {
 		any = true
-		section("Fig. 10 — query throughput by scheduling algorithm")
+		c.section("Fig. 10 — query throughput by scheduling algorithm")
 		r, err := experiments.Fig10(scale)
-		fail(err)
-		emit(&r.Table)
-		if !asCSV {
+		if err != nil {
+			return c.fail(err)
+		}
+		c.emit(&r.Table)
+		if !c.asCSV {
 			labels := make([]string, len(r.Rows))
 			values := make([]float64, len(r.Rows))
 			for i, row := range r.Rows {
 				labels[i] = row.Algorithm.String()
 				values[i] = row.Throughput
 			}
-			fmt.Println()
-			fmt.Print(metrics.BarChart(labels, values, 40))
+			fmt.Fprintln(c.stdout)
+			fmt.Fprint(c.stdout, metrics.BarChart(labels, values, 40))
 		}
 	}
-	if run("fig11") {
+	if sel("fig11") {
 		any = true
-		section("Fig. 11 — sensitivity to workload saturation (a: throughput, b: response time)")
+		c.section("Fig. 11 — sensitivity to workload saturation (a: throughput, b: response time)")
 		r, err := experiments.Fig11(scale, nil)
-		fail(err)
-		emit(&r.Table)
-		if !asCSV {
-			fmt.Println("\n(a) throughput vs speed-up:")
-			fmt.Print(metrics.LineChart(fig11Series(r, false), 10))
-			fmt.Println("\n(b) mean response time vs speed-up:")
-			fmt.Print(metrics.LineChart(fig11Series(r, true), 10))
+		if err != nil {
+			return c.fail(err)
+		}
+		c.emit(&r.Table)
+		if !c.asCSV {
+			fmt.Fprintln(c.stdout, "\n(a) throughput vs speed-up:")
+			fmt.Fprint(c.stdout, metrics.LineChart(fig11Series(r, false), 10))
+			fmt.Fprintln(c.stdout, "\n(b) mean response time vs speed-up:")
+			fmt.Fprint(c.stdout, metrics.LineChart(fig11Series(r, true), 10))
 		}
 	}
-	if run("fig12") {
+	if sel("fig12") {
 		any = true
-		section("Fig. 12 — sensitivity to batch size k")
+		c.section("Fig. 12 — sensitivity to batch size k")
 		r, err := experiments.Fig12(scale, nil)
-		fail(err)
-		emit(&r.Table)
-		if !asCSV {
+		if err != nil {
+			return c.fail(err)
+		}
+		c.emit(&r.Table)
+		if !c.asCSV {
 			s := metrics.Series{Label: "JAWS2 throughput by k"}
 			base := metrics.Series{Label: "LifeRaft2 baseline"}
 			for _, p := range r.Points {
 				s.Append(float64(p.K), p.Throughput)
 				base.Append(float64(p.K), r.LifeRaft2Baseline)
 			}
-			fmt.Println()
-			fmt.Print(metrics.LineChart([]metrics.Series{s, base}, 10))
+			fmt.Fprintln(c.stdout)
+			fmt.Fprint(c.stdout, metrics.LineChart([]metrics.Series{s, base}, 10))
 		}
 	}
-	if run("table1") {
+	if sel("table1") {
 		any = true
-		section("Table I — cache replacement algorithms")
+		c.section("Table I — cache replacement algorithms")
 		r, err := experiments.Table1(scale, true)
-		fail(err)
-		emit(&r.Table)
+		if err != nil {
+			return c.fail(err)
+		}
+		c.emit(&r.Table)
 	}
-	if run("jobid") {
+	if sel("jobid") {
 		any = true
-		section("§IV.A — job identification accuracy")
-		emit(&experiments.JobID(scale).Table)
+		c.section("§IV.A — job identification accuracy")
+		c.emit(&experiments.JobID(scale).Table)
 	}
-	if run("alpha") {
+	if sel("alpha") {
 		any = true
-		section("§V.A — adaptive age bias through changing saturation (burst / lull / burst)")
+		c.section("§V.A — adaptive age bias through changing saturation (burst / lull / burst)")
 		r, err := experiments.AlphaDynamics(scale)
-		fail(err)
-		emit(&r.Table)
-		if !asCSV {
-			fmt.Println()
-			fmt.Print(r.Chart)
-			fmt.Printf("\nmin α during bursts: %.2f   max α during lull: %.2f\n",
+		if err != nil {
+			return c.fail(err)
+		}
+		c.emit(&r.Table)
+		if !c.asCSV {
+			fmt.Fprintln(c.stdout)
+			fmt.Fprint(c.stdout, r.Chart)
+			fmt.Fprintf(c.stdout, "\nmin α during bursts: %.2f   max α during lull: %.2f\n",
 				r.MinAlphaBurst, r.MaxAlphaLull)
 		}
 	}
-	if run("ablation") {
+	if sel("ablation") {
 		any = true
-		section("Ablations — design choices and §VII extensions")
+		c.section("Ablations — design choices and §VII extensions")
 		r, err := experiments.Ablations(scale)
-		fail(err)
-		emit(&r.Table)
+		if err != nil {
+			return c.fail(err)
+		}
+		c.emit(&r.Table)
 	}
 
 	if !any {
-		fmt.Fprintf(os.Stderr, "jawsbench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "jawsbench: unknown experiment %q\n", *exp)
+		fs.Usage()
+		return 2
 	}
 	if tracer != nil {
-		fail(tracer.Close())
-		if !asCSV {
-			fmt.Printf("\ntrace: %d events -> %s\n", tracer.Total(), *traceOut)
+		if err := tracer.Close(); err != nil {
+			return c.fail(err)
+		}
+		if !c.asCSV {
+			fmt.Fprintf(c.stdout, "\ntrace: %d events -> %s\n", tracer.Total(), *traceOut)
 		}
 	}
 	if *showMetrics {
-		fmt.Println()
-		fail(scale.Obs.Reg.WriteText(os.Stdout))
+		fmt.Fprintln(c.stdout)
+		if err := scale.Obs.Reg.WriteText(c.stdout); err != nil {
+			return c.fail(err)
+		}
 	}
-	if !asCSV {
-		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	if !c.asCSV {
+		fmt.Fprintf(c.stdout, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 // benchMode handles -bench-out and -compare: measure the tree, write the
-// artifact, and/or gate against a baseline. Exits 3 on regression.
-func benchMode(scale experiments.Scale, outPath, name, basePath, withPath string, threshold float64) {
+// artifact, and/or gate against a baseline. Returns 3 on regression.
+func (c *cli) benchMode(scale experiments.Scale, outPath, name, basePath, withPath string, threshold float64) int {
 	var cur *bench.Artifact
 	if withPath != "" {
 		var err error
 		cur, err = bench.Load(withPath)
-		fail(err)
+		if err != nil {
+			return c.fail(err)
+		}
 	} else {
 		start := time.Now()
 		a, err := bench.Run(scale, name)
-		fail(err)
+		if err != nil {
+			return c.fail(err)
+		}
 		cur = a
-		fmt.Printf("benchmark: %d queries, %.3f q/s, p95 %.1f ms, cache hit %.0f%% (measured in %v)\n",
+		fmt.Fprintf(c.stdout, "benchmark: %d queries, %.3f q/s, p95 %.1f ms, cache hit %.0f%% (measured in %v)\n",
 			cur.Completed, cur.ThroughputQPS, cur.P95ResponseMS, cur.CacheHitRate*100,
 			time.Since(start).Round(time.Millisecond))
 	}
 	if outPath != "" {
-		fail(cur.WriteFile(outPath))
-		fmt.Printf("artifact: %s\n", outPath)
+		if err := cur.WriteFile(outPath); err != nil {
+			return c.fail(err)
+		}
+		fmt.Fprintf(c.stdout, "artifact: %s\n", outPath)
 	}
 	if basePath == "" {
-		return
+		return 0
 	}
 	base, err := bench.Load(basePath)
-	fail(err)
+	if err != nil {
+		return c.fail(err)
+	}
 	regs, err := bench.Compare(base, cur, threshold)
-	fail(err)
+	if err != nil {
+		return c.fail(err)
+	}
 	if len(regs) == 0 {
-		fmt.Printf("gate: PASS vs %s (threshold %.0f%%)\n", basePath, threshold*100)
-		return
+		fmt.Fprintf(c.stdout, "gate: PASS vs %s (threshold %.0f%%)\n", basePath, threshold*100)
+		return 0
 	}
-	fmt.Fprintf(os.Stderr, "gate: FAIL vs %s (threshold %.0f%%)\n", basePath, threshold*100)
+	fmt.Fprintf(c.stderr, "gate: FAIL vs %s (threshold %.0f%%)\n", basePath, threshold*100)
 	for _, r := range regs {
-		fmt.Fprintf(os.Stderr, "  regression: %s\n", r)
+		fmt.Fprintf(c.stderr, "  regression: %s\n", r)
 	}
-	os.Exit(3)
+	return 3
 }
 
 // fig11Series groups the Fig. 11 grid into per-algorithm series.
@@ -291,25 +339,23 @@ func fig11Series(r *experiments.Fig11Result, respTime bool) []metrics.Series {
 	return out
 }
 
-func emit(t *metrics.Table) {
-	if asCSV {
-		fmt.Print(t.CSV())
+func (c *cli) emit(t *metrics.Table) {
+	if c.asCSV {
+		fmt.Fprint(c.stdout, t.CSV())
 		return
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(c.stdout, t.String())
 }
 
-func section(title string) {
-	if asCSV {
-		fmt.Printf("# %s\n", title)
+func (c *cli) section(title string) {
+	if c.asCSV {
+		fmt.Fprintf(c.stdout, "# %s\n", title)
 		return
 	}
-	fmt.Printf("\n== %s ==\n\n", title)
+	fmt.Fprintf(c.stdout, "\n== %s ==\n\n", title)
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "jawsbench: %v\n", err)
-		os.Exit(1)
-	}
+func (c *cli) fail(err error) int {
+	fmt.Fprintf(c.stderr, "jawsbench: %v\n", err)
+	return 1
 }

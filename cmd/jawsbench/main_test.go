@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jaws/internal/bench"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+		{[]string{"-format", "xml"}, `unknown format "xml"`},
+		{[]string{"-quick", "-exp", "fig99"}, `unknown experiment "fig99"`},
+	}
+	for _, c := range cases {
+		code, _, errb := runCLI(t, c.args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", c.args, code)
+		}
+		if !strings.Contains(errb, c.want) {
+			t.Errorf("%v: stderr %q missing %q", c.args, errb, c.want)
+		}
+	}
+}
+
+func TestQuickExperimentTextAndCSV(t *testing.T) {
+	// fig8 analyzes the workload without running an engine — the cheapest
+	// experiment that still exercises the table pipeline end to end.
+	code, out, errb := runCLI(t, "-quick", "-exp", "fig8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"== Fig. 8", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, errb = runCLI(t, "-quick", "-exp", "fig8", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("csv: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "# Fig. 8") {
+		t.Errorf("csv output missing section comment:\n%s", out)
+	}
+	if strings.Contains(out, "completed in") {
+		t.Errorf("csv output polluted with timing chatter:\n%s", out)
+	}
+}
+
+func TestBadFaultSpec(t *testing.T) {
+	code, _, errb := runCLI(t, "-quick", "-fault-spec", "bogus:nope")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, "jawsbench:") {
+		t.Errorf("stderr missing error prefix: %s", errb)
+	}
+}
+
+// TestBenchOutCompareGate covers the benchmark trajectory mode end to end:
+// measure an artifact, gate it against itself (PASS, exit 0), then against
+// a doctored baseline claiming twice the throughput (FAIL, exit 3).
+func TestBenchOutCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "BENCH_pr.json")
+
+	code, out, errb := runCLI(t, "-quick", "-bench-out", artifact)
+	if code != 0 {
+		t.Fatalf("-bench-out: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "artifact: "+artifact) {
+		t.Errorf("no artifact line in output:\n%s", out)
+	}
+	if _, err := bench.Load(artifact); err != nil {
+		t.Fatalf("written artifact does not load: %v", err)
+	}
+
+	// Self-comparison with -with skips re-measuring and must pass.
+	code, out, errb = runCLI(t, "-quick", "-compare", artifact, "-with", artifact)
+	if code != 0 {
+		t.Fatalf("self-compare: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "gate: PASS") {
+		t.Errorf("self-compare did not report PASS:\n%s", out)
+	}
+
+	// Doctor a baseline that claims double the throughput; the measured
+	// artifact then regresses past any reasonable threshold.
+	doctored := filepath.Join(dir, "BENCH_main.json")
+	raw, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["throughput_qps"] = m["throughput_qps"].(float64) * 2
+	raw, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(doctored, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, errb = runCLI(t, "-quick", "-compare", doctored, "-with", artifact)
+	if code != 3 {
+		t.Fatalf("regression gate: exit %d, want 3 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, "gate: FAIL") || !strings.Contains(errb, "regression:") {
+		t.Errorf("regression gate stderr incomplete: %s", errb)
+	}
+
+	// Missing baseline file is a runtime error, not a gate failure.
+	code, _, _ = runCLI(t, "-quick", "-compare", filepath.Join(dir, "missing.json"), "-with", artifact)
+	if code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+}

@@ -18,7 +18,9 @@ func TestGolden(t *testing.T) {
 		{"truncated.jsonl", "truncated.golden"},
 	} {
 		t.Run(tc.fixture, func(t *testing.T) {
-			in, err := os.Open(filepath.Join("testdata", tc.fixture))
+			// Input fixtures are shared with cmd/tracestat (both commands
+			// consume the same trace format); goldens stay per-command.
+			in, err := os.Open(filepath.Join("..", "testdata", tc.fixture))
 			if err != nil {
 				t.Fatal(err)
 			}

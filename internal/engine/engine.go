@@ -108,6 +108,12 @@ type Config struct {
 	RetryBackoff time.Duration
 	// RetryBackoffMax caps the per-retry backoff; 0 means 500 ms.
 	RetryBackoffMax time.Duration
+	// OnDecision, when non-nil, receives every scheduling decision the
+	// engine executes: the virtual time of the NextBatch call and the
+	// batches it returned, before any time is charged. The differential
+	// oracle (internal/oracle) exports the engine-level decision trace
+	// through this hook. The callback must not retain or mutate the slice.
+	OnDecision func(now time.Duration, batches []sched.Batch)
 }
 
 // QueryResult is a completed query with its measured response time and
@@ -353,8 +359,12 @@ func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
 
 		// 3. Execute the next batch, or fast-forward to the next event.
 		if e.cfg.Sched.Pending() > 0 {
-			batches := e.cfg.Sched.NextBatch(e.clock.Now())
+			decidedAt := e.clock.Now()
+			batches := e.cfg.Sched.NextBatch(decidedAt)
 			if len(batches) > 0 {
+				if e.cfg.OnDecision != nil {
+					e.cfg.OnDecision(decidedAt, batches)
+				}
 				if err := e.execute(batches); err != nil {
 					return nil, err
 				}

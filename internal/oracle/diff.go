@@ -1,0 +1,158 @@
+package oracle
+
+import (
+	"fmt"
+
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// Target bundles the two sides of one differential comparison: a factory
+// for a fresh production scheduler and one for the reference model. Both
+// must be deterministic functions of their inputs so any op log can be
+// replayed through fresh instances.
+type Target struct {
+	// Name labels the target in reports.
+	Name string
+	// New builds a fresh production scheduler; resident is the residency
+	// oracle it must consult for the φ(i) term.
+	New func(resident func(store.AtomID) bool) sched.Scheduler
+	// NewModel builds a fresh reference model.
+	NewModel func() Model
+}
+
+// StandardTarget pairs a production scheduler of the given algorithm with
+// its reference model, both built from the same parameters.
+func StandardTarget(a Algo, p Params) Target {
+	return Target{
+		Name: a.String(),
+		New: func(resident func(store.AtomID) bool) sched.Scheduler {
+			switch a {
+			case AlgoNoShare:
+				return sched.NewNoShare()
+			case AlgoLifeRaft:
+				return sched.NewLifeRaft(p.Cost, p.Alpha, resident)
+			default:
+				return sched.NewJAWS(sched.JAWSConfig{
+					Cost:         p.Cost,
+					BatchSize:    p.BatchSize,
+					InitialAlpha: p.Alpha,
+					Adaptive:     p.Adaptive,
+					Resident:     resident,
+				})
+			}
+		},
+		NewModel: func() Model { return NewModel(a, p) },
+	}
+}
+
+// Divergence describes the first disagreement found while replaying an op
+// log through a target.
+type Divergence struct {
+	// Target names the diverging target.
+	Target string
+	// OpIndex is the position in the log at which the sides disagreed.
+	OpIndex int
+	// Kind classifies the disagreement: "model-vs-real" (the reference
+	// model and the production scheduler chose differently),
+	// "replay-vs-recorded" (a fresh production replay did not reproduce
+	// the recorded run — lost state or nondeterminism), or
+	// "pending-mismatch" (queue accounting drifted).
+	Kind string
+	// Detail is a human-readable account of the two answers.
+	Detail string
+}
+
+// Error renders the divergence as one line.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("%s: op %d: %s: %s", d.Target, d.OpIndex, d.Kind, d.Detail)
+}
+
+// Diff replays the op log through a fresh production scheduler and a
+// fresh reference model, comparing every decision. When the log still
+// carries recorded answers (Op.Got), the production replay is also
+// checked against the recording — a determinism and
+// recording-completeness audit. It returns the first divergence, or nil
+// when the sides agree over the whole log.
+func Diff(t Target, log *OpLog) *Divergence {
+	var snap map[store.AtomID]bool
+	resident := func(id store.AtomID) bool { return snap[id] }
+	real := t.New(resident)
+	model := t.NewModel()
+
+	for i, op := range log.Ops {
+		switch op.Kind {
+		case OpEnqueue:
+			real.Enqueue(op.Sub, op.Now)
+			model.Enqueue(op.Sub, op.Now)
+		case OpDecision:
+			snap = op.Resident
+			rGot := real.NextBatch(op.Now)
+			mGot := model.NextBatch(op.Now, func(id store.AtomID) bool { return snap[id] })
+			if op.Got != nil && !batchesEqual(rGot, op.Got) {
+				return &Divergence{
+					Target: t.Name, OpIndex: i, Kind: "replay-vs-recorded",
+					Detail: fmt.Sprintf("replay %s, recorded %s", describeBatches(rGot), describeBatches(op.Got)),
+				}
+			}
+			if !batchesEqual(mGot, rGot) {
+				return &Divergence{
+					Target: t.Name, OpIndex: i, Kind: "model-vs-real",
+					Detail: fmt.Sprintf("model %s, real %s", describeBatches(mGot), describeBatches(rGot)),
+				}
+			}
+		case OpRunEnd:
+			real.OnRunEnd(op.RT, op.TP)
+			model.OnRunEnd(op.RT, op.TP)
+		}
+		if rp, mp := real.Pending(), model.Pending(); rp != mp {
+			return &Divergence{
+				Target: t.Name, OpIndex: i, Kind: "pending-mismatch",
+				Detail: fmt.Sprintf("real has %d pending sub-queries, model %d", rp, mp),
+			}
+		}
+	}
+	if ra, ma := real.Alpha(), model.Alpha(); ra != ma {
+		return &Divergence{
+			Target: t.Name, OpIndex: len(log.Ops) - 1, Kind: "model-vs-real",
+			Detail: fmt.Sprintf("final alpha: real %g, model %g", ra, ma),
+		}
+	}
+	return nil
+}
+
+// Shrink reduces a diverging op log to a locally minimal reproducer:
+// first everything after the divergence point is dropped, then single ops
+// are greedily removed while the model and the production scheduler still
+// disagree. Recorded answers are stripped — after surgery the recording
+// no longer corresponds to any real run; the model-vs-real disagreement
+// is the property being preserved. Shrink returns the log unchanged
+// (minus recordings) when the target does not diverge on it.
+func Shrink(t Target, log *OpLog) *OpLog {
+	cur := &OpLog{Ops: make([]Op, len(log.Ops))}
+	for i, op := range log.Ops {
+		op.Got = nil
+		cur.Ops[i] = op
+	}
+	d := Diff(t, cur)
+	if d == nil {
+		return cur
+	}
+	if d.OpIndex+1 < len(cur.Ops) {
+		cur.Ops = cur.Ops[:d.OpIndex+1]
+	}
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(cur.Ops); i++ {
+			cand := &OpLog{Ops: make([]Op, 0, len(cur.Ops)-1)}
+			cand.Ops = append(cand.Ops, cur.Ops[:i]...)
+			cand.Ops = append(cand.Ops, cur.Ops[i+1:]...)
+			if Diff(t, cand) != nil {
+				cur = cand
+				again = true
+				i--
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,132 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jaws/internal/jobgraph"
+)
+
+// TestGatingDifferential drives the production gating graph and the
+// reference ModelGraph over randomized job sets and requires them to make
+// identical admission decisions, expose identical schedulable frontiers
+// and gating numbers, and — the Fig. 4 guarantee — drain without
+// deadlock.
+func TestGatingDifferential(t *testing.T) {
+	scenarios := 150
+	if testing.Short() {
+		scenarios = 25
+	}
+	for seed := int64(0); seed < int64(scenarios); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			jobs := 2 + rng.Intn(5) // 2–6 ordered jobs
+			lens := make(map[int64]int, jobs)
+			atoms := make(map[jobgraph.Ref]map[int]bool)
+			universe := 4 + rng.Intn(6) // 4–9 atoms: dense sharing
+			for j := int64(1); j <= int64(jobs); j++ {
+				n := 1 + rng.Intn(6) // 1–6 queries per job
+				lens[j] = n
+				for s := 0; s < n; s++ {
+					set := make(map[int]bool)
+					for k := 0; k < universe; k++ {
+						if rng.Intn(3) == 0 {
+							set[k] = true
+						}
+					}
+					atoms[jobgraph.Ref{Job: j, Seq: s}] = set
+				}
+			}
+			shares := func(a, b jobgraph.Ref) bool {
+				sa, sb := atoms[a], atoms[b]
+				if len(sa) > len(sb) {
+					sa, sb = sb, sa
+				}
+				for k := range sa {
+					if sb[k] {
+						return true
+					}
+				}
+				return false
+			}
+
+			g := jobgraph.New(shares)
+			m := NewModelGraph(shares)
+			for j := int64(1); j <= int64(jobs); j++ {
+				if err := g.AddJob(j, lens[j]); err != nil {
+					t.Fatalf("AddJob(%d): %v", j, err)
+				}
+				m.AddJob(j, lens[j])
+			}
+			if ga, ma := g.EdgesAdmitted(), m.EdgesAdmitted(); ga != ma {
+				t.Errorf("admitted edges: real %d, model %d", ga, ma)
+			}
+			if gr, mr := g.EdgesRejected(), m.EdgesRejected(); gr != mr {
+				t.Errorf("rejected edges: real %d, model %d", gr, mr)
+			}
+			for _, d := range CheckDeadlockFree(g, m) {
+				t.Error(d)
+			}
+		})
+	}
+}
+
+// TestGatingPruneDifferential interleaves serving with pruning: after
+// every round of completions both graphs prune, and late-arriving jobs
+// must still merge identically against the survivors.
+func TestGatingPruneDifferential(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		universe := 5
+		atoms := make(map[jobgraph.Ref]map[int]bool)
+		mkJob := func(id int64, n int) {
+			for s := 0; s < n; s++ {
+				set := make(map[int]bool)
+				for k := 0; k < universe; k++ {
+					if rng.Intn(3) == 0 {
+						set[k] = true
+					}
+				}
+				atoms[jobgraph.Ref{Job: id, Seq: s}] = set
+			}
+		}
+		shares := func(a, b jobgraph.Ref) bool {
+			for k := range atoms[a] {
+				if atoms[b][k] {
+					return true
+				}
+			}
+			return false
+		}
+		g := jobgraph.New(shares)
+		m := NewModelGraph(shares)
+
+		// Two waves: drain and prune the first before the second arrives.
+		for j := int64(1); j <= 3; j++ {
+			n := 1 + rng.Intn(4)
+			mkJob(j, n)
+			if err := g.AddJob(j, n); err != nil {
+				t.Fatalf("seed %d: AddJob(%d): %v", seed, j, err)
+			}
+			m.AddJob(j, n)
+		}
+		if diffs := CheckDeadlockFree(g, m); len(diffs) > 0 {
+			t.Fatalf("seed %d wave 1: %v", seed, diffs)
+		}
+		g.Prune()
+		m.Prune()
+		for j := int64(4); j <= 6; j++ {
+			n := 1 + rng.Intn(4)
+			mkJob(j, n)
+			if err := g.AddJob(j, n); err != nil {
+				t.Fatalf("seed %d: AddJob(%d): %v", seed, j, err)
+			}
+			m.AddJob(j, n)
+		}
+		if diffs := CheckDeadlockFree(g, m); len(diffs) > 0 {
+			t.Fatalf("seed %d wave 2: %v", seed, diffs)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"jaws/internal/cache"
+	"jaws/internal/job"
+	"jaws/internal/jobgraph"
+	"jaws/internal/obs"
+	"jaws/internal/query"
+)
+
+// The invariant checkers certify properties every correct run must hold,
+// independent of which scheduler produced it. Each returns a list of
+// violation descriptions (nil means the invariant holds) so tests can
+// report every breach, not just the first.
+
+// CheckExactlyOnce verifies exactly-once atom evaluation from the
+// engine-level decision trace: every enqueued sub-query is served by
+// exactly one decision, never before it was enqueued, and no decision
+// serves a sub-query that was never enqueued. complete distinguishes a
+// run that finished (crashed runs legitimately leave sub-queries pending,
+// so only the at-most-once half applies).
+func CheckExactlyOnce(c *Capture, complete bool) []string {
+	var out []string
+	enqueuedAt := make(map[*query.SubQuery]time.Duration)
+	for _, op := range c.Log.Ops {
+		if op.Kind != OpEnqueue {
+			continue
+		}
+		if _, dup := enqueuedAt[op.Sub]; dup {
+			out = append(out, fmt.Sprintf("sub-query %v of query %d enqueued twice", op.Sub.Atom, op.Sub.Query.ID))
+		}
+		enqueuedAt[op.Sub] = op.Now
+	}
+	served := make(map[*query.SubQuery]int)
+	for di, d := range c.Decisions {
+		for _, b := range d.Batches {
+			for _, sq := range b.SubQueries {
+				at, known := enqueuedAt[sq]
+				if !known {
+					out = append(out, fmt.Sprintf("decision %d serves never-enqueued sub-query %v of query %d", di, sq.Atom, sq.Query.ID))
+					continue
+				}
+				if d.Now < at {
+					out = append(out, fmt.Sprintf("decision %d at %v serves sub-query %v of query %d enqueued later at %v", di, d.Now, sq.Atom, sq.Query.ID, at))
+				}
+				served[sq]++
+				if served[sq] > 1 {
+					out = append(out, fmt.Sprintf("sub-query %v of query %d served %d times", sq.Atom, sq.Query.ID, served[sq]))
+				}
+			}
+		}
+	}
+	if complete {
+		for sq := range enqueuedAt {
+			if served[sq] == 0 {
+				out = append(out, fmt.Sprintf("sub-query %v of query %d enqueued but never served", sq.Atom, sq.Query.ID))
+			}
+		}
+	}
+	return out
+}
+
+// CheckGateRelease verifies gated execution's serving discipline against
+// the reference partner sets (Capture.Partners):
+//
+//   - precedence: an ordered job's query seq+1 is never admitted before
+//     the last serve of query seq (completion is later still);
+//   - gating: no gated query is served before its gate releases — every
+//     partner must have been admitted (its sharing opportunity live) no
+//     later than the serving decision.
+//
+// A partner absent from the log is only legal when the run crashed.
+func CheckGateRelease(c *Capture) []string {
+	var out []string
+	firstEnq := make(map[jobgraph.Ref]time.Duration)
+	lastServe := make(map[jobgraph.Ref]time.Duration)
+	ordered := make(map[int64]bool)
+	for _, j := range c.Jobs {
+		if j.Type == job.Ordered {
+			ordered[j.ID] = true
+		}
+	}
+	refOf := func(q *query.Query) jobgraph.Ref { return jobgraph.Ref{Job: q.JobID, Seq: q.Seq} }
+	for _, op := range c.Log.Ops {
+		if op.Kind != OpEnqueue || !ordered[op.Sub.Query.JobID] {
+			continue
+		}
+		r := refOf(op.Sub.Query)
+		if _, seen := firstEnq[r]; !seen {
+			firstEnq[r] = op.Now
+		}
+	}
+	for _, d := range c.Decisions {
+		for _, b := range d.Batches {
+			for _, sq := range b.SubQueries {
+				if ordered[sq.Query.JobID] {
+					lastServe[refOf(sq.Query)] = d.Now
+				}
+			}
+		}
+	}
+	for r, enq := range firstEnq {
+		if r.Seq == 0 {
+			continue
+		}
+		pred := jobgraph.Ref{Job: r.Job, Seq: r.Seq - 1}
+		if last, servedPred := lastServe[pred]; !servedPred {
+			out = append(out, fmt.Sprintf("%v admitted but predecessor %v never served", r, pred))
+		} else if enq < last {
+			out = append(out, fmt.Sprintf("%v admitted at %v before predecessor %v finished serving at %v", r, enq, pred, last))
+		}
+	}
+	for _, d := range c.Decisions {
+		for _, b := range d.Batches {
+			for _, sq := range b.SubQueries {
+				r := refOf(sq.Query)
+				for _, p := range c.Partners[r] {
+					at, admitted := firstEnq[p]
+					if !admitted {
+						if c.RunErr == nil {
+							out = append(out, fmt.Sprintf("gated %v served but partner %v never admitted", r, p))
+						}
+						continue
+					}
+					if at > d.Now {
+						out = append(out, fmt.Sprintf("gated %v served at %v before partner %v admitted at %v", r, d.Now, p, at))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckSpanConservation verifies the response-time attribution invariant:
+// each completed span's phase components sum exactly to its total.
+func CheckSpanConservation(spans []obs.Span) []string {
+	var out []string
+	for _, s := range spans {
+		if s.PhaseSum() != s.Total() {
+			out = append(out, fmt.Sprintf("query %d: phases sum to %v, total %v", s.Query, s.PhaseSum(), s.Total()))
+		}
+	}
+	return out
+}
+
+// CheckCacheBalance verifies the cache accounting identity for a
+// completed run without prefetching: every miss inserts exactly one atom,
+// every eviction and corruption-drop removes one, so
+// Misses − Evictions − Corruptions must equal the resident count. (A run
+// aborted mid-read counts a miss whose insert never happened; prefetch
+// inserts without a miss — neither applies to harness captures.)
+func CheckCacheBalance(st cache.Stats, residentLen int) []string {
+	if got := st.Misses - st.Evictions - st.Corruptions; got != int64(residentLen) {
+		return []string{fmt.Sprintf("cache accounting: misses(%d) − evictions(%d) − corruptions(%d) = %d, but %d atoms resident",
+			st.Misses, st.Evictions, st.Corruptions, got, residentLen)}
+	}
+	return nil
+}

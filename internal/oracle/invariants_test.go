@@ -1,0 +1,85 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jaws/internal/cache"
+	"jaws/internal/obs"
+	"jaws/internal/query"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// The checkers are only worth trusting if they actually flag broken runs;
+// these tests hand them fabricated violations.
+
+func subOf(qid query.ID, atom store.AtomID) *query.SubQuery {
+	return &query.SubQuery{Query: &query.Query{ID: qid}, Atom: atom}
+}
+
+func TestCheckExactlyOnceFlagsViolations(t *testing.T) {
+	a := store.AtomID{Step: 1, Code: 9}
+	enqueued := subOf(1, a)
+	ghost := subOf(2, a)
+	c := &Capture{
+		Log: &OpLog{Ops: []Op{
+			{Kind: OpEnqueue, Now: 10, Sub: enqueued},
+		}},
+		Decisions: []Decision{
+			// Served before its enqueue time, served twice, plus a sub-query
+			// the scheduler was never given.
+			{Now: 5, Batches: []sched.Batch{{Atom: a, SubQueries: []*query.SubQuery{enqueued, ghost}}}},
+			{Now: 20, Batches: []sched.Batch{{Atom: a, SubQueries: []*query.SubQuery{enqueued}}}},
+		},
+	}
+	out := CheckExactlyOnce(c, true)
+	for _, want := range []string{"never-enqueued", "enqueued later", "served 2 times"} {
+		if !containsAny(out, want) {
+			t.Errorf("missing %q violation in %q", want, out)
+		}
+	}
+
+	// A clean single-serve log must pass, and an unserved sub-query must
+	// only be flagged on complete runs.
+	c = &Capture{
+		Log:       &OpLog{Ops: []Op{{Kind: OpEnqueue, Now: 10, Sub: enqueued}}},
+		Decisions: nil,
+	}
+	if out := CheckExactlyOnce(c, false); len(out) != 0 {
+		t.Errorf("crashed-run capture flagged: %q", out)
+	}
+	if out := CheckExactlyOnce(c, true); !containsAny(out, "never served") {
+		t.Errorf("complete run with unserved sub-query not flagged: %q", out)
+	}
+}
+
+func TestCheckSpanConservationFlagsViolations(t *testing.T) {
+	good := obs.Span{Query: 1, Arrival: 0, Done: 10 * time.Millisecond, Queued: 4 * time.Millisecond, Disk: 6 * time.Millisecond}
+	bad := obs.Span{Query: 2, Arrival: 0, Done: 10 * time.Millisecond, Queued: 4 * time.Millisecond}
+	if out := CheckSpanConservation([]obs.Span{good}); len(out) != 0 {
+		t.Errorf("conserving span flagged: %q", out)
+	}
+	if out := CheckSpanConservation([]obs.Span{good, bad}); !containsAny(out, "query 2") {
+		t.Errorf("leaking span not flagged: %q", out)
+	}
+}
+
+func TestCheckCacheBalanceFlagsViolations(t *testing.T) {
+	if out := CheckCacheBalance(cache.Stats{Misses: 10, Evictions: 3, Corruptions: 1}, 6); len(out) != 0 {
+		t.Errorf("balanced accounting flagged: %q", out)
+	}
+	if out := CheckCacheBalance(cache.Stats{Misses: 10, Evictions: 3}, 6); !containsAny(out, "cache accounting") {
+		t.Errorf("unbalanced accounting not flagged: %q", out)
+	}
+}
+
+func containsAny(out []string, want string) bool {
+	for _, s := range out {
+		if strings.Contains(s, want) {
+			return true
+		}
+	}
+	return false
+}

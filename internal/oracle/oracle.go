@@ -1,0 +1,443 @@
+// Package oracle is the correctness backstop for the JAWS scheduler
+// family: a small, obviously-correct executable reference model of the
+// paper's scheduling semantics, a differential harness that replays
+// recorded workloads through both the model and the production
+// internal/sched, internal/jobgraph and internal/cache paths, and a set of
+// invariant checkers any test can call.
+//
+// The models trade every optimization for legibility: plain sorted slices
+// instead of hash maps, one loop per rule of the paper, no shared state
+// with the production code. Where the production implementation iterates a
+// map under a deterministic tie-break, the model iterates a sorted slice
+// and relies on order alone; agreement between the two is exactly what the
+// differential harness certifies:
+//
+//   - utility scoring — Eq. 1's workload throughput U_t and Eq. 2's aged
+//     metric U_e, including the §V.A adaptive age-bias controller;
+//   - LifeRaft's single-best-queue selection and JAWS's two-level
+//     time-step/atom batching (Fig. 6), with NoShare's arrival-order
+//     baseline;
+//   - gated execution (§IV, Fig. 4): alignment, gating-number deadlock
+//     checks and precedence consistency (see ModelGraph);
+//   - SLRU admission, eviction, and end-of-run promotion (see ModelSLRU).
+//
+// See diff.go for the recording/replay/shrinking harness and
+// invariants.go for the reusable checkers.
+package oracle
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"jaws/internal/query"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// Algo names the scheduling algorithm a model reproduces.
+type Algo int
+
+const (
+	// AlgoNoShare is the arrival-order baseline.
+	AlgoNoShare Algo = iota
+	// AlgoLifeRaft is aged-utility single-queue selection with fixed α.
+	AlgoLifeRaft
+	// AlgoJAWS is two-level batching with adaptive starvation resistance.
+	AlgoJAWS
+)
+
+// String names the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoNoShare:
+		return "NoShare"
+	case AlgoLifeRaft:
+		return "LifeRaft"
+	case AlgoJAWS:
+		return "JAWS"
+	}
+	return "Algo(?)"
+}
+
+// Params fixes the scheduler parameters a model (and the production
+// scheduler it shadows) runs with.
+type Params struct {
+	// Cost is the T_b/T_m model of Eq. 1.
+	Cost sched.CostModel
+	// BatchSize is JAWS's k (ignored by the other algorithms).
+	BatchSize int
+	// Alpha is LifeRaft's fixed age bias, or JAWS's initial one.
+	Alpha float64
+	// Adaptive enables the §V.A controller (JAWS only).
+	Adaptive bool
+}
+
+// Model is the oracle-side scheduler interface. Residency for the φ(i)
+// term is supplied per decision, because the model holds no cache: the
+// harness snapshots the production cache (or the recorded snapshot) and
+// hands the same view to both sides.
+type Model interface {
+	// Enqueue admits one sub-query at virtual time now.
+	Enqueue(sq *query.SubQuery, now time.Duration)
+	// NextBatch selects and removes the next decision's batches; resident
+	// reports cache residency for the φ(i) term (may be nil = all misses).
+	NextBatch(now time.Duration, resident func(store.AtomID) bool) []sched.Batch
+	// OnRunEnd feeds one adaptation run's performance to the α controller.
+	OnRunEnd(rt, tp float64)
+	// Alpha reports the current age bias.
+	Alpha() float64
+	// Pending reports the number of queued sub-queries.
+	Pending() int
+}
+
+// NewModel builds the reference model for the algorithm.
+func NewModel(a Algo, p Params) Model {
+	switch a {
+	case AlgoNoShare:
+		return &modelNoShare{}
+	case AlgoLifeRaft:
+		return &modelLifeRaft{cost: p.Cost, alpha: clamp01(p.Alpha)}
+	default:
+		k := p.BatchSize
+		if k <= 0 {
+			k = 15
+		}
+		return &modelJAWS{
+			cost: p.Cost,
+			k:    k,
+			ctrl: modelAlphaController{alpha: clamp01(p.Alpha), adaptive: p.Adaptive, exploreSign: 1},
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// modelQueue is one atom's workload queue: the pending sub-queries, their
+// total position count, and the enqueue time of the oldest.
+type modelQueue struct {
+	atom      store.AtomID
+	subs      []*query.SubQuery
+	positions int
+	oldest    time.Duration
+}
+
+// queueList keeps atom queues sorted by clustered-index key, so every
+// model iteration is in Morton order by construction.
+type queueList struct {
+	queues []*modelQueue
+	subs   int
+}
+
+// add appends sq to its atom's queue, creating the queue (in key order) on
+// first contact.
+func (l *queueList) add(sq *query.SubQuery, now time.Duration) {
+	i := sort.Search(len(l.queues), func(i int) bool {
+		return l.queues[i].atom.Key() >= sq.Atom.Key()
+	})
+	if i == len(l.queues) || l.queues[i].atom != sq.Atom {
+		l.queues = append(l.queues, nil)
+		copy(l.queues[i+1:], l.queues[i:])
+		l.queues[i] = &modelQueue{atom: sq.Atom, oldest: now}
+	}
+	q := l.queues[i]
+	q.subs = append(q.subs, sq)
+	q.positions += len(sq.Points)
+	l.subs++
+}
+
+// take removes queue q and returns it as a batch.
+func (l *queueList) take(q *modelQueue) sched.Batch {
+	for i, cand := range l.queues {
+		if cand == q {
+			l.queues = append(l.queues[:i], l.queues[i+1:]...)
+			break
+		}
+	}
+	l.subs -= len(q.subs)
+	return sched.Batch{Atom: q.atom, SubQueries: q.subs}
+}
+
+// steps returns the distinct time steps with pending work, ascending.
+func (l *queueList) steps() []int {
+	var out []int
+	for _, q := range l.queues {
+		if n := len(out); n == 0 || out[n-1] != q.atom.Step {
+			out = append(out, q.atom.Step)
+		}
+	}
+	sort.Ints(out)
+	// The queues are sorted by Key (step-major), so steps already come out
+	// ascending; the sort is belt and braces for readability.
+	return out
+}
+
+// ofStep returns the step's queues in Morton order (a subslice view).
+func (l *queueList) ofStep(step int) []*modelQueue {
+	var out []*modelQueue
+	for _, q := range l.queues {
+		if q.atom.Step == step {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// ut computes Eq. 1: U_t(i) = ΣW / (T_b·φ(i) + T_m·ΣW), with φ(i) = 0 for
+// a cache-resident atom.
+func ut(cost sched.CostModel, q *modelQueue, resident func(store.AtomID) bool) float64 {
+	w := float64(q.positions)
+	phi := 1.0
+	if resident != nil && resident(q.atom) {
+		phi = 0
+	}
+	denom := cost.Tb.Seconds()*phi + cost.Tm.Seconds()*w
+	if denom <= 0 {
+		return 0
+	}
+	return w / denom
+}
+
+// ue computes Eq. 2: U_e(i) = U_t(i)·(1−α) + E(i)·α, with E(i) the age of
+// the oldest pending sub-query in milliseconds.
+func ue(cost sched.CostModel, q *modelQueue, alpha float64, now time.Duration, resident func(store.AtomID) bool) float64 {
+	ageMs := float64(now-q.oldest) / float64(time.Millisecond)
+	return ut(cost, q, resident)*(1-alpha) + ageMs*alpha
+}
+
+// --- NoShare -------------------------------------------------------------
+
+// modelNoShare serves whole queries strictly in the order their first
+// sub-query arrived, one batch per sub-query.
+type modelNoShare struct {
+	fifo    []*modelNSQuery
+	pending int
+}
+
+type modelNSQuery struct {
+	id   query.ID
+	subs []*query.SubQuery
+}
+
+func (m *modelNoShare) Enqueue(sq *query.SubQuery, now time.Duration) {
+	for _, q := range m.fifo {
+		if q.id == sq.Query.ID {
+			q.subs = append(q.subs, sq)
+			m.pending++
+			return
+		}
+	}
+	m.fifo = append(m.fifo, &modelNSQuery{id: sq.Query.ID, subs: []*query.SubQuery{sq}})
+	m.pending++
+}
+
+func (m *modelNoShare) NextBatch(now time.Duration, resident func(store.AtomID) bool) []sched.Batch {
+	if len(m.fifo) == 0 {
+		return nil
+	}
+	q := m.fifo[0]
+	m.fifo = m.fifo[1:]
+	out := make([]sched.Batch, len(q.subs))
+	for i, sq := range q.subs {
+		out[i] = sched.Batch{Atom: sq.Atom, SubQueries: []*query.SubQuery{sq}}
+	}
+	m.pending -= len(q.subs)
+	return out
+}
+
+func (m *modelNoShare) OnRunEnd(rt, tp float64) {}
+func (m *modelNoShare) Alpha() float64          { return 0 }
+func (m *modelNoShare) Pending() int            { return m.pending }
+
+// --- LifeRaft ------------------------------------------------------------
+
+// modelLifeRaft picks the single atom queue with the highest aged metric
+// (ties to the lowest clustered-index key).
+type modelLifeRaft struct {
+	cost  sched.CostModel
+	alpha float64
+	q     queueList
+}
+
+func (m *modelLifeRaft) Enqueue(sq *query.SubQuery, now time.Duration) { m.q.add(sq, now) }
+
+func (m *modelLifeRaft) NextBatch(now time.Duration, resident func(store.AtomID) bool) []sched.Batch {
+	var best *modelQueue
+	bestScore := 0.0
+	// Key-ascending iteration: strict > keeps the lowest key on ties.
+	for _, q := range m.q.queues {
+		if score := ue(m.cost, q, m.alpha, now, resident); best == nil || score > bestScore {
+			best, bestScore = q, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []sched.Batch{m.q.take(best)}
+}
+
+func (m *modelLifeRaft) OnRunEnd(rt, tp float64) {}
+func (m *modelLifeRaft) Alpha() float64          { return m.alpha }
+func (m *modelLifeRaft) Pending() int            { return m.q.subs }
+
+// --- JAWS ----------------------------------------------------------------
+
+// modelJAWS is the two-level selection of Fig. 6: the time step with the
+// highest mean aged metric, then up to k above-mean atoms of that step in
+// Morton order (or the single best atom when none exceeds the mean).
+type modelJAWS struct {
+	cost sched.CostModel
+	k    int
+	ctrl modelAlphaController
+	q    queueList
+}
+
+func (m *modelJAWS) Enqueue(sq *query.SubQuery, now time.Duration) { m.q.add(sq, now) }
+
+func (m *modelJAWS) NextBatch(now time.Duration, resident func(store.AtomID) bool) []sched.Batch {
+	if m.q.subs == 0 {
+		return nil
+	}
+	alpha := m.ctrl.alpha
+
+	// Level one: the step with the highest mean aged metric; ascending
+	// iteration plus strict > resolves ties to the lowest step.
+	bestStep, bestMean := -1, 0.0
+	for _, step := range m.q.steps() {
+		queues := m.q.ofStep(step)
+		sum := 0.0
+		for _, q := range queues {
+			sum += ue(m.cost, q, alpha, now, resident)
+		}
+		mean := sum / float64(len(queues))
+		if bestStep < 0 || mean > bestMean {
+			bestStep, bestMean = step, mean
+		}
+	}
+
+	// Level two: the above-mean atoms of that step; if none strictly
+	// exceeds the mean, the single best atom keeps the schedule moving.
+	queues := m.q.ofStep(bestStep)
+	var selected []*modelQueue
+	var fallback *modelQueue
+	fallbackScore := 0.0
+	for _, q := range queues {
+		score := ue(m.cost, q, alpha, now, resident)
+		if score > bestMean {
+			selected = append(selected, q)
+		}
+		if fallback == nil || score > fallbackScore {
+			fallback, fallbackScore = q, score
+		}
+	}
+	if len(selected) == 0 {
+		selected = []*modelQueue{fallback}
+	}
+	// Keep the k most contentious (score-descending, key-ascending on
+	// ties), then execute in Morton order.
+	if len(selected) > m.k {
+		sort.SliceStable(selected, func(i, j int) bool {
+			si := ue(m.cost, selected[i], alpha, now, resident)
+			sj := ue(m.cost, selected[j], alpha, now, resident)
+			if si != sj {
+				return si > sj
+			}
+			return selected[i].atom.Key() < selected[j].atom.Key()
+		})
+		selected = selected[:m.k]
+		sort.Slice(selected, func(i, j int) bool {
+			return selected[i].atom.Key() < selected[j].atom.Key()
+		})
+	}
+	out := make([]sched.Batch, len(selected))
+	for i, q := range selected {
+		out[i] = m.q.take(q)
+	}
+	return out
+}
+
+func (m *modelJAWS) OnRunEnd(rt, tp float64) { m.ctrl.onRunEnd(rt, tp) }
+func (m *modelJAWS) Alpha() float64          { return m.ctrl.alpha }
+func (m *modelJAWS) Pending() int            { return m.q.subs }
+
+// modelAlphaController is the §V.A starvation-resistance controller,
+// restated from the paper: smooth each run's response time and throughput
+// with the EWMA x' = 0.2·x + 0.8·x' (x'(0) = x(0)), compare consecutive
+// smoothed runs, and move α toward contention when saturation rises
+// without commensurate throughput, toward age when slack appears, with a
+// ±0.05 alternating probe after two flat runs.
+type modelAlphaController struct {
+	alpha    float64
+	adaptive bool
+
+	rtS, tpS       float64
+	started        bool
+	prevRt, prevTp float64
+	havePrev       bool
+	flatRuns       int
+	exploreSign    float64
+}
+
+func (c *modelAlphaController) smooth(rt, tp float64) (float64, float64) {
+	// w and 1-w are computed the way the production EWMA does (runtime
+	// 1-w, not a 0.8 literal) so the smoothing is bit-identical.
+	w := 0.2
+	if !c.started {
+		c.rtS, c.tpS = rt, tp
+		c.started = true
+	} else {
+		c.rtS = w*rt + (1-w)*c.rtS
+		c.tpS = w*tp + (1-w)*c.tpS
+	}
+	return c.rtS, c.tpS
+}
+
+func (c *modelAlphaController) onRunEnd(rt, tp float64) {
+	if !c.adaptive {
+		return
+	}
+	srt, stp := c.smooth(rt, tp)
+	if !c.havePrev {
+		c.prevRt, c.prevTp = srt, stp
+		c.havePrev = true
+		return
+	}
+	if c.prevRt <= 0 || c.prevTp <= 0 {
+		c.prevRt, c.prevTp = srt, stp
+		return
+	}
+	rtRatio := srt / c.prevRt
+	tpRatio := stp / c.prevTp
+	c.prevRt, c.prevTp = srt, stp
+
+	// The update expressions mirror the production controller verbatim:
+	// bit-exact agreement matters, and expressions like α + fl(1−α) do
+	// not round to the same double as branch-reconstructed equivalents.
+	delta := rtRatio - tpRatio
+	switch {
+	case rtRatio >= 1 && tpRatio < rtRatio:
+		c.alpha -= math.Min(delta, c.alpha)
+		c.flatRuns = 0
+	case rtRatio < 1 && tpRatio < rtRatio:
+		c.alpha += math.Min(delta, 1-c.alpha)
+		c.flatRuns = 0
+	case math.Abs(rtRatio-1) < 0.01 && math.Abs(tpRatio-1) < 0.01:
+		c.flatRuns++
+		if c.flatRuns >= 2 {
+			c.alpha += c.exploreSign * 0.05
+			c.exploreSign = -c.exploreSign
+			c.flatRuns = 0
+		}
+	default:
+		c.flatRuns = 0
+	}
+	c.alpha = clamp01(c.alpha)
+}

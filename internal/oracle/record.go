@@ -1,0 +1,186 @@
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"jaws/internal/obs"
+	"jaws/internal/query"
+	"jaws/internal/sched"
+	"jaws/internal/store"
+)
+
+// OpKind discriminates the operations of an OpLog.
+type OpKind int
+
+const (
+	// OpEnqueue is one sub-query admission.
+	OpEnqueue OpKind = iota
+	// OpDecision is one NextBatch call, with the cache-residency snapshot
+	// the production scheduler saw and the batches it returned.
+	OpDecision
+	// OpRunEnd is one adaptation-run report to the α controller.
+	OpRunEnd
+)
+
+// Op is one recorded scheduler interaction. Exactly the fields of its
+// kind are set.
+type Op struct {
+	Kind OpKind
+	Now  time.Duration
+
+	// Enqueue.
+	Sub *query.SubQuery
+
+	// Decision. Resident snapshots residency of every then-pending atom —
+	// NextBatch consults the cache only for queued atoms, and the cache
+	// cannot change during the call, so the snapshot is exact. Got is the
+	// production scheduler's answer (nil once a log has been shrunk).
+	Resident map[store.AtomID]bool
+	Got      []sched.Batch
+
+	// Run end.
+	RT, TP float64
+}
+
+// OpLog is a recorded sequence of scheduler interactions, replayable
+// against any Model or production scheduler.
+type OpLog struct {
+	Ops []Op
+}
+
+// Enqueues returns the enqueue ops in order.
+func (l *OpLog) Enqueues() []Op {
+	var out []Op
+	for _, op := range l.Ops {
+		if op.Kind == OpEnqueue {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Decisions returns the decision ops in order.
+func (l *OpLog) Decisions() []Op {
+	var out []Op
+	for _, op := range l.Ops {
+		if op.Kind == OpDecision {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// RecordingSched wraps a production scheduler, recording every
+// interaction into an OpLog while delegating unchanged. The engine's
+// behaviour is unaffected: the wrapper adds bookkeeping, never decisions.
+type RecordingSched struct {
+	inner    sched.Scheduler
+	resident func(store.AtomID) bool
+	log      *OpLog
+	pending  map[store.AtomID]int
+}
+
+// NewRecordingSched wraps inner. resident is the same residency oracle
+// the production scheduler consults (the cache's Contains); it is used
+// only to snapshot, never to decide, and may be nil.
+func NewRecordingSched(inner sched.Scheduler, resident func(store.AtomID) bool) *RecordingSched {
+	return &RecordingSched{
+		inner:    inner,
+		resident: resident,
+		log:      &OpLog{},
+		pending:  make(map[store.AtomID]int),
+	}
+}
+
+// Log returns the accumulated op log.
+func (r *RecordingSched) Log() *OpLog { return r.log }
+
+// Name implements sched.Scheduler.
+func (r *RecordingSched) Name() string { return r.inner.Name() }
+
+// Enqueue implements sched.Scheduler.
+func (r *RecordingSched) Enqueue(sq *query.SubQuery, now time.Duration) {
+	r.log.Ops = append(r.log.Ops, Op{Kind: OpEnqueue, Now: now, Sub: sq})
+	r.pending[sq.Atom]++
+	r.inner.Enqueue(sq, now)
+}
+
+// NextBatch implements sched.Scheduler: snapshot residency of the pending
+// atoms, delegate, record the answer.
+func (r *RecordingSched) NextBatch(now time.Duration) []sched.Batch {
+	snap := make(map[store.AtomID]bool, len(r.pending))
+	for id := range r.pending {
+		snap[id] = r.resident != nil && r.resident(id)
+	}
+	got := r.inner.NextBatch(now)
+	rec := make([]sched.Batch, len(got))
+	for i, b := range got {
+		rec[i] = sched.Batch{Atom: b.Atom, SubQueries: append([]*query.SubQuery(nil), b.SubQueries...)}
+		if r.pending[b.Atom] -= len(b.SubQueries); r.pending[b.Atom] <= 0 {
+			delete(r.pending, b.Atom)
+		}
+	}
+	r.log.Ops = append(r.log.Ops, Op{Kind: OpDecision, Now: now, Resident: snap, Got: rec})
+	return got
+}
+
+// Pending implements sched.Scheduler.
+func (r *RecordingSched) Pending() int { return r.inner.Pending() }
+
+// OnRunEnd implements sched.Scheduler.
+func (r *RecordingSched) OnRunEnd(rt, tp float64) {
+	r.log.Ops = append(r.log.Ops, Op{Kind: OpRunEnd, RT: rt, TP: tp})
+	r.inner.OnRunEnd(rt, tp)
+}
+
+// Alpha implements sched.Scheduler.
+func (r *RecordingSched) Alpha() float64 { return r.inner.Alpha() }
+
+// SetTracer implements sched.Traced, passing the tracer through so an
+// instrumented engine traces the wrapped scheduler as usual.
+func (r *RecordingSched) SetTracer(t *obs.Tracer) {
+	if tr, ok := r.inner.(sched.Traced); ok {
+		tr.SetTracer(t)
+	}
+}
+
+var (
+	_ sched.Scheduler = (*RecordingSched)(nil)
+	_ sched.Traced    = (*RecordingSched)(nil)
+)
+
+// batchesEqual reports whether two decision answers agree exactly: same
+// batch count, same atoms in the same order, same sub-queries (by
+// identity) in the same order.
+func batchesEqual(a, b []sched.Batch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Atom != b[i].Atom || len(a[i].SubQueries) != len(b[i].SubQueries) {
+			return false
+		}
+		for j := range a[i].SubQueries {
+			if a[i].SubQueries[j] != b[i].SubQueries[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// describeBatches renders a decision answer compactly for reports.
+func describeBatches(bs []sched.Batch) string {
+	if len(bs) == 0 {
+		return "[]"
+	}
+	s := "["
+	for i, b := range bs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("s%d/a%d×%d", b.Atom.Step, b.Atom.Code, len(b.SubQueries))
+	}
+	return s + "]"
+}

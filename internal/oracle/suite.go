@@ -1,0 +1,147 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jaws/internal/fault"
+	"jaws/internal/sched"
+	"jaws/internal/workload"
+)
+
+// SeedResult is the outcome of one differential run: one (algorithm,
+// seed, fault schedule) triple captured on a real engine and replayed
+// through the reference model.
+type SeedResult struct {
+	Algo      Algo
+	Seed      int64
+	FaultSpec string
+	// Ops and Decisions size the captured log.
+	Ops, Decisions int
+	// Crashed reports that the fault schedule killed the run (the log is
+	// a prefix; differential and at-most-once checks still apply).
+	Crashed bool
+	// Divergence is the first model/production disagreement (nil: agree).
+	Divergence *Divergence
+	// Violations lists invariant breaches found in the capture.
+	Violations []string
+}
+
+// Ok reports a clean result.
+func (r *SeedResult) Ok() bool { return r.Divergence == nil && len(r.Violations) == 0 }
+
+// String renders one report line.
+func (r *SeedResult) String() string {
+	status := "ok"
+	if !r.Ok() {
+		status = "FAIL"
+	}
+	f := r.FaultSpec
+	if f == "" {
+		f = "-"
+	}
+	return fmt.Sprintf("%-8s seed=%-4d fault=%-40s ops=%-5d dec=%-4d %s", r.Algo, r.Seed, f, r.Ops, r.Decisions, status)
+}
+
+// SuiteParams derives deterministic per-seed parameters: a tiny workload
+// (64 atoms per step over a handful of steps) saturated enough that
+// queues build real contention, with α and batch size varied across
+// seeds so tie-breaking and truncation paths all get exercised.
+func SuiteParams(a Algo, seed int64) (CaptureConfig, Params) {
+	p := Params{
+		Cost:      sched.CostModel{Tb: 41 * time.Millisecond, Tm: 20 * time.Microsecond},
+		BatchSize: 2 + int(seed%4),         // small k so the >k truncation path runs
+		Alpha:     float64(seed%11) / 10.0, // sweep [0,1]
+		Adaptive:  a == AlgoJAWS && seed%2 == 0,
+	}
+	cfg := CaptureConfig{
+		Algo:   a,
+		Params: p,
+		Workload: workload.Config{
+			Seed:           seed,
+			Steps:          4,
+			Jobs:           5 + int(seed%4),
+			PointsPerQuery: 12,
+			OrderedFrac:    0.7,
+			SpeedUp:        200, // compress arrivals: sustained queueing
+			MeanJobGap:     2 * time.Second,
+			ThinkTime:      20 * time.Millisecond,
+			QueryScale:     25,
+			Hotspots:       3,
+		},
+		CacheAtoms: 24,
+		RunLength:  6,
+		JobAware:   a == AlgoJAWS, // full JAWS runs gated
+	}
+	return cfg, p
+}
+
+// SuiteFaultSpec is the deterministic fault schedule paired with each
+// seed in the with-faults pass: transient disk errors and cache
+// corruption throughout, plus a node crash partway through the run.
+func SuiteFaultSpec(seed int64) string {
+	crashAt := 2 + seed%3
+	return fmt.Sprintf("disk-transient:p=0.05;corrupt:p=0.05;crash@0:at=%ds", crashAt)
+}
+
+// DiffSeed captures one run and checks it: differential replay plus the
+// invariant suite. A non-nil error means the harness itself failed (bad
+// config), not that the run diverged.
+func DiffSeed(a Algo, seed int64, faultSpec string) (*SeedResult, error) {
+	cfg, p := SuiteParams(a, seed)
+	cfg.FaultSpec = faultSpec
+	cfg.FaultSeed = seed
+	c, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &SeedResult{
+		Algo:      a,
+		Seed:      seed,
+		FaultSpec: faultSpec,
+		Ops:       len(c.Log.Ops),
+		Decisions: len(c.Decisions),
+		Crashed:   c.RunErr != nil,
+	}
+	res.Divergence = Diff(StandardTarget(a, p), c.Log)
+	res.Violations = append(res.Violations, CheckExactlyOnce(c, c.RunErr == nil)...)
+	if cfg.JobAware {
+		res.Violations = append(res.Violations, CheckGateRelease(c)...)
+	}
+	res.Violations = append(res.Violations, CheckSpanConservation(c.Spans)...)
+	var crash *fault.NodeCrashError
+	if c.RunErr == nil || errors.As(c.RunErr, &crash) {
+		// A crash kills the node between decisions, so cache accounting is
+		// still balanced; only a mid-read abort (exhausted retries or a
+		// permanent fault) legitimately leaves a miss without its insert.
+		res.Violations = append(res.Violations, CheckCacheBalance(c.CacheStats, c.CacheLen)...)
+	}
+	return res, nil
+}
+
+// Suite runs the differential suite over seeds 1..n for every algorithm,
+// without and (when withFaults) with the per-seed fault schedule. report,
+// when non-nil, receives every result as it completes.
+func Suite(n int, withFaults bool, report func(*SeedResult)) ([]*SeedResult, error) {
+	var out []*SeedResult
+	for _, a := range []Algo{AlgoNoShare, AlgoLifeRaft, AlgoJAWS} {
+		for seed := int64(1); seed <= int64(n); seed++ {
+			specs := []string{""}
+			if withFaults {
+				specs = append(specs, SuiteFaultSpec(seed))
+			}
+			for _, spec := range specs {
+				r, err := DiffSeed(a, seed, spec)
+				if err != nil {
+					return out, fmt.Errorf("oracle: %v seed %d fault %q: %w", a, seed, spec, err)
+				}
+				if report != nil {
+					report(r)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package oracle
+
+import "testing"
+
+// TestDifferentialSuite is the headline check of this package: randomized
+// workloads are captured on a real engine and replayed through the
+// reference models, with and without fault schedules, and every decision
+// must agree bit for bit. 34 seeds × 3 algorithms × {clean, faulted} =
+// 204 differential runs.
+func TestDifferentialSuite(t *testing.T) {
+	seeds := 34
+	if testing.Short() {
+		seeds = 5
+	}
+	results, err := Suite(seeds, true, nil)
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	if want := seeds * 3 * 2; len(results) != want {
+		t.Fatalf("suite ran %d captures, want %d", len(results), want)
+	}
+	var crashed, decisions int
+	for _, r := range results {
+		if r.Divergence != nil {
+			t.Errorf("%s: %v", r, r.Divergence)
+		}
+		for _, v := range r.Violations {
+			t.Errorf("%s: invariant: %s", r, v)
+		}
+		if r.Crashed {
+			crashed++
+		}
+		decisions += r.Decisions
+	}
+	// The fault pass is only meaningful if its crash schedules actually
+	// truncate runs, and a suite that made no decisions certifies nothing.
+	if crashed == 0 {
+		t.Error("no capture crashed; fault schedules are not exercising the crash path")
+	}
+	if crashed == len(results)/2 {
+		t.Error("every faulted capture crashed; no faulted run completed")
+	}
+	if decisions == 0 {
+		t.Error("suite recorded zero scheduling decisions")
+	}
+}
+
+// TestSuiteDeterminism re-captures one configuration and requires the two
+// op logs to be identical — the property that makes replay-vs-recorded
+// divergences meaningful.
+func TestSuiteDeterminism(t *testing.T) {
+	for _, a := range []Algo{AlgoNoShare, AlgoLifeRaft, AlgoJAWS} {
+		cfg, _ := SuiteParams(a, 7)
+		c1, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		c2, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if len(c1.Log.Ops) != len(c2.Log.Ops) {
+			t.Fatalf("%v: op counts differ between identical runs: %d vs %d", a, len(c1.Log.Ops), len(c2.Log.Ops))
+		}
+		for i := range c1.Log.Ops {
+			o1, o2 := c1.Log.Ops[i], c2.Log.Ops[i]
+			if o1.Kind != o2.Kind || o1.Now != o2.Now {
+				t.Fatalf("%v: op %d differs: kind %v@%v vs kind %v@%v", a, i, o1.Kind, o1.Now, o2.Kind, o2.Now)
+			}
+			if o1.Kind == OpDecision && !describeMatches(o1, o2) {
+				t.Fatalf("%v: decision %d differs: %s vs %s", a, i, describeBatches(o1.Got), describeBatches(o2.Got))
+			}
+		}
+	}
+}
+
+// describeMatches compares two recorded decisions structurally (sub-query
+// pointers differ between runs, so batchesEqual cannot apply).
+func describeMatches(a, b Op) bool {
+	return describeBatches(a.Got) == describeBatches(b.Got)
+}
