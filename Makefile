@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-oracle check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare
+.PHONY: check check-oracle check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
@@ -30,9 +30,16 @@ race:
 	$(GO) test -race ./...
 
 ## race-obs: race-check the packages with real concurrency — the obs
-## layer (atomic registry, locked tracer) and its concurrent users.
+## layer (atomic registry, locked tracer), the serving layer, and their
+## concurrent users.
 race-obs:
-	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/
+	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/ ./internal/server/ ./cmd/jawsd/ ./cmd/jawsload/
+
+## e2e-serve: boot a real jawsd on a free port, drive a seeded jawsload
+## burst that overwhelms the small queue (some 429s expected, zero 5xx
+## tolerated), then drain via /quitquitquit. CI runs this as its own job.
+e2e-serve:
+	./scripts/e2e_serve.sh
 
 ## fuzz-smoke: a short burst on every fuzz target (Go runs one -fuzz
 ## pattern per invocation, hence the repetition).

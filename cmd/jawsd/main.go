@@ -1,0 +1,234 @@
+// Command jawsd is the production daemon: the Fig. 7 web-service front
+// end over a pool of long-lived JAWS session replicas, with admission
+// control, backpressure, and graceful drain (see internal/server).
+//
+// Usage:
+//
+//	jawsd                                    # defaults: :8080, 1 node
+//	jawsd -addr :9000 -nodes 4 -queue 128 -workers 16
+//	jawsd -fault-spec 'disk-transient:p=0.05' -metrics-out metrics.prom
+//
+// Endpoints: POST /query (JSON), GET /metrics, /healthz, /varz. The
+// daemon drains gracefully on SIGINT/SIGTERM; with -allow-quit a POST to
+// /quitquitquit does the same (used by the CI end-to-end job).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"jaws"
+	"jaws/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the daemon: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jawsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		nodes       = fs.Int("nodes", 1, "session replicas serving the space (queries route round-robin)")
+		queue       = fs.Int("queue", 64, "admission queue bound (full queue sheds with 429)")
+		workers     = fs.Int("workers", 8, "worker pool size (max queries concurrently in the engines)")
+		maxInFlight = fs.Int("max-in-flight", 0, "max requests between accept and response (0: 4×(queue+workers))")
+		deadline    = fs.Duration("deadline", 30*time.Second, "default per-request deadline")
+		maxDeadline = fs.Duration("max-deadline", 2*time.Minute, "cap on client-requested timeout_ms")
+		maxBody     = fs.Int64("max-body", 1<<20, "max /query body bytes (larger is 413)")
+		maxPoints   = fs.Int("max-points", 4096, "max positions per query")
+		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		grid        = fs.Int("grid", 128, "grid side in voxels")
+		atom        = fs.Int("atom", 32, "atom side in voxels")
+		steps       = fs.Int("steps", 8, "stored time steps per node")
+		seed        = fs.Int64("seed", 1, "turbulence field seed (replicas share it: same data)")
+		schedName   = fs.String("sched", "jaws2", "scheduler: noshare, liferaft1, liferaft2, jaws1, jaws2")
+		cacheAtoms  = fs.Int("cache", 64, "cache capacity in atoms per node")
+		faultSpec   = fs.String("fault-spec", "", "deterministic fault schedule, e.g. 'disk-transient:p=0.05' (see internal/fault)")
+		faultSeed   = fs.Int64("fault-seed", 1, "seed for the fault injector (each node derives its own stream)")
+		traceOut    = fs.String("trace-out", "", "write a JSONL decision trace to this file")
+		metricsOut  = fs.String("metrics-out", "", "write the metrics registry (Prometheus text) to this file on exit")
+		serveFor    = fs.Duration("serve-for", 0, "drain and exit after this long (0: serve until a signal)")
+		allowQuit   = fs.Bool("allow-quit", false, "serve POST /quitquitquit to trigger a graceful drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	errf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "jawsd: "+format+"\n", a...)
+		return 1
+	}
+
+	var sched jaws.Scheduler
+	switch strings.ToLower(*schedName) {
+	case "noshare":
+		sched = jaws.SchedNoShare
+	case "liferaft1":
+		sched = jaws.SchedLifeRaft1
+	case "liferaft2":
+		sched = jaws.SchedLifeRaft2
+	case "jaws1":
+		sched = jaws.SchedJAWS1
+	case "jaws2":
+		sched = jaws.SchedJAWS2
+	default:
+		return errf("unknown scheduler %q", *schedName)
+	}
+	if *nodes < 1 {
+		return errf("need at least one node, got %d", *nodes)
+	}
+	spec, err := jaws.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		return errf("%v", err)
+	}
+
+	reg := jaws.NewRegistry()
+	o := &jaws.Obs{Reg: reg}
+	var tracer *jaws.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return errf("%v", err)
+		}
+		tracer = jaws.NewTracer(0, f)
+		o.Trace = tracer
+	}
+
+	backends := make([]server.Backend, *nodes)
+	for i := range backends {
+		sess, err := jaws.OpenSession(jaws.Config{
+			Space:      jaws.Space{GridSide: *grid, AtomSide: *atom},
+			Steps:      *steps,
+			Seed:       *seed, // shared: every replica serves the same field
+			Scheduler:  sched,
+			CacheAtoms: *cacheAtoms,
+			Compute:    true,
+			Obs:        o,
+			Fault:      spec,
+			FaultSeed:  *faultSeed + int64(i), // independent fault streams
+		})
+		if err != nil {
+			return errf("node %d: %v", i, err)
+		}
+		backends[i] = sess
+	}
+
+	srv, err := server.New(server.Config{
+		Backends:        backends,
+		Reg:             reg,
+		QueueBound:      *queue,
+		Workers:         *workers,
+		MaxInFlight:     *maxInFlight,
+		MaxBodyBytes:    *maxBody,
+		MaxPoints:       *maxPoints,
+		Steps:           *steps,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		RetryAfter:      *retryAfter,
+	})
+	if err != nil {
+		return errf("%v", err)
+	}
+
+	// A drain can be requested by a signal, the -serve-for timer, or the
+	// /quitquitquit endpoint; whichever fires first wins.
+	stop := make(chan string, 1)
+	var stopOnce sync.Once
+	requestStop := func(why string) { stopOnce.Do(func() { stop <- why }) }
+
+	root := http.NewServeMux()
+	root.Handle("/", srv.Handler())
+	if *allowQuit {
+		root.HandleFunc("/quitquitquit", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			fmt.Fprintln(w, "draining")
+			requestStop("quitquitquit")
+		})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return errf("%v", err)
+	}
+	fmt.Fprintf(stdout, "jawsd listening on http://%s (nodes=%d queue=%d workers=%d deadline=%v sched=%v)\n",
+		ln.Addr(), *nodes, *queue, *workers, *deadline, sched)
+
+	httpSrv := &http.Server{Handler: root}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			httpErr <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var timerC <-chan time.Time
+	if *serveFor > 0 {
+		timerC = time.After(*serveFor)
+	}
+	var why string
+	select {
+	case sig := <-sigc:
+		why = sig.String()
+	case <-timerC:
+		why = "serve-for elapsed"
+	case why = <-stop:
+	case err := <-httpErr:
+		return errf("serve: %v", err)
+	}
+
+	fmt.Fprintf(stdout, "draining (%s)...\n", why)
+	reports := srv.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return errf("http shutdown: %v", err)
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "served          %d queries (%d requests, %d shed, %d timeouts, %d errors)\n",
+		st.Served, st.Requests, st.Shed, st.Timeouts, st.Errors)
+	for i, rep := range reports {
+		fmt.Fprintf(stdout, "node %d          %d completed, %.1f virtual s, cache hit %.1f%%\n",
+			i, rep.Completed, rep.Elapsed.Seconds(), rep.CacheStats.HitRatio()*100)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return errf("trace: %v", err)
+		}
+		fmt.Fprintf(stdout, "trace           %d events -> %s\n", tracer.Total(), *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return errf("%v", err)
+		}
+		if err := reg.WriteText(f); err != nil {
+			f.Close()
+			return errf("metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			return errf("metrics: %v", err)
+		}
+		fmt.Fprintf(stdout, "metrics         -> %s\n", *metricsOut)
+	}
+	return 0
+}

@@ -1,0 +1,251 @@
+// Command jawsload is a seeded load generator for jawsd: it fabricates a
+// deterministic stream of /query requests and drives them at the daemon
+// in closed-loop (fixed worker count, next request when the last one
+// answers) or open-loop (fixed arrival rate) mode, then reports a status
+// histogram, latency percentiles, and throughput.
+//
+// The request plan is a pure function of the flags: -dry-run prints it
+// without sending anything, byte-for-byte reproducible for a fixed seed.
+//
+// Usage:
+//
+//	jawsload -addr 127.0.0.1:8080 -requests 256 -clients 16
+//	jawsload -addr 127.0.0.1:8080 -mode open -rate 200 -requests 100
+//	jawsload -requests 4 -dry-run        # show the plan, send nothing
+//
+// Exit status: 0 on success, 1 when the run saw transport errors or 5xx
+// responses or served fewer than -min-served queries, 2 on flag errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jaws/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// plan is the full request sequence, fabricated up front so that the
+// workload is independent of response timing (and -dry-run can print it).
+type plan struct {
+	bodies [][]byte
+}
+
+// buildPlan derives every request body from the seeded generator. Steps
+// cycle uniformly over the store, positions land inside the physical box.
+func buildPlan(requests, steps, points int, kernel string, coordMax float64, seed int64) (*plan, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &plan{bodies: make([][]byte, requests)}
+	for i := range p.bodies {
+		req := server.QueryRequest{
+			Step:   rng.Intn(steps),
+			Kernel: kernel,
+			Points: make([]server.Point, points),
+		}
+		for j := range req.Points {
+			req.Points[j] = server.Point{
+				X: rng.Float64() * coordMax,
+				Y: rng.Float64() * coordMax,
+				Z: rng.Float64() * coordMax,
+			}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		p.bodies[i] = body
+	}
+	return p, nil
+}
+
+// tally accumulates per-request outcomes across worker goroutines.
+type tally struct {
+	mu        sync.Mutex
+	byStatus  map[int]int
+	latencies []time.Duration
+	transport int
+}
+
+func (t *tally) note(status int, latency time.Duration, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		t.transport++
+		return
+	}
+	t.byStatus[status]++
+	if status == http.StatusOK {
+		t.latencies = append(t.latencies, latency)
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// run is the testable body of the generator: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jawsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "jawsd address (host:port)")
+		requests  = fs.Int("requests", 64, "total requests to send")
+		clients   = fs.Int("clients", 8, "closed-loop worker count")
+		mode      = fs.String("mode", "closed", "closed (fixed workers) or open (fixed arrival rate)")
+		rate      = fs.Float64("rate", 100, "open-loop arrival rate in requests/second")
+		steps     = fs.Int("steps", 8, "steps in the target store (plan cycles over [0, steps))")
+		points    = fs.Int("points", 8, "positions per query")
+		kernel    = fs.String("kernel", "lag4", "interpolation kernel for every query")
+		coordMax  = fs.Float64("coord-max", 6.28, "positions are drawn uniformly from [0, coord-max)^3")
+		seed      = fs.Int64("seed", 1, "workload seed (the request plan is a pure function of it)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		minServed = fs.Int("min-served", 1, "fail the run when fewer queries are served (200)")
+		dryRun    = fs.Bool("dry-run", false, "print the request plan and send nothing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	errf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "jawsload: "+format+"\n", a...)
+		return 1
+	}
+
+	if *requests < 1 {
+		return errf("need at least one request, got %d", *requests)
+	}
+	if *clients < 1 {
+		return errf("need at least one client, got %d", *clients)
+	}
+	if *steps < 1 || *points < 1 {
+		return errf("steps and points must be positive")
+	}
+	if *mode != "closed" && *mode != "open" {
+		return errf("unknown mode %q (want closed or open)", *mode)
+	}
+	if *mode == "open" && *rate <= 0 {
+		return errf("open-loop mode needs a positive -rate, got %g", *rate)
+	}
+
+	p, err := buildPlan(*requests, *steps, *points, *kernel, *coordMax, *seed)
+	if err != nil {
+		return errf("building plan: %v", err)
+	}
+
+	if *dryRun {
+		fmt.Fprintf(stdout, "plan            %d requests, seed %d, kernel %s, %d points each\n",
+			*requests, *seed, *kernel, *points)
+		for i, body := range p.bodies {
+			fmt.Fprintf(stdout, "req %-4d        %s\n", i, body)
+		}
+		return 0
+	}
+
+	url := "http://" + *addr + "/query"
+	client := &http.Client{Timeout: *timeout}
+	tl := &tally{byStatus: make(map[int]int)}
+	send := func(body []byte) {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			tl.note(0, 0, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		tl.note(resp.StatusCode, time.Since(t0), nil)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch *mode {
+	case "closed":
+		var next atomic.Int64
+		for w := 0; w < *clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(p.bodies) {
+						return
+					}
+					send(p.bodies[i])
+				}
+			}()
+		}
+	case "open":
+		interval := time.Duration(float64(time.Second) / *rate)
+		for i := range p.bodies {
+			if i > 0 {
+				time.Sleep(interval)
+			}
+			wg.Add(1)
+			go func(body []byte) {
+				defer wg.Done()
+				send(body)
+			}(p.bodies[i])
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(tl.latencies, func(i, j int) bool { return tl.latencies[i] < tl.latencies[j] })
+	served := tl.byStatus[http.StatusOK]
+	shed := tl.byStatus[http.StatusTooManyRequests]
+	fivexx := 0
+	for code, n := range tl.byStatus {
+		if code >= 500 {
+			fivexx += n
+		}
+	}
+
+	fmt.Fprintf(stdout, "requests        %d sent in %.2fs (%.1f req/s)\n",
+		*requests, elapsed.Seconds(), float64(*requests)/elapsed.Seconds())
+	codes := make([]int, 0, len(tl.byStatus))
+	for code := range tl.byStatus {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(stdout, "status %d      x %d\n", code, tl.byStatus[code])
+	}
+	if tl.transport > 0 {
+		fmt.Fprintf(stdout, "transport err   x %d\n", tl.transport)
+	}
+	if served > 0 {
+		fmt.Fprintf(stdout, "latency         p50 %v p90 %v p99 %v max %v\n",
+			percentile(tl.latencies, 0.50).Round(time.Microsecond),
+			percentile(tl.latencies, 0.90).Round(time.Microsecond),
+			percentile(tl.latencies, 0.99).Round(time.Microsecond),
+			tl.latencies[len(tl.latencies)-1].Round(time.Microsecond))
+	}
+	fmt.Fprintf(stdout, "summary         %d served, %d shed, %d 5xx\n", served, shed, fivexx)
+
+	if tl.transport > 0 {
+		return errf("%d requests failed at the transport level", tl.transport)
+	}
+	if fivexx > 0 {
+		return errf("%d requests answered with 5xx", fivexx)
+	}
+	if served < *minServed {
+		return errf("served %d queries, need at least %d", served, *minServed)
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jaws"
+	"jaws/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		code int
+		want string
+	}{
+		{[]string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{[]string{"-requests", "0"}, 1, "at least one request"},
+		{[]string{"-clients", "0"}, 1, "at least one client"},
+		{[]string{"-points", "0"}, 1, "must be positive"},
+		{[]string{"-mode", "sideways"}, 1, `unknown mode "sideways"`},
+		{[]string{"-mode", "open", "-rate", "0"}, 1, "positive -rate"},
+	}
+	for _, c := range cases {
+		code, _, errb := runCLI(t, c.args...)
+		if code != c.code {
+			t.Errorf("%v: exit %d, want %d (stderr: %s)", c.args, code, c.code, errb)
+		}
+		if !strings.Contains(errb, c.want) {
+			t.Errorf("%v: stderr %q missing %q", c.args, errb, c.want)
+		}
+	}
+}
+
+// TestDryRunPlanIsDeterministic pins the generated workload byte for
+// byte: the request plan is a pure function of the flags, so two runs
+// with the same seed must print identical plans, matching the golden.
+func TestDryRunPlanIsDeterministic(t *testing.T) {
+	args := []string{"-dry-run", "-requests", "4", "-points", "2", "-steps", "3", "-seed", "42", "-kernel", "lag6"}
+	code, out1, errb := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	code, out2, _ := runCLI(t, args...)
+	if code != 0 || out1 != out2 {
+		t.Fatalf("two dry runs with the same seed differ:\n%s\n---\n%s", out1, out2)
+	}
+
+	golden := filepath.Join("testdata", "plan.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != string(want) {
+		t.Errorf("plan differs from golden file:\ngot:\n%s\nwant:\n%s", out1, want)
+	}
+
+	code, out3, _ := runCLI(t, append(args, "-seed", "43")...)
+	if code != 0 {
+		t.Fatal("reseeded dry run failed")
+	}
+	if out3 == out1 {
+		t.Error("changing the seed did not change the plan")
+	}
+}
+
+// TestClosedLoopAgainstRealServer drives a seeded smoke workload through
+// a real admission-controlled server and checks the report and exit code.
+func TestClosedLoopAgainstRealServer(t *testing.T) {
+	sess, err := jaws.OpenSession(jaws.Config{
+		Space:      jaws.Space{GridSide: 64, AtomSide: 32},
+		Steps:      3,
+		Seed:       5,
+		CacheAtoms: 16,
+		Compute:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Backends: []server.Backend{sess}, Steps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	code, out, errb := runCLI(t,
+		"-addr", addr, "-requests", "16", "-clients", "4", "-steps", "3",
+		"-points", "2", "-seed", "9", "-min-served", "16")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb, out)
+	}
+	for _, want := range []string{"requests        16 sent", "status 200      x 16", "latency         p50", "summary         16 served, 0 shed, 0 5xx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The -min-served gate must fail the run when the bar is too high.
+	code, _, errb = runCLI(t,
+		"-addr", addr, "-requests", "2", "-clients", "1", "-steps", "3",
+		"-points", "1", "-min-served", "100")
+	if code != 1 || !strings.Contains(errb, "need at least 100") {
+		t.Errorf("min-served gate: exit %d, stderr %q", code, errb)
+	}
+}
+
+// TestTransportErrorFailsRun points the generator at a closed port.
+func TestTransportErrorFailsRun(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	ts.Close() // nothing listens here any more
+
+	code, _, errb := runCLI(t, "-addr", addr, "-requests", "2", "-clients", "1")
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "transport level") {
+		t.Errorf("stderr %q missing transport failure", errb)
+	}
+}

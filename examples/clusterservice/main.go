@@ -5,11 +5,12 @@
 //
 // The example does two things:
 //
-//  1. runs a generated batch workload across a 4-node simulated cluster
-//     and prints the per-node and aggregate reports;
-//  2. starts an HTTP front end with a /query endpoint (JSON in/out),
-//     issues a demo request against it, and prints the interpolated
-//     velocities.
+//  1. runs a generated batch workload across a simulated cluster and
+//     prints the per-node and aggregate reports;
+//  2. stands up the production serving layer (internal/server — the same
+//     admission-controlled front end cmd/jawsd runs) over a pool of
+//     session replicas, issues a demo request against it with the shared
+//     wire types, and prints the interpolated velocities.
 //
 // go run ./examples/clusterservice
 package main
@@ -19,23 +20,43 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
-	"sync"
-	"sync/atomic"
+	"os"
 	"time"
 
 	"jaws"
+	"jaws/internal/server"
 )
 
 func main() {
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the example: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clusterservice", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jobs      = fs.Int("jobs", 30, "jobs in the generated batch workload")
+		nodes     = fs.Int("nodes", 4, "cluster nodes (batch run) and session replicas (service)")
+		grid      = fs.Int("grid", 128, "grid side in voxels")
+		steps     = fs.Int("steps", 8, "stored time steps")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "clusterservice: %v\n", err)
+		return 1
+	}
 
 	// Diagnostics are served on their own listener, never the public mux:
-	// the public service exposes /query and /metrics only.
+	// the public service exposes /query, /metrics, /healthz, /varz only.
 	if *pprofAddr != "" {
 		go func() {
 			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
@@ -43,9 +64,10 @@ func main() {
 		}()
 	}
 
+	space := jaws.Space{GridSide: *grid, AtomSide: 32}
 	nodeCfg := jaws.Config{
-		Space:      jaws.Space{GridSide: 128, AtomSide: 32},
-		Steps:      8,
+		Space:      space,
+		Steps:      *steps,
 		Scheduler:  jaws.SchedJAWS1,
 		Policy:     jaws.PolicyLRUK,
 		CacheAtoms: 32,
@@ -54,174 +76,116 @@ func main() {
 	// --- 1. batch workload across the cluster --------------------------
 	w := jaws.GenerateWorkload(jaws.WorkloadConfig{
 		Seed:  21,
-		Steps: 8,
-		Jobs:  30,
-		Space: jaws.Space{GridSide: 128, AtomSide: 32},
+		Steps: *steps,
+		Jobs:  *jobs,
+		Space: space,
 	})
-	rep, err := jaws.RunCluster(jaws.ClusterConfig{Nodes: 4, Node: nodeCfg}, w.Jobs)
+	rep, err := jaws.RunCluster(jaws.ClusterConfig{Nodes: *nodes, Node: nodeCfg}, w.Jobs)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("cluster run: %d logical queries, makespan %.1f virtual s, %.2f q/s aggregate\n",
+	fmt.Fprintf(stdout, "cluster run: %d logical queries, makespan %.1f virtual s, %.2f q/s aggregate\n",
 		rep.Completed, rep.MaxElapsed, rep.AggregateThroughput)
 	for _, nr := range rep.PerNode {
-		fmt.Printf("  node %d: %4d queries, %.2f q/s, cache hit %.1f%%\n",
+		fmt.Fprintf(stdout, "  node %d: %4d queries, %.2f q/s, cache hit %.1f%%\n",
 			nr.Node, nr.Report.Completed, nr.Report.ThroughputQPS,
 			nr.Report.CacheStats.HitRatio()*100)
 	}
 
 	// --- 2. interactive web-service front end --------------------------
-	// A single long-lived session serves every request: queries from
-	// concurrent clients enter the same JAWS workload queues (where their
-	// I/O can be shared), and a demultiplexer routes streamed results
-	// back to the waiting handler.
+	// The serving layer owns admission control, backpressure, and result
+	// demultiplexing; the example only opens the session replicas and
+	// wires them in. This is exactly what cmd/jawsd deploys.
 	reg := jaws.NewRegistry()
-	sess, err := jaws.OpenSession(jaws.Config{
-		Space:      nodeCfg.Space,
-		Steps:      nodeCfg.Steps,
-		Scheduler:  jaws.SchedJAWS1,
-		CacheAtoms: 32,
-		Compute:    true,
-		Obs:        &jaws.Obs{Reg: reg},
+	backends := make([]server.Backend, *nodes)
+	for i := range backends {
+		sess, err := jaws.OpenSession(jaws.Config{
+			Space:      space,
+			Steps:      *steps,
+			Scheduler:  jaws.SchedJAWS1,
+			CacheAtoms: 32,
+			Compute:    true,
+			Obs:        &jaws.Obs{Reg: reg},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		backends[i] = sess
+	}
+	srv, err := server.New(server.Config{
+		Backends:   backends,
+		Reg:        reg,
+		QueueBound: 32,
+		Workers:    4,
+		Steps:      *steps,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	defer sess.Close()
-
-	var demux sync.Map // jaws.QueryID → chan *jaws.QueryResult
-	go func() {
-		for r := range sess.Results() {
-			if ch, ok := demux.Load(r.Query.ID); ok {
-				ch.(chan *jaws.QueryResult) <- r
-			}
-		}
-	}()
-	var nextID int64
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(rw http.ResponseWriter, req *http.Request) {
-		var in struct {
-			Step   int             `json:"step"`
-			Kernel string          `json:"kernel"`
-			Points []jaws.Position `json:"points"`
-		}
-		if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
-		}
-		kernel := jaws.KernelLag4
-		if in.Kernel == "lag8" {
-			kernel = jaws.KernelLag8
-		}
-		id := jaws.QueryID(atomic.AddInt64(&nextID, 1))
-		q := &jaws.Query{ID: id, JobID: int64(id), Step: in.Step, Points: in.Points, Kernel: kernel}
-		j := &jaws.Job{ID: int64(id), User: 1, Type: jaws.Batched, Queries: []*jaws.Query{q}}
-
-		ch := make(chan *jaws.QueryResult, 1)
-		demux.Store(id, ch)
-		defer demux.Delete(id)
-		if err := sess.Submit(j); err != nil {
-			http.Error(rw, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		var res *jaws.QueryResult
-		select {
-		case res = <-ch:
-		case <-time.After(30 * time.Second):
-			http.Error(rw, "query timed out", http.StatusGatewayTimeout)
-			return
-		}
-
-		type pv struct {
-			Position jaws.Position `json:"position"`
-			Velocity [3]float64    `json:"velocity"`
-			Pressure float64       `json:"pressure"`
-		}
-		var out struct {
-			VirtualSeconds float64 `json:"virtual_seconds"`
-			Values         []pv    `json:"values"`
-		}
-		out.VirtualSeconds = (res.Completed - res.Query.Arrival).Seconds()
-		for _, p := range res.Positions {
-			out.Values = append(out.Values, pv{
-				Position: jaws.Position{X: p.Pos.X, Y: p.Pos.Y, Z: p.Pos.Z},
-				Velocity: [3]float64{p.Val[0], p.Val[1], p.Val[2]},
-				Pressure: p.Val[3],
-			})
-		}
-		rw.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(rw).Encode(out)
-	})
-	// Prometheus-style scrape endpoint over the session's registry: the
-	// same counters a production deployment would alert on (decision rate,
-	// cache hit ratio, disk traffic) for free from the obs layer.
-	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, req *http.Request) {
-		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := reg.WriteText(rw); err != nil {
-			log.Printf("metrics: %v", err)
-		}
-	})
+	defer srv.Shutdown()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	defer srv.Close()
-	fmt.Printf("\nweb service listening on http://%s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	fmt.Fprintf(stdout, "\nweb service listening on http://%s (%d replicas)\n", ln.Addr(), *nodes)
 
-	// Demo client request, as a scientist's script would issue it.
-	body, _ := json.Marshal(map[string]any{
-		"step":   3,
-		"kernel": "lag8",
-		"points": []jaws.Position{
+	// Demo client request, as a scientist's script would issue it — the
+	// wire types are the server's own, so client and service cannot drift.
+	body, err := json.Marshal(server.QueryRequest{
+		Step:   *steps / 2,
+		Kernel: "lag8",
+		Points: []server.Point{
 			{X: 1.0, Y: 2.0, Z: 3.0},
 			{X: 1.1, Y: 2.0, Z: 3.0},
 			{X: 1.2, Y: 2.0, Z: 3.0},
 		},
 	})
+	if err != nil {
+		return fail(err)
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	resp, err := client.Post(fmt.Sprintf("http://%s/query", ln.Addr()), "application/json", bytes.NewReader(body))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	defer resp.Body.Close()
-	var out struct {
-		VirtualSeconds float64 `json:"virtual_seconds"`
-		Values         []struct {
-			Position jaws.Position `json:"position"`
-			Velocity [3]float64    `json:"velocity"`
-			Pressure float64       `json:"pressure"`
-		} `json:"values"`
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fail(fmt.Errorf("/query answered %d: %s", resp.StatusCode, msg))
 	}
+	var out server.QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("demo query served in %.3f virtual s:\n", out.VirtualSeconds)
+	fmt.Fprintf(stdout, "demo query served in %.3f virtual s:\n", out.VirtualSeconds)
 	for _, v := range out.Values {
-		fmt.Printf("  u(%.2f, %.2f, %.2f) = (%+.4f, %+.4f, %+.4f), p = %+.4f\n",
+		fmt.Fprintf(stdout, "  u(%.2f, %.2f, %.2f) = (%+.4f, %+.4f, %+.4f), p = %+.4f\n",
 			v.Position.X, v.Position.Y, v.Position.Z,
 			v.Velocity[0], v.Velocity[1], v.Velocity[2], v.Pressure)
 	}
 
-	// Scrape the metrics endpoint, as a monitoring agent would.
+	// Scrape the metrics endpoint, as a monitoring agent would: engine and
+	// serving-layer counters share one registry.
 	mresp, err := client.Get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	defer mresp.Body.Close()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(mresp.Body); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("\n/metrics sample:\n")
+	fmt.Fprintf(stdout, "\n/metrics sample:\n")
 	for i, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
 		if i >= 8 {
-			fmt.Println("  ...")
+			fmt.Fprintln(stdout, "  ...")
 			break
 		}
-		fmt.Printf("  %s\n", line)
+		fmt.Fprintf(stdout, "  %s\n", line)
 	}
+	return 0
 }

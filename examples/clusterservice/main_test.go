@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExampleSmoke builds and runs the whole example at a reduced size:
+// batch cluster run, serving layer, demo query, metrics scrape.
+func TestExampleSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-jobs", "4", "-nodes", "2", "-grid", "64", "-steps", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	for _, want := range []string{
+		"cluster run:",
+		"node 0:",
+		"node 1:",
+		"web service listening on http://",
+		"demo query served in",
+		"p = ",
+		"/metrics sample:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExampleFlagError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"jaws/internal/fault"
 	"jaws/internal/job"
 	"jaws/internal/query"
 )
@@ -67,6 +68,9 @@ func (s *Session) Submit(jobs ...*job.Job) error {
 	}
 	select {
 	case <-s.closed:
+		if err := s.Err(); err != nil {
+			return fmt.Errorf("engine: session failed: %w", err)
+		}
 		return errors.New("engine: session closed")
 	case s.submit <- jobs:
 		return nil
@@ -111,6 +115,11 @@ func (s *Session) loop(e *Engine) {
 		s.mu.Lock()
 		s.err = err
 		s.mu.Unlock()
+		// A dead loop can no longer receive from s.submit; close the
+		// session so concurrent and future Submit calls error out instead
+		// of blocking forever (the serving layer depends on this when a
+		// fault injector crashes the node mid-stream).
+		s.closeOnce.Do(func() { close(s.closed) })
 	}
 
 	// accept registers newly submitted jobs, shifting their arrivals to
@@ -148,8 +157,19 @@ func (s *Session) loop(e *Engine) {
 		}
 	}
 
+	crashAt, willCrash := e.cfg.Fault.CrashAt()
 	stall := 0
 	for {
+		// Honour a scheduled node crash exactly as Engine.Run does: the
+		// node dies the first time virtual time passes the injector's
+		// instant, so chaos schedules exercise the serving path too.
+		if willCrash && e.clock.Now() >= crashAt {
+			e.inst.noteCrash(e.clock.Now(), e.cfg.Fault.Node())
+			flush()
+			fail(&fault.NodeCrashError{Node: e.cfg.Fault.Node(), At: crashAt})
+			return
+		}
+
 		// Drain whatever is submittable without blocking.
 		drainSubmits := true
 		for drainSubmits {

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"jaws/internal/cache"
+	"jaws/internal/fault"
 	"jaws/internal/job"
 	"jaws/internal/sched"
 )
@@ -145,6 +147,68 @@ func TestSessionDuplicateJobFailsLoop(t *testing.T) {
 	sess.Close()
 	if sess.Err() == nil {
 		t.Fatal("duplicate job ID not reported")
+	}
+}
+
+func TestSessionSubmitAfterLoopFailureErrors(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	sess, err := NewSession(Config{Store: st, Cache: c, Sched: sched.NewNoShare(), Cost: testCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(batchedJob(st, 1, []time.Duration{0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	<-sess.Results()
+	// A duplicate job ID kills the loop; once it is dead the session must
+	// reject further submissions instead of blocking forever.
+	if err := sess.Submit(batchedJob(st, 1, []time.Duration{0}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for range sess.Results() {
+	} // drained: the loop has exited
+	if sess.Err() == nil {
+		t.Fatal("loop failure not recorded")
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- sess.Submit(batchedJob(st, 3, []time.Duration{0}, 2)) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("submit to a dead session accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit to a dead session blocked")
+	}
+	sess.Close()
+}
+
+func TestSessionHonoursCrashFault(t *testing.T) {
+	st := testStore(t)
+	c := cache.New(16, cache.NewLRU())
+	spec, err := fault.ParseSpec("crash@0:at=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(Config{
+		Store: st, Cache: c, Sched: sched.NewNoShare(), Cost: testCost,
+		Fault: fault.New(spec, 1, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(batchedJob(st, 1, []time.Duration{0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for range sess.Results() {
+	} // the stream must close when the node dies
+	var nce *fault.NodeCrashError
+	if !errors.As(sess.Err(), &nce) {
+		t.Fatalf("session error = %v, want NodeCrashError", sess.Err())
+	}
+	if err := sess.Submit(batchedJob(st, 2, []time.Duration{0}, 1)); err == nil {
+		t.Fatal("submit to a crashed session accepted")
 	}
 }
 

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"jaws"
+)
+
+// Point is a position in the periodic simulation domain [0, 2π)³, the
+// wire shape of jaws.Position.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+// QueryRequest is the /query request body. Unknown fields are rejected.
+type QueryRequest struct {
+	// Step is the stored time step, in [0, Steps).
+	Step int `json:"step"`
+	// Kernel names the interpolation kernel: none, trilinear, lag4
+	// (default), lag6, lag8.
+	Kernel string `json:"kernel,omitempty"`
+	// Points are the evaluation positions (at most MaxPoints).
+	Points []Point `json:"points"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped by MaxDeadline. Zero means the default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PointValue is one evaluated position of a QueryResponse.
+type PointValue struct {
+	Position Point      `json:"position"`
+	Velocity [3]float64 `json:"velocity"`
+	Pressure float64    `json:"pressure"`
+}
+
+// QueryResponse is the /query success body.
+type QueryResponse struct {
+	QueryID int64 `json:"query_id"`
+	// VirtualSeconds is the query's response time on the engine's
+	// virtual clock (arrival to completion).
+	VirtualSeconds float64      `json:"virtual_seconds"`
+	Values         []PointValue `json:"values"`
+}
+
+// kernels maps wire names to kernels; the empty name is the default.
+var kernels = map[string]jaws.Kernel{
+	"":          jaws.KernelLag4,
+	"lag4":      jaws.KernelLag4,
+	"lag6":      jaws.KernelLag6,
+	"lag8":      jaws.KernelLag8,
+	"trilinear": jaws.KernelTrilinear,
+	"none":      jaws.KernelNone,
+}
+
+// task is one accepted request traveling from the handler through the
+// queue to a worker and back.
+type task struct {
+	ctx   context.Context
+	id    jaws.QueryID
+	job   *jaws.Job
+	respc chan taskOutcome // cap 1: the worker's send never blocks
+}
+
+// taskOutcome is the worker's verdict: a result, or an HTTP status.
+type taskOutcome struct {
+	res    *jaws.QueryResult
+	status int
+	err    error
+}
+
+// handleQuery is POST /query: validate, gate, enqueue, wait, respond.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Inc()
+	if s.draining.Load() {
+		s.unavailable.Inc()
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	// In-flight gate: bounds concurrent requests between accept and
+	// response, including decode and queue wait.
+	n := s.inflight.Add(1)
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+	s.gInflight.Set(float64(n))
+	if n > int64(s.cfg.MaxInFlight) {
+		s.shedRequest(w, "too many requests in flight")
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var in QueryRequest
+	if err := dec.Decode(&in); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.rejectRequest(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		} else {
+			s.rejectRequest(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		}
+		return
+	}
+	kernel, ok := kernels[in.Kernel]
+	if !ok {
+		s.rejectRequest(w, http.StatusBadRequest, fmt.Sprintf("unknown kernel %q", in.Kernel))
+		return
+	}
+	if in.Step < 0 || in.Step >= s.cfg.Steps {
+		s.rejectRequest(w, http.StatusBadRequest,
+			fmt.Sprintf("step %d outside [0, %d)", in.Step, s.cfg.Steps))
+		return
+	}
+	if len(in.Points) == 0 {
+		s.rejectRequest(w, http.StatusBadRequest, "no points")
+		return
+	}
+	if len(in.Points) > s.cfg.MaxPoints {
+		s.rejectRequest(w, http.StatusBadRequest,
+			fmt.Sprintf("%d points exceed the limit of %d", len(in.Points), s.cfg.MaxPoints))
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if in.TimeoutMS > 0 {
+		deadline = time.Duration(in.TimeoutMS) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	id := jaws.QueryID(s.nextID.Add(1))
+	pts := make([]jaws.Position, len(in.Points))
+	for i, p := range in.Points {
+		pts[i] = jaws.Position{X: p.X, Y: p.Y, Z: p.Z}
+	}
+	q := &jaws.Query{ID: id, JobID: int64(id), User: 1, Step: in.Step, Points: pts, Kernel: kernel}
+	t := &task{
+		ctx:   ctx,
+		id:    id,
+		job:   &jaws.Job{ID: int64(id), User: 1, Type: jaws.Batched, Queries: []*jaws.Query{q}},
+		respc: make(chan taskOutcome, 1),
+	}
+
+	start := time.Now()
+	s.acceptMu.RLock()
+	if s.draining.Load() {
+		s.acceptMu.RUnlock()
+		s.unavailable.Inc()
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.queue <- t:
+		s.acceptMu.RUnlock()
+		s.gQueue.Set(float64(len(s.queue)))
+	default:
+		s.acceptMu.RUnlock()
+		s.shedRequest(w, "request queue full")
+		return
+	}
+
+	// Accepted: a worker is now guaranteed to respond exactly once.
+	out := <-t.respc
+	switch {
+	case out.res != nil:
+		virt := (out.res.Completed - out.res.Query.Arrival).Seconds()
+		s.served.Inc()
+		s.hLatency.Observe(time.Since(start).Seconds())
+		s.hVirtual.Observe(virt)
+		resp := QueryResponse{QueryID: int64(id), VirtualSeconds: virt, Values: make([]PointValue, 0, len(out.res.Positions))}
+		for _, p := range out.res.Positions {
+			resp.Values = append(resp.Values, PointValue{
+				Position: Point{X: p.Pos.X, Y: p.Pos.Y, Z: p.Pos.Z},
+				Velocity: [3]float64{p.Val[0], p.Val[1], p.Val[2]},
+				Pressure: p.Val[3],
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case out.status == http.StatusGatewayTimeout:
+		s.timeouts.Inc()
+		http.Error(w, fmt.Sprintf("deadline exceeded after %v", deadline), http.StatusGatewayTimeout)
+	default:
+		s.errcount.Inc()
+		msg := "backend unavailable"
+		if out.err != nil {
+			msg = "backend failed: " + out.err.Error()
+		}
+		http.Error(w, msg, out.status)
+	}
+}
+
+// shedRequest answers 429 with the configured Retry-After hint.
+func (s *Server) shedRequest(w http.ResponseWriter, msg string) {
+	s.shed.Inc()
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, msg, http.StatusTooManyRequests)
+}
+
+// rejectRequest answers a 4xx validation failure.
+func (s *Server) rejectRequest(w http.ResponseWriter, code int, msg string) {
+	s.rejected.Inc()
+	http.Error(w, msg, code)
+}
+
+// handleHealthz is the liveness probe: 200 while serving, 503 when
+// draining or a backend died.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.healthy(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// varz is the /varz body: the admission-control configuration plus the
+// live Stats snapshot.
+type varz struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Backends        int     `json:"backends"`
+	QueueBound      int     `json:"queue_bound"`
+	Workers         int     `json:"workers"`
+	MaxInFlight     int     `json:"max_in_flight"`
+	MaxBodyBytes    int64   `json:"max_body_bytes"`
+	MaxPoints       int     `json:"max_points"`
+	Steps           int     `json:"steps"`
+	DefaultDeadline string  `json:"default_deadline"`
+	MaxDeadline     string  `json:"max_deadline"`
+	Stats           Stats   `json:"stats"`
+}
+
+// handleVarz exposes configuration and counters as JSON.
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, varz{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Backends:        len(s.backends),
+		QueueBound:      s.cfg.QueueBound,
+		Workers:         s.cfg.Workers,
+		MaxInFlight:     s.cfg.MaxInFlight,
+		MaxBodyBytes:    s.cfg.MaxBodyBytes,
+		MaxPoints:       s.cfg.MaxPoints,
+		Steps:           s.cfg.Steps,
+		DefaultDeadline: s.cfg.DefaultDeadline.String(),
+		MaxDeadline:     s.cfg.MaxDeadline.String(),
+		Stats:           s.Stats(),
+	})
+}
+
+// handleMetrics is the Prometheus-style scrape endpoint over the
+// server's registry (shared with the backends when the caller passed
+// one registry to both).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Reg.WriteText(w)
+}
+
+// writeJSON encodes v with a trailing newline.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,354 @@
+// Package server is the serving layer of the reproduction: the Fig. 7
+// "web-service front end" promoted from a demo handler into a real
+// subsystem. A Server exposes an HTTP query service over one or more
+// long-lived jaws sessions (the engine facade), with the admission
+// control and backpressure a batch scheduler needs to face interactive
+// traffic:
+//
+//   - a bounded request queue feeding a fixed worker pool: accepted work
+//     is never dropped, and the engine sees at most Workers concurrent
+//     jobs per backend;
+//   - load shedding: when the queue is full (or the in-flight gate is
+//     exceeded) requests are rejected immediately with 429 and a
+//     Retry-After hint instead of piling up latency;
+//   - per-request deadlines: every query carries a wall-clock deadline
+//     (client-settable via timeout_ms, capped by MaxDeadline); expiry
+//     answers 504 and the eventual engine result is discarded;
+//   - graceful drain: Shutdown stops admission, serves every request
+//     already accepted, then closes the backends and collects their
+//     final reports.
+//
+// Everything is instrumented through internal/obs (queue-depth and
+// in-flight gauges, shed/timeout/error counters, wall- and virtual-time
+// latency histograms) and the layer is fault-transparent: a backend
+// session killed by an internal/fault crash schedule turns into 502s for
+// its waiters and a degraded /healthz, never a hang, so chaos schedules
+// exercise the service path end to end.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jaws"
+	"jaws/internal/obs"
+)
+
+// Backend is the query-execution engine behind a Server: the subset of
+// *jaws.Session the serving layer needs. Requests are routed across
+// backends round-robin, skipping dead ones.
+type Backend interface {
+	// Submit schedules jobs at the backend's current virtual time. It
+	// must return an error (not block) once the backend is closed or dead.
+	Submit(jobs ...*jaws.Job) error
+	// Results streams completed queries; the channel closes when the
+	// backend stops (cleanly or on a fault).
+	Results() <-chan *jaws.QueryResult
+	// Close drains in-flight work and returns the final report (nil if
+	// the backend died beforehand).
+	Close() *jaws.Report
+	// Err reports a backend failure (nil in normal operation).
+	Err() error
+}
+
+// Config parameterizes a Server. The zero value of every knob gets a
+// production-shaped default; Backends is the only required field.
+type Config struct {
+	// Backends are the sessions serving queries; at least one.
+	Backends []Backend
+	// Reg receives the server's metrics (and is served at /metrics). Nil
+	// allocates a private registry so instrumentation is always on.
+	Reg *obs.Registry
+	// QueueBound is the admission queue capacity; default 64. Requests
+	// arriving with the queue full are shed with 429.
+	QueueBound int
+	// Workers is the worker-pool size: the maximum number of queries
+	// concurrently submitted to the backends; default 8.
+	Workers int
+	// MaxInFlight caps requests between accept and response (including
+	// decode and queue wait); beyond it requests are shed with 429.
+	// Default: 4 × (QueueBound + Workers).
+	MaxInFlight int
+	// MaxBodyBytes bounds the /query request body; default 1 MiB.
+	// Oversized bodies are rejected with 413.
+	MaxBodyBytes int64
+	// MaxPoints bounds positions per query; default 4096.
+	MaxPoints int
+	// Steps is the number of stored time steps: a query's step must lie
+	// in [0, Steps). Default 31 (the paper's store).
+	Steps int
+	// DefaultDeadline is the per-request deadline when the client sends
+	// no timeout_ms; default 30 s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines; default 2 min.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint attached to 429 responses; default 1 s.
+	RetryAfter time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueBound <= 0 {
+		c.QueueBound = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * (c.QueueBound + c.Workers)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 4096
+	}
+	if c.Steps <= 0 {
+		c.Steps = 31
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// backendState pairs a backend with its liveness signal.
+type backendState struct {
+	be Backend
+	// dead closes when the backend's result stream ends. During a drain
+	// that is normal shutdown; at any other time the backend crashed.
+	dead chan struct{}
+}
+
+// Server is the HTTP front end. Create with New, expose Handler on a
+// listener, and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	backends []*backendState
+	queue    chan *task
+	start    time.Time
+
+	nextID   atomic.Int64 // query/job ID source, unique across backends
+	rr       atomic.Int64 // round-robin backend cursor
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	// acceptMu serializes enqueues against Shutdown's close(queue): an
+	// enqueue holds the read side, the drain flag flips under the write
+	// side, so no send can race the close.
+	acceptMu sync.RWMutex
+	demux    sync.Map // jaws.QueryID → chan *jaws.QueryResult (cap 1)
+
+	workerWG     sync.WaitGroup
+	demuxWG      sync.WaitGroup
+	shutdownOnce sync.Once
+	reports      []*jaws.Report
+
+	// Request accounting, also exported through cfg.Reg and /varz.
+	requests, served, shed, rejected *obs.Counter
+	timeouts, errcount, unavailable  *obs.Counter
+	late                             *obs.Counter
+	gQueue, gInflight                *obs.Gauge
+	hLatency, hVirtual               *obs.Histogram
+}
+
+// New validates cfg, starts the worker pool and the per-backend result
+// demultiplexers, and returns a servable Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("server: at least one backend required")
+	}
+	cfg.applyDefaults()
+	if cfg.Reg == nil {
+		cfg.Reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		queue: make(chan *task, cfg.QueueBound),
+		start: time.Now(),
+
+		requests:    cfg.Reg.Counter("jaws_server_requests_total"),
+		served:      cfg.Reg.Counter("jaws_server_served_total"),
+		shed:        cfg.Reg.Counter("jaws_server_shed_total"),
+		rejected:    cfg.Reg.Counter("jaws_server_rejected_total"),
+		timeouts:    cfg.Reg.Counter("jaws_server_timeouts_total"),
+		errcount:    cfg.Reg.Counter("jaws_server_errors_total"),
+		unavailable: cfg.Reg.Counter("jaws_server_unavailable_total"),
+		late:        cfg.Reg.Counter("jaws_server_late_results_total"),
+		gQueue:      cfg.Reg.Gauge("jaws_server_queue_depth"),
+		gInflight:   cfg.Reg.Gauge("jaws_server_inflight"),
+		hLatency: cfg.Reg.Histogram("jaws_server_latency_seconds",
+			0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
+		hVirtual: cfg.Reg.Histogram("jaws_server_virtual_seconds",
+			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100),
+	}
+	for _, be := range cfg.Backends {
+		b := &backendState{be: be, dead: make(chan struct{})}
+		s.backends = append(s.backends, b)
+		s.demuxWG.Add(1)
+		go s.drain(b)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/varz", s.handleVarz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the public mux (/query, /metrics, /healthz, /varz).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// drain routes one backend's completion stream to the per-request
+// channels registered in demux. Results nobody waits for (the waiter
+// timed out or the request was canceled) are dropped and counted.
+func (s *Server) drain(b *backendState) {
+	defer s.demuxWG.Done()
+	defer close(b.dead)
+	for r := range b.be.Results() {
+		if ch, ok := s.demux.LoadAndDelete(r.Query.ID); ok {
+			ch.(chan *jaws.QueryResult) <- r // cap 1: never blocks
+		} else {
+			s.late.Inc()
+		}
+	}
+}
+
+// worker consumes the admission queue until Shutdown closes it, then
+// finishes whatever is still queued (accepted work is never dropped).
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		s.gQueue.Set(float64(len(s.queue)))
+		s.serveTask(t)
+	}
+}
+
+// serveTask submits one accepted request to a live backend and waits for
+// its result, the deadline, or the backend's death — whichever first.
+// Every task gets exactly one response on respc.
+func (s *Server) serveTask(t *task) {
+	if t.ctx.Err() != nil { // deadline spent while queued
+		t.respc <- taskOutcome{status: http.StatusGatewayTimeout}
+		return
+	}
+	b := s.pick()
+	ch := make(chan *jaws.QueryResult, 1)
+	s.demux.Store(t.id, ch)
+	if err := b.be.Submit(t.job); err != nil {
+		s.demux.Delete(t.id)
+		t.respc <- taskOutcome{status: http.StatusBadGateway, err: err}
+		return
+	}
+	select {
+	case r := <-ch:
+		t.respc <- taskOutcome{res: r}
+	case <-t.ctx.Done():
+		s.demux.Delete(t.id)
+		t.respc <- taskOutcome{status: http.StatusGatewayTimeout}
+	case <-b.dead:
+		s.demux.Delete(t.id)
+		t.respc <- taskOutcome{status: http.StatusBadGateway, err: b.be.Err()}
+	}
+}
+
+// pick returns the next live backend round-robin (any backend when all
+// are dead; Submit or the dead channel will surface the failure).
+func (s *Server) pick() *backendState {
+	n := len(s.backends)
+	start := int(s.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		b := s.backends[(start+i)%n]
+		select {
+		case <-b.dead:
+		default:
+			return b
+		}
+	}
+	return s.backends[start]
+}
+
+// healthy reports whether the server is accepting work and every backend
+// is live.
+func (s *Server) healthy() error {
+	if s.draining.Load() {
+		return errors.New("draining")
+	}
+	for i, b := range s.backends {
+		select {
+		case <-b.dead:
+			if err := b.be.Err(); err != nil {
+				return fmt.Errorf("backend %d down: %w", i, err)
+			}
+			return fmt.Errorf("backend %d down", i)
+		default:
+		}
+	}
+	return nil
+}
+
+// Shutdown gracefully drains the server: admission stops (new queries
+// get 503), every accepted request is served, the worker pool exits,
+// and the backends are closed. It returns the backends' final reports
+// (dead backends contribute none) and is idempotent.
+func (s *Server) Shutdown() []*jaws.Report {
+	s.shutdownOnce.Do(func() {
+		s.acceptMu.Lock()
+		s.draining.Store(true)
+		s.acceptMu.Unlock()
+		close(s.queue)
+		s.workerWG.Wait()
+		for _, b := range s.backends {
+			if rep := b.be.Close(); rep != nil {
+				s.reports = append(s.reports, rep)
+			}
+		}
+		s.demuxWG.Wait()
+	})
+	return s.reports
+}
+
+// Stats is a point-in-time snapshot of the server's request accounting.
+type Stats struct {
+	Requests    int64 `json:"requests"`
+	Served      int64 `json:"served"`
+	Shed        int64 `json:"shed"`
+	Rejected    int64 `json:"rejected"`
+	Timeouts    int64 `json:"timeouts"`
+	Errors      int64 `json:"errors"`
+	Unavailable int64 `json:"unavailable"`
+	LateResults int64 `json:"late_results"`
+	QueueDepth  int   `json:"queue_depth"`
+	InFlight    int64 `json:"in_flight"`
+	Draining    bool  `json:"draining"`
+}
+
+// Stats snapshots the request accounting (also served at /varz).
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:    s.requests.Value(),
+		Served:      s.served.Value(),
+		Shed:        s.shed.Value(),
+		Rejected:    s.rejected.Value(),
+		Timeouts:    s.timeouts.Value(),
+		Errors:      s.errcount.Value(),
+		Unavailable: s.unavailable.Value(),
+		LateResults: s.late.Value(),
+		QueueDepth:  len(s.queue),
+		InFlight:    s.inflight.Load(),
+		Draining:    s.draining.Load(),
+	}
+}

@@ -1,0 +1,479 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jaws"
+)
+
+// fakeBackend is a fully controllable Backend: by default it completes
+// every submitted query instantly; with hold set it sits on them until
+// release, and die simulates a crash-faulted session.
+type fakeBackend struct {
+	results chan *jaws.QueryResult
+
+	mu        sync.Mutex
+	submitted []*jaws.Job
+	hold      bool
+	err       error
+	dead      bool
+	closeOnce sync.Once
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{results: make(chan *jaws.QueryResult, 1024)}
+}
+
+func (f *fakeBackend) Submit(jobs ...*jaws.Job) error {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return errors.New("session closed")
+	}
+	f.submitted = append(f.submitted, jobs...)
+	hold := f.hold
+	f.mu.Unlock()
+	if !hold {
+		f.complete(jobs)
+	}
+	return nil
+}
+
+func (f *fakeBackend) complete(jobs []*jaws.Job) {
+	for _, j := range jobs {
+		for _, q := range j.Queries {
+			f.results <- &jaws.QueryResult{Query: q, Completed: q.Arrival + time.Second}
+		}
+	}
+}
+
+// release completes everything held so far and stops holding.
+func (f *fakeBackend) release() {
+	f.mu.Lock()
+	f.hold = false
+	held := append([]*jaws.Job(nil), f.submitted...)
+	f.submitted = f.submitted[:0]
+	f.mu.Unlock()
+	f.complete(held)
+}
+
+// die simulates an internal/fault node crash: the result stream ends and
+// further submissions fail.
+func (f *fakeBackend) die(err error) {
+	f.mu.Lock()
+	f.dead = true
+	f.err = err
+	f.mu.Unlock()
+	f.closeOnce.Do(func() { close(f.results) })
+}
+
+func (f *fakeBackend) Results() <-chan *jaws.QueryResult { return f.results }
+
+func (f *fakeBackend) Close() *jaws.Report {
+	f.mu.Lock()
+	dead := f.dead
+	n := len(f.submitted)
+	f.mu.Unlock()
+	f.closeOnce.Do(func() { close(f.results) })
+	if dead {
+		return nil
+	}
+	return &jaws.Report{Completed: n}
+}
+
+func (f *fakeBackend) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+func (f *fakeBackend) submittedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.submitted)
+}
+
+// newTestServer builds a server over the given backends with small, test
+// friendly bounds; mutate tweaks the config before New.
+func newTestServer(t *testing.T, backends []Backend, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Backends:        backends,
+		QueueBound:      8,
+		Workers:         2,
+		MaxBodyBytes:    1 << 16,
+		MaxPoints:       64,
+		Steps:           4,
+		DefaultDeadline: 10 * time.Second,
+		RetryAfter:      2 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		ts.Close()
+	})
+	return srv, ts
+}
+
+func postQuery(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+const okBody = `{"step":1,"points":[{"x":1,"y":2,"z":3}]}`
+
+func TestNewRequiresBackends(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no backends accepted")
+	}
+}
+
+func TestQueryHappyPathOnFake(t *testing.T) {
+	fake := newFakeBackend()
+	srv, ts := newTestServer(t, []Backend{fake}, nil)
+	resp := postQuery(t, ts.URL, okBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.QueryID != 1 {
+		t.Errorf("query_id = %d, want 1", out.QueryID)
+	}
+	if out.VirtualSeconds != 1 { // fake completes at arrival+1s
+		t.Errorf("virtual_seconds = %g, want 1", out.VirtualSeconds)
+	}
+	if st := srv.Stats(); st.Served != 1 || st.Requests != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	fake := newFakeBackend()
+	fake.hold = true
+	srv, ts := newTestServer(t, []Backend{fake}, nil)
+	resp := postQuery(t, ts.URL, `{"step":1,"points":[{"x":1,"y":2,"z":3}],"timeout_ms":50}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", st.Timeouts)
+	}
+	// The engine eventually completes the abandoned query; the server
+	// must drop it and count it as late, not deliver or crash.
+	fake.release()
+	waitFor(t, "late result accounting", func() bool { return srv.Stats().LateResults == 1 })
+}
+
+func TestQueueFullShedsWithRetryAfter(t *testing.T) {
+	fake := newFakeBackend()
+	fake.hold = true
+	srv, ts := newTestServer(t, []Backend{fake}, func(c *Config) {
+		c.Workers = 1
+		c.QueueBound = 1
+	})
+
+	// r1 occupies the single worker, r2 the single queue slot.
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp := postQuery(t, ts.URL, okBody)
+			resp.Body.Close()
+			done <- resp.StatusCode
+		}()
+		if i == 0 {
+			waitFor(t, "worker to hold r1", func() bool { return fake.submittedCount() == 1 })
+		} else {
+			waitFor(t, "queue to fill", func() bool { return srv.Stats().QueueDepth == 1 })
+		}
+	}
+
+	// r3 must be shed immediately.
+	resp := postQuery(t, ts.URL, okBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+
+	fake.release()
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Errorf("held request %d finished with %d, want 200", i, code)
+		}
+	}
+}
+
+func TestInFlightGateSheds(t *testing.T) {
+	fake := newFakeBackend()
+	fake.hold = true
+	srv, ts := newTestServer(t, []Backend{fake}, func(c *Config) { c.MaxInFlight = 1 })
+
+	done := make(chan int, 1)
+	go func() {
+		resp := postQuery(t, ts.URL, okBody)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	waitFor(t, "first request in flight", func() bool { return fake.submittedCount() == 1 })
+
+	resp := postQuery(t, ts.URL, okBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+	fake.release()
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("gated request finished with %d, want 200", code)
+	}
+	_ = srv
+}
+
+func TestBackendDeathFailsWaitersAndHealth(t *testing.T) {
+	fake := newFakeBackend()
+	fake.hold = true
+	srv, ts := newTestServer(t, []Backend{fake}, nil)
+
+	done := make(chan int, 1)
+	go func() {
+		resp := postQuery(t, ts.URL, okBody)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	waitFor(t, "request in flight", func() bool { return fake.submittedCount() == 1 })
+
+	fake.die(errors.New("node crashed (fault injection)"))
+	if code := <-done; code != http.StatusBadGateway {
+		t.Fatalf("waiter got %d, want 502", code)
+	}
+
+	// New queries fail fast on Submit.
+	resp := postQuery(t, ts.URL, okBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("post-death query got %d, want 502", resp.StatusCode)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d after backend death, want 503", hresp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(hresp.Body)
+	if !strings.Contains(buf.String(), "crash") {
+		t.Errorf("healthz body %q does not name the crash", buf.String())
+	}
+	if st := srv.Stats(); st.Errors != 2 {
+		t.Errorf("errors = %d, want 2", st.Errors)
+	}
+}
+
+func TestRoundRobinAcrossBackends(t *testing.T) {
+	a, b := newFakeBackend(), newFakeBackend()
+	_, ts := newTestServer(t, []Backend{a, b}, nil)
+	for i := 0; i < 4; i++ {
+		resp := postQuery(t, ts.URL, okBody)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if a.submittedCount() != 2 || b.submittedCount() != 2 {
+		t.Errorf("round robin split %d/%d, want 2/2", a.submittedCount(), b.submittedCount())
+	}
+}
+
+func TestRoundRobinSkipsDeadBackend(t *testing.T) {
+	a, b := newFakeBackend(), newFakeBackend()
+	_, ts := newTestServer(t, []Backend{a, b}, nil)
+	a.die(errors.New("crashed"))
+	waitFor(t, "dead backend noticed", func() bool {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	for i := 0; i < 3; i++ {
+		resp := postQuery(t, ts.URL, okBody)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 via live backend", i, resp.StatusCode)
+		}
+	}
+	if b.submittedCount() != 3 {
+		t.Errorf("live backend served %d, want 3", b.submittedCount())
+	}
+}
+
+func TestShutdownRejectsNewWork(t *testing.T) {
+	fake := newFakeBackend()
+	srv, ts := newTestServer(t, []Backend{fake}, nil)
+	reports := srv.Shutdown()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	if again := srv.Shutdown(); len(again) != 1 {
+		t.Fatal("Shutdown is not idempotent")
+	}
+	resp := postQuery(t, ts.URL, okBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", hresp.StatusCode)
+	}
+	if st := srv.Stats(); !st.Draining || st.Unavailable != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestVarzAndMetrics(t *testing.T) {
+	fake := newFakeBackend()
+	_, ts := newTestServer(t, []Backend{fake}, nil)
+	resp := postQuery(t, ts.URL, okBody)
+	resp.Body.Close()
+
+	vresp, err := http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var v varz
+	if err := json.NewDecoder(vresp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.QueueBound != 8 || v.Workers != 2 || v.Backends != 1 || v.Steps != 4 {
+		t.Errorf("varz config %+v", v)
+	}
+	if v.Stats.Served != 1 {
+		t.Errorf("varz stats %+v", v.Stats)
+	}
+	if v.MaxInFlight != 4*(8+2) {
+		t.Errorf("defaulted max_in_flight = %d", v.MaxInFlight)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	for _, want := range []string{
+		"jaws_server_requests_total 1",
+		"jaws_server_served_total 1",
+		"jaws_server_latency_seconds_count 1",
+		"jaws_server_queue_depth",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestChaosCrashFaultOnServicePath runs the serving layer over a real
+// session with an internal/fault crash schedule: the first query drives
+// the virtual clock past the crash time, the node dies mid-request, and
+// the server must answer 502 (not hang) and degrade /healthz.
+func TestChaosCrashFaultOnServicePath(t *testing.T) {
+	spec, err := jaws.ParseFaultSpec("crash@0:at=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := jaws.OpenSession(jaws.Config{
+		Space:      jaws.Space{GridSide: 64, AtomSide: 32},
+		Steps:      4,
+		CacheAtoms: 16,
+		Fault:      spec,
+		FaultSeed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, []Backend{sess}, nil)
+
+	// The first query may complete before the virtual clock reaches the
+	// crash time; within a few queries the node must die.
+	status, body := 0, ""
+	for i := 0; i < 5 && status != http.StatusBadGateway; i++ {
+		resp := postQuery(t, ts.URL, okBody)
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		status, body = resp.StatusCode, buf.String()
+	}
+	if status != http.StatusBadGateway {
+		t.Fatalf("crashed-node queries never returned 502 (last: %d %q)", status, body)
+	}
+	if !strings.Contains(body, "crash") {
+		t.Errorf("502 body %q does not name the crash", body)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after crash: %d, want 503", hresp.StatusCode)
+	}
+	if st := srv.Stats(); st.Errors == 0 {
+		t.Errorf("stats %+v: no error counted", st)
+	}
+}
