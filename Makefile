@@ -33,7 +33,7 @@ race:
 ## layer (atomic registry, locked tracer), the serving layer, and their
 ## concurrent users.
 race-obs:
-	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/ ./internal/server/ ./cmd/jawsd/ ./cmd/jawsload/
+	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/ ./internal/server/ ./cmd/jawsd/ ./cmd/jawsload/ ./cmd/jawsreport/
 
 ## e2e-serve: boot a real jawsd on a free port, drive a seeded jawsload
 ## burst that overwhelms the small queue (some 429s expected, zero 5xx

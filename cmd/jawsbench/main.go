@@ -72,8 +72,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compareWith := fs.String("compare", "", "baseline BENCH_*.json to gate against (re-measures unless -with is given; exits 3 on regression)")
 	withFile := fs.String("with", "", "candidate BENCH_*.json for -compare (instead of re-measuring)")
 	regress := fs.Float64("regress", 0.10, "regression threshold for -compare: max fractional throughput drop / p95 rise")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling long runs (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *pprofAddr != "" {
+		pp, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return c.fail(err)
+		}
+		defer pp.Close()
+		fmt.Fprintf(stdout, "pprof on http://%s/debug/pprof/\n", pp.Addr())
 	}
 
 	switch *format {

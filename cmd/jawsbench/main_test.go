@@ -63,6 +63,18 @@ func TestQuickExperimentTextAndCSV(t *testing.T) {
 	}
 }
 
+// TestPprofFlag runs the cheapest experiment with the diagnostics
+// listener enabled and checks it is advertised on stdout.
+func TestPprofFlag(t *testing.T) {
+	code, out, errb := runCLI(t, "-quick", "-exp", "fig8", "-pprof", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "pprof on http://127.0.0.1:") {
+		t.Errorf("output does not advertise the pprof listener:\n%s", out)
+	}
+}
+
 func TestBadFaultSpec(t *testing.T) {
 	code, _, errb := runCLI(t, "-quick", "-fault-spec", "bogus:nope")
 	if code != 1 {

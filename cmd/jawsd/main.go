@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"jaws"
+	"jaws/internal/obs"
 	"jaws/internal/server"
 )
 
@@ -62,6 +63,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsOut  = fs.String("metrics-out", "", "write the metrics registry (Prometheus text) to this file on exit")
 		serveFor    = fs.Duration("serve-for", 0, "drain and exit after this long (0: serve until a signal)")
 		allowQuit   = fs.Bool("allow-quit", false, "serve POST /quitquitquit to trigger a graceful drain")
+		logOut      = fs.String("log-out", "", "write structured JSON request logs to this file (- for stderr)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof diagnostics on this address (e.g. 127.0.0.1:6060)")
+		reqSeed     = fs.Int64("req-seed", 1, "seed for deterministic X-Jaws-Request-Id derivation")
+		sloTarget   = fs.Duration("slo-target", 0, "latency SLO target (0 disables SLO tracking)")
+		sloObj      = fs.Float64("slo-objective", 0.99, "fraction of requests that must meet -slo-target")
+		sloWindow   = fs.Duration("slo-window", time.Minute, "rolling window for SLO compliance")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reg := jaws.NewRegistry()
 	o := &jaws.Obs{Reg: reg}
 	var tracer *jaws.Tracer
+	var reqSpans *obs.ReqSpanAgg
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -104,7 +112,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		tracer = jaws.NewTracer(0, f)
 		o.Trace = tracer
+		// The same tracer carries both the engines' virtual-clock events
+		// and the server's wall-clock request spans, so one JSONL file
+		// holds both sides of every request.
+		reqSpans = obs.NewReqSpanAgg()
 	}
+	var logger *obs.Logger
+	if *logOut != "" {
+		w := io.Writer(stderr)
+		if *logOut != "-" {
+			f, err := os.Create(*logOut)
+			if err != nil {
+				return errf("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		logger = obs.NewLogger(w)
+	}
+	slo := obs.NewSLOTracker(*sloTarget, *sloObj, *sloWindow)
 
 	backends := make([]server.Backend, *nodes)
 	for i := range backends {
@@ -137,6 +163,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		RetryAfter:      *retryAfter,
+		Trace:           tracer,
+		ReqSpans:        reqSpans,
+		Log:             logger,
+		SLO:             slo,
+		ReqIDSeed:       *reqSeed,
 	})
 	if err != nil {
 		return errf("%v", err)
@@ -168,6 +199,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "jawsd listening on http://%s (nodes=%d queue=%d workers=%d deadline=%v sched=%v)\n",
 		ln.Addr(), *nodes, *queue, *workers, *deadline, sched)
+
+	// Diagnostics listener, printed after the serving address so scripts
+	// watching stdout see the service endpoint first.
+	if *pprofAddr != "" {
+		pprofSrv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return errf("pprof: %v", err)
+		}
+		defer pprofSrv.Close()
+		fmt.Fprintf(stdout, "pprof on http://%s/debug/pprof/\n", pprofSrv.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: root}
 	httpErr := make(chan error, 1)
@@ -209,6 +251,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, rep := range reports {
 		fmt.Fprintf(stdout, "node %d          %d completed, %.1f virtual s, cache hit %.1f%%\n",
 			i, rep.Completed, rep.Elapsed.Seconds(), rep.CacheStats.HitRatio()*100)
+	}
+	if reqSpans != nil && reqSpans.Count() > 0 {
+		sum := reqSpans.Summarize(3)
+		fmt.Fprintf(stdout, "request spans   %d spans (%d ok), wall p50 %v p99 %v max %v\n",
+			sum.Count, sum.OK, sum.P50.Round(time.Microsecond),
+			sum.P99.Round(time.Microsecond), sum.Max.Round(time.Microsecond))
+		for _, row := range sum.Attribution() {
+			fmt.Fprintf(stdout, "  %-9s %5.1f%%  %v/request\n",
+				row.Name, row.Share*100, row.MeanPerQuery.Round(time.Microsecond))
+		}
+	}
+	if slo != nil {
+		snap := slo.Snapshot()
+		fmt.Fprintf(stdout, "slo             %.2f%% <= %v (objective %.2f%%, burn %.2f, budget %.0f%%)\n",
+			snap.Compliance*100, snap.Target, snap.Objective*100, snap.BurnRate, snap.BudgetRemaining*100)
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {

@@ -89,17 +89,26 @@ func (w *addrWriter) String() string {
 	return w.buf.String()
 }
 
-// TestDaemonSmoke boots the daemon on a free port, serves a real query
-// and the observability endpoints, then drains it via /quitquitquit.
+// TestDaemonSmoke boots the daemon on a free port with the full
+// observability surface enabled (request tracing, structured logs, SLO
+// tracking, pprof), serves a real query and the observability endpoints,
+// then drains it via /quitquitquit and checks the emitted artifacts
+// stitch together under the propagated request ID.
 func TestDaemonSmoke(t *testing.T) {
-	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	logPath := filepath.Join(dir, "jawsd.log")
 	out := &addrWriter{addr: make(chan string, 1)}
 	var errb bytes.Buffer
 	exit := make(chan int, 1)
 	go func() {
 		exit <- run(append(tiny,
 			"-addr", "127.0.0.1:0", "-nodes", "2", "-queue", "8", "-workers", "2",
-			"-allow-quit", "-metrics-out", metricsPath), out, &errb)
+			"-allow-quit", "-metrics-out", metricsPath,
+			"-trace-out", tracePath, "-log-out", logPath,
+			"-pprof", "127.0.0.1:0", "-req-seed", "7",
+			"-slo-target", "5s", "-slo-objective", "0.9"), out, &errb)
 	}()
 
 	var addr string
@@ -122,6 +131,32 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `"velocity"`) {
 		t.Errorf("/query body %q has no computed values", body)
+	}
+	rid := resp.Header.Get("X-Jaws-Request-Id")
+	if rid == "" {
+		t.Fatal("/query response has no X-Jaws-Request-Id header")
+	}
+
+	// The pprof diagnostics listener advertises itself on stdout.
+	pprofRe := regexp.MustCompile(`pprof on http://(127\.0\.0\.1:\d+)/`)
+	var pprofAddr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := pprofRe.FindStringSubmatch(out.String()); m != nil {
+			pprofAddr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if pprofAddr == "" {
+		t.Fatalf("daemon never advertised pprof:\n%s", out.String())
+	}
+	presp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", presp.StatusCode)
 	}
 
 	for path, want := range map[string]string{
@@ -160,7 +195,10 @@ func TestDaemonSmoke(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit after /quitquitquit")
 	}
-	for _, want := range []string{"draining (quitquitquit)", "served          1 queries", "node 0", "node 1", "metrics         ->"} {
+	for _, want := range []string{
+		"draining (quitquitquit)", "served          1 queries", "node 0", "node 1",
+		"metrics         ->", "request spans   1 spans (1 ok)", "slo             100.00% <= 5s",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
@@ -169,7 +207,42 @@ func TestDaemonSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), "jaws_server_served_total") {
-		t.Errorf("metrics file has no server counters:\n%s", data)
+	for _, want := range []string{
+		"jaws_server_served_total", "jaws_slo_compliance",
+		"# HELP jaws_server_requests_total", "# HELP jaws_decisions_total",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics file missing %q", want)
+		}
+	}
+
+	// The trace carries both sides of the request — the server's
+	// wall-clock reqspan and the engine's virtual-clock span — stitched
+	// by the same propagated ID.
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqSide, engineSide bool
+	for _, line := range strings.Split(string(trace), "\n") {
+		if strings.Contains(line, `"kind":"reqspan"`) && strings.Contains(line, rid) {
+			reqSide = true
+		}
+		if strings.Contains(line, `"kind":"span"`) && strings.Contains(line, `"req":"`+rid+`"`) {
+			engineSide = true
+		}
+	}
+	if !reqSide || !engineSide {
+		t.Errorf("trace does not stitch request %s (reqspan=%v, engine span=%v)", rid, reqSide, engineSide)
+	}
+
+	// Every structured log line is JSON and the served request's line
+	// carries its ID.
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logData), `"request_id":"`+rid+`"`) {
+		t.Errorf("log file does not mention request %s:\n%s", rid, logData)
 	}
 }

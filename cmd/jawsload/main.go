@@ -71,23 +71,39 @@ func buildPlan(requests, steps, points int, kernel string, coordMax float64, see
 	return p, nil
 }
 
+// reqRecord is one request's client-side outcome: the plan sequence
+// number, the X-Jaws-Request-Id the server answered with, and the wall
+// latency observed at the client. Written as JSONL by -latency-out so a
+// client-side record can be joined against the server's trace by ID.
+type reqRecord struct {
+	Seq       int     `json:"seq"`
+	RequestID string  `json:"request_id,omitempty"`
+	Status    int     `json:"status,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	Err       string  `json:"err,omitempty"`
+}
+
 // tally accumulates per-request outcomes across worker goroutines.
 type tally struct {
 	mu        sync.Mutex
 	byStatus  map[int]int
 	latencies []time.Duration
+	records   []reqRecord
 	transport int
 }
 
-func (t *tally) note(status int, latency time.Duration, err error) {
+func (t *tally) note(rec reqRecord, latency time.Duration, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err != nil {
+		rec.Err = err.Error()
+		t.records = append(t.records, rec)
 		t.transport++
 		return
 	}
-	t.byStatus[status]++
-	if status == http.StatusOK {
+	t.records = append(t.records, rec)
+	t.byStatus[rec.Status]++
+	if rec.Status == http.StatusOK {
 		t.latencies = append(t.latencies, latency)
 	}
 }
@@ -105,19 +121,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("jawsload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:8080", "jawsd address (host:port)")
-		requests  = fs.Int("requests", 64, "total requests to send")
-		clients   = fs.Int("clients", 8, "closed-loop worker count")
-		mode      = fs.String("mode", "closed", "closed (fixed workers) or open (fixed arrival rate)")
-		rate      = fs.Float64("rate", 100, "open-loop arrival rate in requests/second")
-		steps     = fs.Int("steps", 8, "steps in the target store (plan cycles over [0, steps))")
-		points    = fs.Int("points", 8, "positions per query")
-		kernel    = fs.String("kernel", "lag4", "interpolation kernel for every query")
-		coordMax  = fs.Float64("coord-max", 6.28, "positions are drawn uniformly from [0, coord-max)^3")
-		seed      = fs.Int64("seed", 1, "workload seed (the request plan is a pure function of it)")
-		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
-		minServed = fs.Int("min-served", 1, "fail the run when fewer queries are served (200)")
-		dryRun    = fs.Bool("dry-run", false, "print the request plan and send nothing")
+		addr       = fs.String("addr", "127.0.0.1:8080", "jawsd address (host:port)")
+		requests   = fs.Int("requests", 64, "total requests to send")
+		clients    = fs.Int("clients", 8, "closed-loop worker count")
+		mode       = fs.String("mode", "closed", "closed (fixed workers) or open (fixed arrival rate)")
+		rate       = fs.Float64("rate", 100, "open-loop arrival rate in requests/second")
+		steps      = fs.Int("steps", 8, "steps in the target store (plan cycles over [0, steps))")
+		points     = fs.Int("points", 8, "positions per query")
+		kernel     = fs.String("kernel", "lag4", "interpolation kernel for every query")
+		coordMax   = fs.Float64("coord-max", 6.28, "positions are drawn uniformly from [0, coord-max)^3")
+		seed       = fs.Int64("seed", 1, "workload seed (the request plan is a pure function of it)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		minServed  = fs.Int("min-served", 1, "fail the run when fewer queries are served (200)")
+		dryRun     = fs.Bool("dry-run", false, "print the request plan and send nothing")
+		latencyOut = fs.String("latency-out", "", "write one JSON record per request (seq, request_id, status, latency) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -160,16 +177,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	url := "http://" + *addr + "/query"
 	client := &http.Client{Timeout: *timeout}
 	tl := &tally{byStatus: make(map[int]int)}
-	send := func(body []byte) {
+	send := func(seq int, body []byte) {
 		t0 := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			tl.note(0, 0, err)
+			tl.note(reqRecord{Seq: seq}, 0, err)
 			return
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		tl.note(resp.StatusCode, time.Since(t0), nil)
+		lat := time.Since(t0)
+		tl.note(reqRecord{
+			Seq:       seq,
+			RequestID: resp.Header.Get("X-Jaws-Request-Id"),
+			Status:    resp.StatusCode,
+			LatencyMS: float64(lat) / float64(time.Millisecond),
+		}, lat, nil)
 	}
 
 	start := time.Now()
@@ -186,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					if i >= len(p.bodies) {
 						return
 					}
-					send(p.bodies[i])
+					send(i, p.bodies[i])
 				}
 			}()
 		}
@@ -197,10 +220,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				time.Sleep(interval)
 			}
 			wg.Add(1)
-			go func(body []byte) {
+			go func(seq int, body []byte) {
 				defer wg.Done()
-				send(body)
-			}(p.bodies[i])
+				send(seq, body)
+			}(i, p.bodies[i])
 		}
 	}
 	wg.Wait()
@@ -230,13 +253,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "transport err   x %d\n", tl.transport)
 	}
 	if served > 0 {
-		fmt.Fprintf(stdout, "latency         p50 %v p90 %v p99 %v max %v\n",
+		fmt.Fprintf(stdout, "latency         p50 %v p90 %v p95 %v p99 %v max %v\n",
 			percentile(tl.latencies, 0.50).Round(time.Microsecond),
 			percentile(tl.latencies, 0.90).Round(time.Microsecond),
+			percentile(tl.latencies, 0.95).Round(time.Microsecond),
 			percentile(tl.latencies, 0.99).Round(time.Microsecond),
 			tl.latencies[len(tl.latencies)-1].Round(time.Microsecond))
 	}
 	fmt.Fprintf(stdout, "summary         %d served, %d shed, %d 5xx\n", served, shed, fivexx)
+
+	if *latencyOut != "" {
+		// Records in plan order, so the file is reproducible for a fixed
+		// seed regardless of completion interleaving.
+		sort.Slice(tl.records, func(i, j int) bool { return tl.records[i].Seq < tl.records[j].Seq })
+		f, err := os.Create(*latencyOut)
+		if err != nil {
+			return errf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		for _, rec := range tl.records {
+			if err := enc.Encode(rec); err != nil {
+				f.Close()
+				return errf("latency-out: %v", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return errf("latency-out: %v", err)
+		}
+		fmt.Fprintf(stdout, "latency records -> %s (%d)\n", *latencyOut, len(tl.records))
+	}
 
 	if tl.transport > 0 {
 		return errf("%d requests failed at the transport level", tl.transport)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"net/http/httptest"
 	"os"
@@ -96,7 +97,7 @@ func TestClosedLoopAgainstRealServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Backends: []server.Backend{sess}, Steps: 3})
+	srv, err := server.New(server.Config{Backends: []server.Backend{sess}, Steps: 3, ReqIDSeed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,16 +106,45 @@ func TestClosedLoopAgainstRealServer(t *testing.T) {
 	defer ts.Close()
 	addr := strings.TrimPrefix(ts.URL, "http://")
 
+	latPath := filepath.Join(t.TempDir(), "latency.jsonl")
 	code, out, errb := runCLI(t,
 		"-addr", addr, "-requests", "16", "-clients", "4", "-steps", "3",
-		"-points", "2", "-seed", "9", "-min-served", "16")
+		"-points", "2", "-seed", "9", "-min-served", "16", "-latency-out", latPath)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb, out)
 	}
-	for _, want := range []string{"requests        16 sent", "status 200      x 16", "latency         p50", "summary         16 served, 0 shed, 0 5xx"} {
+	for _, want := range []string{"requests        16 sent", "status 200      x 16", "latency         p50", "summary         16 served, 0 shed, 0 5xx", "latency records -> "} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+
+	// The latency file holds one record per request in plan order, each
+	// carrying the server-assigned request ID for trace joins.
+	data, err := os.ReadFile(latPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("latency-out has %d records, want 16", len(lines))
+	}
+	seenIDs := make(map[string]bool)
+	for i, line := range lines {
+		var rec reqRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record %d not JSON: %v (%s)", i, err, line)
+		}
+		if rec.Seq != i {
+			t.Fatalf("record %d out of plan order: seq %d", i, rec.Seq)
+		}
+		if rec.Status != 200 || rec.LatencyMS <= 0 {
+			t.Fatalf("record %d incomplete: %+v", i, rec)
+		}
+		if len(rec.RequestID) != 17 || seenIDs[rec.RequestID] {
+			t.Fatalf("record %d has bad or duplicate request ID %q", i, rec.RequestID)
+		}
+		seenIDs[rec.RequestID] = true
 	}
 
 	// The -min-served gate must fail the run when the bar is too high.

@@ -1,18 +1,28 @@
 // Command jawsreport reconstructs query lifecycles from a JSONL trace
-// (written by jaws -trace-out or jawsbench -trace-out) and reports where
-// response time went: percentiles, the per-phase attribution table, and
-// the starvation tail — the worst-k queries with their phase breakdowns.
+// (written by jaws -trace-out, jawsbench -trace-out, or jawsd
+// -trace-out) and reports where response time went: percentiles, the
+// per-phase attribution table, and the starvation tail — the worst-k
+// queries with their phase breakdowns.
 //
-// It also audits the trace itself: every span is checked against the
-// attribution invariant (phase components must sum exactly to the
-// response time), and the trace footer's drop counters are surfaced so a
-// truncated trace is never mistaken for a complete one.
+// Traces written by jawsd additionally carry one wall-clock request span
+// ("reqspan") per served HTTP request. jawsreport stitches each request
+// span to its engine span through the propagated request ID (the
+// X-Jaws-Request-Id the client saw), reporting both clocks side by side:
+// where the wall time went around the engine (validate/queued/dispatch/
+// execute/write) and where the virtual time went inside it. -req looks a
+// single request ID up and prints its full stitched record.
+//
+// It also audits the trace itself: every span — virtual and wall — is
+// checked against the attribution invariant (phase components must sum
+// exactly to the total), and the trace footer's drop counters are
+// surfaced so a truncated trace is never mistaken for a complete one.
 //
 // Usage:
 //
 //	jaws -sched jaws2 -jobs 200 -trace-out run.jsonl
 //	jawsreport run.jsonl
 //	jawsreport -k 20 < run.jsonl
+//	jawsreport -req r8b6f3a2c91d04e75 service.jsonl
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 
 func main() {
 	worstK := flag.Int("k", 10, "size of the starvation tail (worst-k queries)")
+	reqID := flag.String("req", "", "look one request ID up and print its stitched record")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -43,19 +54,29 @@ func main() {
 		in = f
 		name = flag.Arg(0)
 	}
-	if err := run(in, name, os.Stdout, *worstK); err != nil {
+	if err := run(in, name, os.Stdout, *worstK, *reqID); err != nil {
 		fatalf("%v", err)
 	}
 }
 
+// stitched pairs one request's wall-clock span with the engine span that
+// served it, joined on the propagated request ID.
+type stitched struct {
+	req    obs.ReqSpan
+	engine *obs.Span // nil when no engine span carries the ID (shed, timeout before dispatch)
+}
+
 // run streams the trace and writes the lifecycle report. Split out from
-// main so tests can drive it against golden files.
-func run(in io.Reader, name string, out io.Writer, worstK int) error {
+// main so tests can drive it against golden files. When reqID is
+// non-empty only that request's stitched record is printed.
+func run(in io.Reader, name string, out io.Writer, worstK int, reqID string) error {
 	var (
-		spans      []obs.Span
-		footer     *obs.TraceFooter
-		events     int64
-		violations int
+		spans         []obs.Span
+		reqSpans      []obs.ReqSpan
+		footer        *obs.TraceFooter
+		events        int64
+		violations    int
+		reqViolations int
 	)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -79,6 +100,14 @@ func run(in io.Reader, name string, out io.Writer, worstK int) error {
 				violations++
 			}
 			spans = append(spans, *ev.Span)
+		case obs.KindReqSpan:
+			if ev.Req == nil {
+				return fmt.Errorf("line %d: reqspan event without payload", line)
+			}
+			if ev.Req.PhaseSum() != ev.Req.Wall {
+				reqViolations++
+			}
+			reqSpans = append(reqSpans, *ev.Req)
 		case obs.KindFooter:
 			footer = ev.Footer
 		default:
@@ -88,12 +117,33 @@ func run(in io.Reader, name string, out io.Writer, worstK int) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+
+	// Index engine spans by request ID so each request span stitches to
+	// the virtual-clock side of the same request.
+	byReq := make(map[string]*obs.Span)
+	for i := range spans {
+		if r := spans[i].Req; r != "" {
+			byReq[r] = &spans[i]
+		}
+	}
+
+	if reqID != "" {
+		for i := range reqSpans {
+			if reqSpans[i].ID == reqID {
+				printStitched(out, stitched{req: reqSpans[i], engine: byReq[reqID]})
+				return nil
+			}
+		}
+		return fmt.Errorf("%s: no request span with ID %s", name, reqID)
+	}
+
 	if len(spans) == 0 {
 		return fmt.Errorf("%s: no span events (was the trace written with lifecycle spans enabled?)", name)
 	}
 
 	sum := obs.SummarizeSpans(spans, worstK)
-	fmt.Fprintf(out, "trace: %s (%d spans, %d other events)\n", name, len(spans), events)
+	fmt.Fprintf(out, "trace: %s (%d spans, %d request spans, %d other events)\n",
+		name, len(spans), len(reqSpans), events)
 
 	fmt.Fprintln(out, "\n== response time ==")
 	fmt.Fprintf(out, "queries: %d (%d gate-blocked)\n", sum.Count, sum.Blocked)
@@ -119,11 +169,56 @@ func run(in io.Reader, name string, out io.Writer, worstK int) error {
 		fmt.Fprint(out, wt.String())
 	}
 
+	if len(reqSpans) > 0 {
+		rsum := obs.SummarizeReqSpans(reqSpans, worstK)
+		fmt.Fprintln(out, "\n== requests (wall clock) ==")
+		fmt.Fprintf(out, "requests: %d (%d ok)\n", rsum.Count, rsum.OK)
+		fmt.Fprintf(out, "mean %s   p50 %s   p90 %s   p95 %s   p99 %s   max %s\n",
+			fd(rsum.Mean), fd(rsum.P50), fd(rsum.P90), fd(rsum.P95), fd(rsum.P99), fd(rsum.Max))
+
+		fmt.Fprintln(out, "\n== request attribution ==")
+		rb := &metrics.Table{Header: []string{"phase", "total", "share", "mean/request"}}
+		for _, row := range rsum.Attribution() {
+			rb.AddRow(row.Name, fd(row.Total), fmt.Sprintf("%.1f%%", row.Share*100), fd(row.MeanPerQuery))
+		}
+		fmt.Fprint(out, rb.String())
+
+		// The worst requests, with both clocks side by side: the wall
+		// phases around the engine and the virtual response time inside
+		// it (when the engine span stitched).
+		stitchedCount := 0
+		for i := range reqSpans {
+			if byReq[reqSpans[i].ID] != nil {
+				stitchedCount++
+			}
+		}
+		fmt.Fprintf(out, "\n== request tail (worst %d, %d/%d stitched to engine spans) ==\n",
+			len(rsum.WorstK), stitchedCount, len(reqSpans))
+		st := &metrics.Table{Header: []string{"request", "query", "status", "qdepth", "wall", "validate", "queued", "dispatch", "execute", "write", "virtual"}}
+		for i := range rsum.WorstK {
+			rs := &rsum.WorstK[i]
+			virt := "-"
+			if es := byReq[rs.ID]; es != nil {
+				virt = fd(es.Total())
+			}
+			st.AddRow(rs.ID, fmt.Sprint(rs.Query), fmt.Sprint(rs.Status), fmt.Sprint(rs.QueueDepth),
+				fd(rs.Wall), fd(rs.Validate), fd(rs.Queued), fd(rs.Dispatch), fd(rs.Execute), fd(rs.Write), virt)
+		}
+		fmt.Fprint(out, st.String())
+	}
+
 	fmt.Fprintln(out, "\n== trace integrity ==")
 	if violations > 0 {
 		fmt.Fprintf(out, "WARNING: %d spans violate the attribution invariant (phase sum != total)\n", violations)
 	} else {
 		fmt.Fprintf(out, "attribution invariant: all %d spans conserve (phase sum == total)\n", len(spans))
+	}
+	if len(reqSpans) > 0 {
+		if reqViolations > 0 {
+			fmt.Fprintf(out, "WARNING: %d request spans violate the attribution invariant (phase sum != wall)\n", reqViolations)
+		} else {
+			fmt.Fprintf(out, "request invariant: all %d request spans conserve (phase sum == wall)\n", len(reqSpans))
+		}
 	}
 	switch {
 	case footer == nil:
@@ -134,6 +229,27 @@ func run(in io.Reader, name string, out io.Writer, worstK int) error {
 		fmt.Fprintf(out, "footer: %d events emitted, 0 lost\n", footer.Total)
 	}
 	return nil
+}
+
+// printStitched renders one request's full record: the wall-clock phases
+// the serving layer charged around the engine, and — when the trace
+// carries the engine span with the same propagated ID — the
+// virtual-clock phases inside it.
+func printStitched(out io.Writer, s stitched) {
+	rs := &s.req
+	fmt.Fprintf(out, "request %s\n", rs.ID)
+	fmt.Fprintf(out, "  status %d   query %d   queue depth at admission %d\n",
+		rs.Status, rs.Query, rs.QueueDepth)
+	fmt.Fprintf(out, "  wall    %s = validate %s + queued %s + dispatch %s + execute %s + write %s\n",
+		fd(rs.Wall), fd(rs.Validate), fd(rs.Queued), fd(rs.Dispatch), fd(rs.Execute), fd(rs.Write))
+	if es := s.engine; es != nil {
+		fmt.Fprintf(out, "  virtual %s = gated %s + queued %s + overhead %s + disk %s + compute %s\n",
+			fd(es.Total()), fd(es.Gated), fd(es.Queued), fd(es.Overhead), fd(es.Disk), fd(es.Compute))
+		fmt.Fprintf(out, "  engine  query %d job %d: %d decisions, %d/%d cache hit/miss\n",
+			es.Query, es.Job, es.Decisions, es.Hits, es.Misses)
+	} else {
+		fmt.Fprintln(out, "  virtual (no engine span carries this request ID)")
+	}
 }
 
 // fd renders a duration with millisecond precision so reports stay

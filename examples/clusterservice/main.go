@@ -21,14 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"time"
 
 	"jaws"
+	"jaws/internal/obs"
 	"jaws/internal/server"
 )
 
@@ -58,10 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Diagnostics are served on their own listener, never the public mux:
 	// the public service exposes /query, /metrics, /healthz, /varz only.
 	if *pprofAddr != "" {
-		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			log.Println(http.ListenAndServe(*pprofAddr, nil))
-		}()
+		pp, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fail(err)
+		}
+		defer pp.Close()
+		fmt.Fprintf(stdout, "pprof on http://%s/debug/pprof/\n", pp.Addr())
 	}
 
 	space := jaws.Space{GridSide: *grid, AtomSide: 32}

@@ -69,6 +69,35 @@ type instruments struct {
 	blockedAt map[query.ID]time.Duration
 }
 
+// engineMetricHelp is the # HELP text for every metric the engine
+// registers, emitted by the registry's Prometheus exposition.
+var engineMetricHelp = map[string]string{
+	"jaws_decisions_total":           "Scheduling decisions submitted to the engine.",
+	"jaws_decision_atoms":            "Batch size k per scheduling decision.",
+	"jaws_batch_atoms_total":         "Atoms executed inside scheduling decisions.",
+	"jaws_queries_completed_total":   "Queries completed by the engine.",
+	"jaws_response_seconds":          "Per-query response time on the virtual clock.",
+	"jaws_runs_total":                "Adaptation runs ended by the alpha controller.",
+	"jaws_alpha":                     "Current age bias alpha of the JAWS scheduler.",
+	"jaws_cache_hits_total":          "Atom cache hits.",
+	"jaws_cache_misses_total":        "Atom cache misses (lookups that went to disk).",
+	"jaws_cache_evictions_total":     "Atoms evicted from the cache.",
+	"jaws_disk_reads_total":          "Reads issued to the simulated disk array.",
+	"jaws_disk_seq_reads_total":      "Reads that continued a sequential run (no seek).",
+	"jaws_disk_bytes_total":          "Bytes read from the simulated disk array.",
+	"jaws_prefetch_atoms_total":      "Atoms loaded by trajectory prefetching.",
+	"jaws_gate_blocked_total":        "Queries job-aware gating held back at least once.",
+	"jaws_gate_wait_seconds":         "Gating delay per admitted query.",
+	"jaws_gate_edges_admitted_total": "Gating-graph edges admitted.",
+	"jaws_gate_edges_rejected_total": "Gating-graph edges rejected.",
+	"jaws_utility_pushes_total":      "URC cache-coordination passes.",
+	"jaws_fault_retries_total":       "Atom reads retried after injected transient errors.",
+	"jaws_fault_aborts_total":        "Atom reads abandoned after exhausting retries.",
+	"jaws_fault_corruptions_total":   "Cache payloads dropped as corrupt.",
+	"jaws_node_crashes_total":        "Injector-scheduled node deaths.",
+	"jaws_stall_aborts_total":        "Runs aborted after StallLimit iterations without progress.",
+}
+
 // newInstruments resolves the engine's metrics against o's registry and
 // captures its tracer. Returns nil when o carries neither, so the
 // uninstrumented engine holds a single nil pointer.
@@ -77,6 +106,9 @@ func newInstruments(o *obs.Obs) *instruments {
 		return nil
 	}
 	reg := o.Registry()
+	for name, help := range engineMetricHelp {
+		reg.Describe(name, help)
+	}
 	return &instruments{
 		trace:          o.Tracer(),
 		spans:          newSpanTracker(o),

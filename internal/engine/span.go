@@ -69,6 +69,7 @@ func (tk *spanTracker) dispatch(q *query.Query, now time.Duration, blocked bool)
 		Query:   int64(q.ID),
 		Job:     q.JobID,
 		Seq:     q.Seq,
+		Req:     q.ReqID,
 		Arrival: q.Arrival,
 		Gated:   now - q.Arrival,
 		Blocked: blocked,

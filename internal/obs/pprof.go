@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofServer is a net/http/pprof endpoint on its own listener.
+// Diagnostics never share the public mux: the serving surface exposes
+// /query, /metrics, /healthz and /varz only, and profiling stays on an
+// operator-chosen (typically loopback) address.
+type PprofServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServePprof starts the pprof handlers on addr (host:port; port 0 picks a
+// free one) and serves until Close. It builds a private mux rather than
+// relying on the DefaultServeMux side effect of importing net/http/pprof,
+// so no other handler in the process leaks onto the diagnostics port.
+func ServePprof(addr string) (*PprofServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	p := &PprofServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = p.srv.Serve(ln) }()
+	return p, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (p *PprofServer) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the diagnostics listener. Nil-safe.
+func (p *PprofServer) Close() error {
+	if p == nil {
+		return nil
+	}
+	return p.srv.Close()
+}

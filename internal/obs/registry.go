@@ -127,6 +127,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry creates an empty registry.
@@ -135,7 +136,33 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// Describe registers the help string WriteText emits as the metric's
+// # HELP line. Call it alongside metric creation; later calls overwrite.
+// Nil-safe no-op.
+func (r *Registry) Describe(name, help string) {
+	if r == nil || help == "" {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// writeHelp emits the # HELP line for name when one was registered.
+// Callers hold mu. Backslashes and newlines are escaped per the
+// Prometheus text exposition rules.
+func (r *Registry) writeHelp(b *strings.Builder, name string) {
+	h, ok := r.help[name]
+	if !ok {
+		return
+	}
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	h = strings.ReplaceAll(h, "\n", `\n`)
+	fmt.Fprintf(b, "# HELP %s %s\n", name, h)
 }
 
 // Counter returns the named counter, creating it on first use. A nil
@@ -198,6 +225,9 @@ func (r *Registry) Merge(other *Registry) {
 	}
 	other.mu.Lock()
 	defer other.mu.Unlock()
+	for name, h := range other.help {
+		r.Describe(name, h)
+	}
 	for name, oc := range other.counters {
 		r.Counter(name).Add(oc.Value())
 	}
@@ -244,6 +274,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		r.writeHelp(&b, name)
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
 	}
 
@@ -253,6 +284,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		r.writeHelp(&b, name)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, r.gauges[name].Value())
 	}
 
@@ -263,6 +295,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		h := r.histograms[name]
+		r.writeHelp(&b, name)
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
 		var cum int64
 		for i, bound := range h.bounds {

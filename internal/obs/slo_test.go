@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a tracker's notion of time manually.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestTracker(target time.Duration, objective float64, window time.Duration) (*SLOTracker, *fakeClock) {
+	tr := NewSLOTracker(target, objective, window)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestSLOTrackerCompliance(t *testing.T) {
+	tr, clk := newTestTracker(100*time.Millisecond, 0.9, time.Minute)
+	for i := 0; i < 90; i++ {
+		tr.Observe(10*time.Millisecond, false) // good
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(time.Second, false) // slow: bad
+	}
+	clk.advance(time.Second)
+	snap := tr.Snapshot()
+	if snap.Good != 90 || snap.Bad != 10 {
+		t.Fatalf("good/bad = %d/%d, want 90/10", snap.Good, snap.Bad)
+	}
+	if math.Abs(snap.Compliance-0.9) > 1e-9 {
+		t.Fatalf("compliance = %g, want 0.9", snap.Compliance)
+	}
+	// Bad fraction 0.1 against an allowance of 0.1: burning exactly at
+	// budget, so burn rate 1 and nothing remaining.
+	if math.Abs(snap.BurnRate-1) > 1e-9 || math.Abs(snap.BudgetRemaining) > 1e-9 {
+		t.Fatalf("burn/remaining = %g/%g, want 1/0", snap.BurnRate, snap.BudgetRemaining)
+	}
+}
+
+func TestSLOTrackerFailuresAreBad(t *testing.T) {
+	tr, _ := newTestTracker(time.Second, 0.99, time.Minute)
+	tr.Observe(time.Millisecond, true) // fast but failed
+	snap := tr.Snapshot()
+	if snap.Bad != 1 || snap.Good != 0 {
+		t.Fatalf("failed request not counted bad: %+v", snap)
+	}
+	if snap.BurnRate < 99 {
+		t.Fatalf("burn rate = %g, want 100 (all-bad window, 1%% budget)", snap.BurnRate)
+	}
+}
+
+// TestSLOTrackerWindowExpiry checks that observations roll out of the
+// window as the clock advances.
+func TestSLOTrackerWindowExpiry(t *testing.T) {
+	tr, clk := newTestTracker(100*time.Millisecond, 0.99, time.Minute)
+	tr.Observe(time.Second, false) // bad
+	if snap := tr.Snapshot(); snap.Bad != 1 {
+		t.Fatalf("fresh observation missing: %+v", snap)
+	}
+	clk.advance(30 * time.Second)
+	tr.Observe(time.Millisecond, false) // good, half a window later
+	if snap := tr.Snapshot(); snap.Bad != 1 || snap.Good != 1 {
+		t.Fatalf("mid-window: %+v", snap)
+	}
+	clk.advance(45 * time.Second) // first observation now outside 60s
+	snap := tr.Snapshot()
+	if snap.Bad != 0 || snap.Good != 1 {
+		t.Fatalf("expiry failed: good/bad = %d/%d, want 1/0", snap.Good, snap.Bad)
+	}
+	clk.advance(10 * time.Minute) // everything expires, re-anchor path
+	snap = tr.Snapshot()
+	if snap.Good != 0 || snap.Bad != 0 || snap.Compliance != 1 {
+		t.Fatalf("empty window: %+v", snap)
+	}
+}
+
+func TestSLOTrackerDefaultsAndNil(t *testing.T) {
+	if NewSLOTracker(0, 0.99, time.Minute) != nil {
+		t.Fatal("non-positive target must disable tracking")
+	}
+	var tr *SLOTracker
+	tr.Observe(time.Second, false) // must not panic
+	if snap := tr.Snapshot(); snap != (SLOSnapshot{}) {
+		t.Fatalf("nil snapshot not zero: %+v", snap)
+	}
+	if tr.Target() != 0 {
+		t.Fatal("nil target must be 0")
+	}
+	def := NewSLOTracker(time.Second, 0, 0)
+	if def.objective != 0.99 || def.window != time.Minute {
+		t.Fatalf("defaults not applied: %+v", def)
+	}
+}

@@ -37,6 +37,11 @@ type Span struct {
 	Query int64 `json:"query"`
 	Job   int64 `json:"job,omitempty"`
 	Seq   int   `json:"seq,omitempty"`
+	// Req is the originating HTTP request ID when the query entered
+	// through the serving layer (empty for batch workloads). It is the
+	// key cmd/jawsreport uses to stitch this virtual-clock span to the
+	// request's wall-clock ReqSpan.
+	Req string `json:"req,omitempty"`
 
 	// Arrival and Done bound the lifecycle in virtual time.
 	Arrival time.Duration `json:"arr"`

@@ -57,6 +57,10 @@ const (
 	// KindSpan is one completed query lifecycle: the full response-time
 	// attribution of the query, emitted at completion (see Span).
 	KindSpan Kind = "span"
+	// KindReqSpan is one served HTTP request's wall-clock lifecycle: the
+	// serving layer's request-time attribution, carrying the request ID
+	// that stitches it to the engine span (see ReqSpan).
+	KindReqSpan Kind = "reqspan"
 	// KindFooter is the trace's closing record, written once by Close:
 	// the emission total and the drop counters that make a truncated or
 	// error-shortened trace detectable.
@@ -98,6 +102,7 @@ type Event struct {
 	Node    int `json:"node,omitempty"`    // fault: crashed node index
 
 	Span   *Span        `json:"span,omitempty"`   // span: the completed lifecycle
+	Req    *ReqSpan     `json:"req,omitempty"`    // reqspan: the served request
 	Footer *TraceFooter `json:"footer,omitempty"` // trace_footer: closing record
 }
 
@@ -418,4 +423,14 @@ func (t *Tracer) SpanDone(sp Span) {
 		return
 	}
 	t.Emit(Event{T: sp.Done, Kind: KindSpan, Span: &sp})
+}
+
+// ReqSpanDone records one served request's wall-clock lifecycle. The
+// event's T field stays zero: request spans live on the wall clock (the
+// span's own Start stamp), not the engine's virtual clock.
+func (t *Tracer) ReqSpanDone(rs ReqSpan) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: KindReqSpan, Req: &rs})
 }

@@ -37,6 +37,12 @@ type Query struct {
 	// identification heuristics and the workload generator).
 	User int
 
+	// ReqID is the serving layer's request ID when the query entered
+	// through HTTP (empty for batch workloads). The engine copies it into
+	// the query's lifecycle span so wall-clock and virtual-clock records
+	// of one request stitch together.
+	ReqID string
+
 	// Arrival is the virtual time the query entered the system. For
 	// ordered jobs beyond the first query this is set when the predecessor
 	// completes (plus think time).

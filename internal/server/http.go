@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"jaws"
+	"jaws/internal/obs"
 )
 
 // Point is a position in the periodic simulation domain [0, 2π)³, the
@@ -63,9 +64,14 @@ var kernels = map[string]jaws.Kernel{
 // task is one accepted request traveling from the handler through the
 // queue to a worker and back.
 type task struct {
-	ctx   context.Context
-	id    jaws.QueryID
-	job   *jaws.Job
+	ctx context.Context
+	id  jaws.QueryID
+	job *jaws.Job
+	// rs is the request's wall-clock span (nil when request tracking is
+	// off). Ownership travels with the task: the worker marks the queued,
+	// dispatch, and execute phases, then the respc send returns the span
+	// to the handler for Finish.
+	rs    *obs.ReqSpan
 	respc chan taskOutcome // cap 1: the worker's send never blocks
 }
 
@@ -77,6 +83,11 @@ type taskOutcome struct {
 }
 
 // handleQuery is POST /query: validate, gate, enqueue, wait, respond.
+// With request tracking on, every wall-clock transition of an admitted
+// request is charged to exactly one ReqSpan phase: handler entry →
+// admission is validate, the worker marks queued/dispatch/execute, and
+// Finish charges the response write — so the phases sum to the span's
+// Wall by construction.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -84,6 +95,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Inc()
+	var rs *obs.ReqSpan
+	if s.reqTrack {
+		rs = obs.NewReqSpan()
+	}
+	t0 := time.Now()
 	if s.draining.Load() {
 		s.unavailable.Inc()
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
@@ -96,7 +112,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
 	s.gInflight.Set(float64(n))
 	if n > int64(s.cfg.MaxInFlight) {
-		s.shedRequest(w, "too many requests in flight")
+		s.shedRequest(w, "", "too many requests in flight")
 		return
 	}
 
@@ -144,16 +160,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
+	// Validation passed: consume a query ID and derive the request ID
+	// from it. The ID is returned to the client immediately (even if the
+	// queue then sheds) and propagated into the engine on the query, so
+	// the engine's virtual-clock span carries it (Span.Req) and
+	// cmd/jawsreport can stitch both sides of the request back together.
 	id := jaws.QueryID(s.nextID.Add(1))
+	rid := obs.RequestID(s.cfg.ReqIDSeed, int64(id))
+	w.Header().Set("X-Jaws-Request-Id", rid)
+	rs.SetRequest(rid, int64(id))
 	pts := make([]jaws.Position, len(in.Points))
 	for i, p := range in.Points {
 		pts[i] = jaws.Position{X: p.X, Y: p.Y, Z: p.Z}
 	}
-	q := &jaws.Query{ID: id, JobID: int64(id), User: 1, Step: in.Step, Points: pts, Kernel: kernel}
+	q := &jaws.Query{ID: id, JobID: int64(id), User: 1, Step: in.Step, Points: pts, Kernel: kernel, ReqID: rid}
 	t := &task{
 		ctx:   ctx,
 		id:    id,
 		job:   &jaws.Job{ID: int64(id), User: 1, Type: jaws.Batched, Queries: []*jaws.Query{q}},
+		rs:    rs,
 		respc: make(chan taskOutcome, 1),
 	}
 
@@ -163,22 +188,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.acceptMu.RUnlock()
 		s.unavailable.Inc()
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		s.emitSpan(rs, http.StatusServiceUnavailable)
 		return
 	}
+	// Close the validate phase and record the queue depth before the
+	// send: after the send the worker owns the span.
+	rs.Admit(len(s.queue))
 	select {
 	case s.queue <- t:
 		s.acceptMu.RUnlock()
 		s.gQueue.Set(float64(len(s.queue)))
 	default:
 		s.acceptMu.RUnlock()
-		s.shedRequest(w, "request queue full")
+		s.shedRequest(w, rid, "request queue full")
+		s.emitSpan(rs, http.StatusTooManyRequests)
 		return
 	}
 
-	// Accepted: a worker is now guaranteed to respond exactly once.
+	// Accepted: a worker is now guaranteed to respond exactly once, and
+	// the respc receive hands span ownership back to this goroutine.
 	out := <-t.respc
+	var status int
 	switch {
 	case out.res != nil:
+		status = http.StatusOK
 		virt := (out.res.Completed - out.res.Query.Arrival).Seconds()
 		s.served.Inc()
 		s.hLatency.Observe(time.Since(start).Seconds())
@@ -193,9 +226,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	case out.status == http.StatusGatewayTimeout:
+		status = http.StatusGatewayTimeout
 		s.timeouts.Inc()
 		http.Error(w, fmt.Sprintf("deadline exceeded after %v", deadline), http.StatusGatewayTimeout)
 	default:
+		status = out.status
 		s.errcount.Inc()
 		msg := "backend unavailable"
 		if out.err != nil {
@@ -203,10 +238,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		http.Error(w, msg, out.status)
 	}
+
+	// The response bytes are written: close the span (charging the write
+	// phase) and fan the request out to the observers.
+	s.emitSpan(rs, status)
+	wall := time.Since(t0)
+	if rs != nil {
+		wall = rs.Wall
+	}
+	s.cfg.SLO.Observe(wall, status != http.StatusOK)
+	if lg := s.cfg.Log; lg.Enabled() {
+		lg.Info("request finished",
+			"request_id", rid, "query", int64(id), "status", status,
+			"wall_ms", float64(wall)/float64(time.Millisecond),
+			"queue_depth", len(s.queue))
+	}
 }
 
-// shedRequest answers 429 with the configured Retry-After hint.
-func (s *Server) shedRequest(w http.ResponseWriter, msg string) {
+// emitSpan finishes rs with the HTTP status the request was answered
+// with and fans it out to the span aggregator and the tracer. Nil rs
+// (request tracking off) is a no-op.
+func (s *Server) emitSpan(rs *obs.ReqSpan, status int) {
+	if rs == nil {
+		return
+	}
+	rs.Finish(status)
+	s.cfg.ReqSpans.Add(*rs)
+	s.cfg.Trace.ReqSpanDone(*rs)
+}
+
+// shedRequest answers 429 with the configured Retry-After hint. rid is
+// the request ID when one was already assigned ("" for the in-flight
+// gate, which sheds before validation).
+func (s *Server) shedRequest(w http.ResponseWriter, rid, msg string) {
 	s.shed.Inc()
 	secs := int(s.cfg.RetryAfter / time.Second)
 	if secs < 1 {
@@ -214,12 +278,20 @@ func (s *Server) shedRequest(w http.ResponseWriter, msg string) {
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	http.Error(w, msg, http.StatusTooManyRequests)
+	if lg := s.cfg.Log; lg.Enabled() {
+		lg.Warn("request shed", "request_id", rid, "reason", msg)
+	}
 }
 
-// rejectRequest answers a 4xx validation failure.
+// rejectRequest answers a 4xx validation failure. Rejections happen
+// before a request ID is assigned, so their log lines carry an empty
+// request_id.
 func (s *Server) rejectRequest(w http.ResponseWriter, code int, msg string) {
 	s.rejected.Inc()
 	http.Error(w, msg, code)
+	if lg := s.cfg.Log; lg.Enabled() {
+		lg.Warn("request rejected", "request_id", "", "status", code, "reason", msg)
+	}
 }
 
 // handleHealthz is the liveness probe: 200 while serving, 503 when
@@ -247,11 +319,20 @@ type varz struct {
 	DefaultDeadline string  `json:"default_deadline"`
 	MaxDeadline     string  `json:"max_deadline"`
 	Stats           Stats   `json:"stats"`
+	// SLO is the rolling-window objective snapshot; omitted when no
+	// tracker is configured.
+	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
 }
 
 // handleVarz exposes configuration and counters as JSON.
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	var slo *obs.SLOSnapshot
+	if s.cfg.SLO != nil {
+		snap := s.cfg.SLO.Snapshot()
+		slo = &snap
+	}
 	writeJSON(w, http.StatusOK, varz{
+		SLO:             slo,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Backends:        len(s.backends),
 		QueueBound:      s.cfg.QueueBound,
@@ -270,6 +351,17 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 // server's registry (shared with the backends when the caller passed
 // one registry to both).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the SLO gauges from the rolling window at scrape time so
+	// the exposition always reflects the current window, not the last
+	// request.
+	if s.cfg.SLO != nil {
+		snap := s.cfg.SLO.Snapshot()
+		s.gSLOCompliance.Set(snap.Compliance)
+		s.gSLOBurn.Set(snap.BurnRate)
+		s.gSLOBudget.Set(snap.BudgetRemaining)
+		s.gSLOGood.Set(float64(snap.Good))
+		s.gSLOBad.Set(float64(snap.Bad))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.cfg.Reg.WriteText(w)
 }

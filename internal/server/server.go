@@ -88,6 +88,24 @@ type Config struct {
 	MaxDeadline time.Duration
 	// RetryAfter is the hint attached to 429 responses; default 1 s.
 	RetryAfter time.Duration
+
+	// Trace, when non-nil, receives one "reqspan" event per request that
+	// was assigned an ID (usually the same tracer the backends write
+	// engine events to, so one JSONL file carries both sides).
+	Trace *obs.Tracer
+	// ReqSpans, when non-nil, collects finished request spans for
+	// end-of-run summaries (percentiles, attribution, worst-k tail).
+	ReqSpans *obs.ReqSpanAgg
+	// Log, when non-nil, receives structured request logs (one JSON line
+	// per lifecycle event, each carrying the request_id).
+	Log *obs.Logger
+	// SLO, when non-nil, tracks latency-objective compliance over the
+	// accepted requests; exposed through /varz and jaws_slo_* gauges.
+	SLO *obs.SLOTracker
+	// ReqIDSeed seeds the deterministic request-ID derivation (see
+	// obs.RequestID): for a fixed seed the same acceptance order yields
+	// the same X-Jaws-Request-Id values.
+	ReqIDSeed int64
 }
 
 func (c *Config) applyDefaults() {
@@ -153,12 +171,43 @@ type Server struct {
 	shutdownOnce sync.Once
 	reports      []*jaws.Report
 
+	// reqTrack is true when a tracer or span aggregator is configured:
+	// only then does the handler allocate a ReqSpan per request, keeping
+	// the disabled serving path allocation-free.
+	reqTrack bool
+
 	// Request accounting, also exported through cfg.Reg and /varz.
 	requests, served, shed, rejected *obs.Counter
 	timeouts, errcount, unavailable  *obs.Counter
 	late                             *obs.Counter
 	gQueue, gInflight                *obs.Gauge
 	hLatency, hVirtual               *obs.Histogram
+
+	// SLO exposition gauges; nil unless cfg.SLO is set. Refreshed from
+	// the tracker's rolling window at scrape time.
+	gSLOCompliance, gSLOBurn, gSLOBudget *obs.Gauge
+	gSLOGood, gSLOBad                    *obs.Gauge
+}
+
+// serverMetricHelp is the # HELP text for the serving layer's metrics.
+var serverMetricHelp = map[string]string{
+	"jaws_server_requests_total":     "HTTP /query requests received.",
+	"jaws_server_served_total":       "Requests answered 200 with query results.",
+	"jaws_server_shed_total":         "Requests shed with 429 (queue full or in-flight gate).",
+	"jaws_server_rejected_total":     "Requests rejected with 4xx validation failures.",
+	"jaws_server_timeouts_total":     "Requests that exceeded their deadline (504).",
+	"jaws_server_errors_total":       "Requests failed by a backend (5xx).",
+	"jaws_server_unavailable_total":  "Requests refused while draining (503).",
+	"jaws_server_late_results_total": "Engine results that arrived after their waiter gave up.",
+	"jaws_server_queue_depth":        "Admission queue depth.",
+	"jaws_server_inflight":           "Requests between accept and response.",
+	"jaws_server_latency_seconds":    "Wall-clock request latency from admission to outcome.",
+	"jaws_server_virtual_seconds":    "Query response time on the engine's virtual clock.",
+	"jaws_slo_compliance":            "Fraction of windowed requests meeting the latency target.",
+	"jaws_slo_burn_rate":             "Error-budget burn rate (1 = burning exactly at budget).",
+	"jaws_slo_budget_remaining":      "Fraction of the windowed error budget left.",
+	"jaws_slo_good":                  "Requests in the window that met the objective.",
+	"jaws_slo_bad":                   "Requests in the window that missed the objective.",
 }
 
 // New validates cfg, starts the worker pool and the per-backend result
@@ -191,6 +240,17 @@ func New(cfg Config) (*Server, error) {
 			0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
 		hVirtual: cfg.Reg.Histogram("jaws_server_virtual_seconds",
 			0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100),
+	}
+	s.reqTrack = cfg.Trace != nil || cfg.ReqSpans != nil
+	for name, help := range serverMetricHelp {
+		cfg.Reg.Describe(name, help)
+	}
+	if cfg.SLO != nil {
+		s.gSLOCompliance = cfg.Reg.Gauge("jaws_slo_compliance")
+		s.gSLOBurn = cfg.Reg.Gauge("jaws_slo_burn_rate")
+		s.gSLOBudget = cfg.Reg.Gauge("jaws_slo_budget_remaining")
+		s.gSLOGood = cfg.Reg.Gauge("jaws_slo_good")
+		s.gSLOBad = cfg.Reg.Gauge("jaws_slo_bad")
 	}
 	for _, be := range cfg.Backends {
 		b := &backendState{be: be, dead: make(chan struct{})}
@@ -240,7 +300,13 @@ func (s *Server) worker() {
 // serveTask submits one accepted request to a live backend and waits for
 // its result, the deadline, or the backend's death — whichever first.
 // Every task gets exactly one response on respc.
+//
+// The span marks are safe without locks: the handler stopped touching
+// t.rs before the queue send, this goroutine marks between receiving the
+// task and sending on respc, and the handler resumes only after the
+// respc receive — each handoff is a happens-before edge.
 func (s *Server) serveTask(t *task) {
+	t.rs.Mark(obs.ReqQueued)
 	if t.ctx.Err() != nil { // deadline spent while queued
 		t.respc <- taskOutcome{status: http.StatusGatewayTimeout}
 		return
@@ -248,18 +314,23 @@ func (s *Server) serveTask(t *task) {
 	b := s.pick()
 	ch := make(chan *jaws.QueryResult, 1)
 	s.demux.Store(t.id, ch)
-	if err := b.be.Submit(t.job); err != nil {
+	err := b.be.Submit(t.job)
+	t.rs.Mark(obs.ReqDispatch)
+	if err != nil {
 		s.demux.Delete(t.id)
 		t.respc <- taskOutcome{status: http.StatusBadGateway, err: err}
 		return
 	}
 	select {
 	case r := <-ch:
+		t.rs.Mark(obs.ReqExecute)
 		t.respc <- taskOutcome{res: r}
 	case <-t.ctx.Done():
+		t.rs.Mark(obs.ReqExecute)
 		s.demux.Delete(t.id)
 		t.respc <- taskOutcome{status: http.StatusGatewayTimeout}
 	case <-b.dead:
+		t.rs.Mark(obs.ReqExecute)
 		s.demux.Delete(t.id)
 		t.respc <- taskOutcome{status: http.StatusBadGateway, err: b.be.Err()}
 	}
