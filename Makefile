@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-oracle check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve
+.PHONY: check check-oracle check-prop check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
@@ -30,10 +30,17 @@ race:
 	$(GO) test -race ./...
 
 ## race-obs: race-check the packages with real concurrency — the obs
-## layer (atomic registry, locked tracer), the serving layer, and their
-## concurrent users.
+## layer (atomic registry, locked tracer), the engine's compute pool,
+## the scheduler structures, the serving layer, and their concurrent
+## users.
 race-obs:
-	$(GO) test -race ./internal/obs/ ./internal/engine/ ./internal/cluster/ ./internal/server/ ./cmd/jawsd/ ./cmd/jawsload/ ./cmd/jawsreport/
+	$(GO) test -race ./internal/obs/ ./internal/sched/ ./internal/engine/ ./internal/cluster/ ./internal/server/ ./cmd/jawsd/ ./cmd/jawsload/ ./cmd/jawsreport/
+
+## check-prop: the quickcheck-style differential property tests — random
+## op logs replayed through the production schedulers and the reference
+## models, decisions and utilities compared bit for bit.
+check-prop:
+	$(GO) test -run 'TestRandomOpLogs|TestUtilityMismatchCaught' -count 1 ./internal/oracle/
 
 ## e2e-serve: boot a real jawsd on a free port, drive a seeded jawsload
 ## burst that overwhelms the small queue (some 429s expected, zero 5xx

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	jawscheck                     # 200 differential runs (34 seeds × 3 algos × ±faults)
+//	jawscheck                     # 340 differential runs: 34 seeds × (3 standard + 2 churn) × ±faults
 //	jawscheck -seeds 100 -v       # more seeds, one report line per run
 //	jawscheck -no-faults          # clean-run pass only
 //
@@ -80,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // printReproducer re-captures the diverging run and shrinks its op log to
 // a minimal reproducer.
 func printReproducer(w io.Writer, r *oracle.SeedResult) {
-	cfg, p := oracle.SuiteParams(r.Algo, r.Seed)
+	cfg, p := oracle.ProfileParams(r.Profile, r.Algo, r.Seed)
 	cfg.FaultSpec = r.FaultSpec
 	cfg.FaultSeed = r.Seed
 	c, err := oracle.Run(cfg)

@@ -79,6 +79,11 @@ type Cache struct {
 	// (the checksum pass a real buffer manager performs); false drops the
 	// entry and reports a miss so the caller re-reads from disk.
 	integrity func(id store.AtomID) bool
+	// version counts residency mutations: it advances whenever the set of
+	// resident atoms changes (insert, evict, corruption drop, flush).
+	// Schedulers use it to memoize φ(i)-dependent utility values between
+	// decisions (sched.ResidencyVersioned).
+	version uint64
 }
 
 // New creates a cache holding up to capacity atoms. capacity must be
@@ -113,6 +118,7 @@ func (c *Cache) Get(id store.AtomID) (any, bool) {
 		// Checksum mismatch: the resident copy is garbage. Drop it and
 		// report a miss so the caller restores the atom from disk.
 		delete(c.entries, id)
+		c.version++
 		c.policy.OnEvict(id)
 		c.stats.Corruptions++
 		c.stats.Misses++
@@ -166,6 +172,7 @@ func (c *Cache) Put(id store.AtomID, v any) {
 			panic(fmt.Sprintf("cache: policy %s evicted non-resident atom %v", c.policy.Name(), victim))
 		}
 		delete(c.entries, victim)
+		c.version++
 		c.policy.OnEvict(victim)
 		c.stats.Evictions++
 		if c.obs.Evict != nil {
@@ -173,6 +180,7 @@ func (c *Cache) Put(id store.AtomID, v any) {
 		}
 	}
 	c.entries[id] = v
+	c.version++
 	c.policy.OnInsert(id)
 	c.stats.PolicyTime += time.Since(start)
 }
@@ -186,6 +194,11 @@ func (c *Cache) EndRun() {
 
 // Len reports the number of resident atoms.
 func (c *Cache) Len() int { return len(c.entries) }
+
+// Version returns the residency mutation counter: it changes whenever the
+// set of resident atoms may have changed, so an unchanged value proves
+// every Contains answer (and thus every φ(i) term) is unchanged too.
+func (c *Cache) Version() uint64 { return c.version }
 
 // Keys returns the resident atom IDs in unspecified order. The engine
 // uses this to push scheduler utilities into URC.
@@ -212,6 +225,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) Flush() {
 	for id := range c.entries {
 		delete(c.entries, id)
+		c.version++
 		c.policy.OnEvict(id)
 		c.stats.Evictions++
 		if c.obs.Evict != nil {

@@ -640,3 +640,53 @@ func TestIntegrityCorruptionDropsEntry(t *testing.T) {
 		t.Fatal("cleared integrity hook still rejecting")
 	}
 }
+
+// Version is the scheduler's memoization guard: it must advance on every
+// residency mutation (insert, evict, corruption drop, flush) and must NOT
+// advance on reads or refreshing Puts — an unchanged value proves every
+// Contains answer is unchanged.
+func TestVersionTracksResidencyMutations(t *testing.T) {
+	c := New(2, NewLRU())
+	v0 := c.Version()
+
+	c.Put(id(0, 1), "a") // insert
+	if c.Version() == v0 {
+		t.Fatal("insert did not advance the version")
+	}
+	v1 := c.Version()
+
+	c.Get(id(0, 1))  // hit
+	c.Get(id(0, 9))  // miss
+	c.Contains(id(0, 1))
+	c.Put(id(0, 1), "a2") // refresh: residency set unchanged
+	if c.Version() != v1 {
+		t.Fatalf("reads/refresh advanced the version: %d -> %d", v1, c.Version())
+	}
+
+	c.Put(id(0, 2), "b")
+	v2 := c.Version()
+	c.Put(id(0, 3), "c") // full: evicts + inserts
+	if c.Version() <= v2 {
+		t.Fatal("eviction+insert did not advance the version")
+	}
+	v3 := c.Version()
+
+	// Corruption drop on hit.
+	c.SetIntegrity(func(store.AtomID) bool { return false })
+	if _, ok := c.Get(id(0, 3)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if c.Version() == v3 {
+		t.Fatal("corruption drop did not advance the version")
+	}
+	c.SetIntegrity(nil)
+	v4 := c.Version()
+
+	c.Flush()
+	if c.Version() == v4 {
+		t.Fatal("flush did not advance the version")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len after flush = %d", c.Len())
+	}
+}

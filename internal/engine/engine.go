@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"jaws/internal/cache"
@@ -179,9 +178,9 @@ type Engine struct {
 	events vclock.EventList
 
 	graph       *jobgraph.Graph
-	atomsOf     map[jobgraph.Ref]map[store.AtomID]bool
 	registered  map[int64]bool
 	arrivedRefs map[jobgraph.Ref]bool
+	pool        *computePool
 
 	arrived  []*query.Query
 	states   map[query.ID]*queryState
@@ -245,20 +244,16 @@ func New(cfg Config) (*Engine, error) {
 		e.predictor = prefetch.New(cfg.Store.Space())
 	}
 	if cfg.JobAware {
-		e.atomsOf = make(map[jobgraph.Ref]map[store.AtomID]bool)
 		e.arrivedRefs = make(map[jobgraph.Ref]bool)
-		e.graph = jobgraph.New(func(a, b jobgraph.Ref) bool {
-			sa, sb := e.atomsOf[a], e.atomsOf[b]
-			if len(sa) > len(sb) {
-				sa, sb = sb, sa
-			}
-			for id := range sa {
-				if sb[id] {
-					return true
-				}
-			}
-			return false
-		})
+		// Jobs register their per-query atom footprints directly, so the
+		// graph's inverted atom index derives the sharing relation; no
+		// pairwise set-intersection callback is needed.
+		e.graph = jobgraph.New(nil)
+	}
+	// Let the scheduler memoize φ(i)-dependent utilities: the cache's
+	// mutation counter proves residency unchanged between decisions.
+	if rv, ok := cfg.Sched.(sched.ResidencyVersioned); ok {
+		rv.SetResidencyVersion(cfg.Cache.Version)
 	}
 	// Install (or, uninstrumented, clear) the observability hooks. The
 	// facade reuses store/cache/scheduler across engines, so this must run
@@ -330,6 +325,8 @@ func (e *Engine) Run(jobs []*job.Job) (*Report, error) {
 	if e.cfg.JobAware && e.cfg.DeclareUpfront {
 		e.declareAll(jobs)
 	}
+
+	defer e.closePool()
 
 	crashAt, willCrash := e.cfg.Fault.CrashAt()
 	stall := 0
@@ -410,19 +407,32 @@ func (e *Engine) declareAll(jobs []*job.Job) {
 	sort.SliceStable(ordered, func(i, k int) bool {
 		return ordered[i].Queries[0].Arrival < ordered[k].Queries[0].Arrival
 	})
-	space := e.cfg.Store.Space()
 	for _, j := range ordered {
 		if e.registered[j.ID] {
 			continue
 		}
 		e.registered[j.ID] = true
-		for s, jq := range j.Queries {
-			e.atomsOf[jobgraph.Ref{Job: j.ID, Seq: s}] = query.Atoms(jq, space)
-		}
-		if err := e.graph.AddJob(j.ID, len(j.Queries)); err != nil {
+		if err := e.graph.AddJobWithAtoms(j.ID, e.jobAtoms(j)); err != nil {
 			panic(fmt.Sprintf("engine: declared-job registration: %v", err))
 		}
 	}
+}
+
+// jobAtoms computes the per-query atom lists of an ordered job, each in
+// clustered-key order, for the graph's inverted index.
+func (e *Engine) jobAtoms(j *job.Job) [][]store.AtomID {
+	space := e.cfg.Store.Space()
+	atoms := make([][]store.AtomID, len(j.Queries))
+	for s, jq := range j.Queries {
+		set := query.Atoms(jq, space)
+		lst := make([]store.AtomID, 0, len(set))
+		for id := range set {
+			lst = append(lst, id)
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a].Key() < lst[b].Key() })
+		atoms[s] = lst
+	}
+	return atoms
 }
 
 // onArrival records a query's arrival: job-aware runs register ordered
@@ -431,13 +441,9 @@ func (e *Engine) onArrival(q *query.Query) {
 	j := e.jobsByID[q.JobID]
 	if e.cfg.JobAware && j != nil && j.Type == job.Ordered && !e.registered[j.ID] {
 		e.registered[j.ID] = true
-		space := e.cfg.Store.Space()
-		for s, jq := range j.Queries {
-			e.atomsOf[jobgraph.Ref{Job: j.ID, Seq: s}] = query.Atoms(jq, space)
-		}
-		// AddJob cannot fail here: the job was validated and is not yet
-		// registered.
-		if err := e.graph.AddJob(j.ID, len(j.Queries)); err != nil {
+		// Registration cannot fail here: the job was validated and is not
+		// yet registered.
+		if err := e.graph.AddJobWithAtoms(j.ID, e.jobAtoms(j)); err != nil {
 			panic(fmt.Sprintf("engine: graph registration: %v", err))
 		}
 	}
@@ -486,12 +492,15 @@ func (e *Engine) canDispatch(q *query.Query) bool {
 	// co-scheduled partner has also arrived (think time elapsed), so the
 	// whole group's sub-queries land in the workload queues in the same
 	// admission pass and their shared atoms are read in one batch.
-	for _, p := range e.graph.Partners(ref) {
+	ok := true
+	e.graph.EachPartner(ref, func(p jobgraph.Ref) bool {
 		if e.graph.State(p) != jobgraph.Done && !e.arrivedRefs[p] {
+			ok = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ok
 }
 
 // dispatch pre-processes the query and enqueues its sub-queries.
@@ -618,7 +627,8 @@ func (e *Engine) readAtom(id store.AtomID) (*field.Atom, error) {
 }
 
 // computeBatch evaluates the kernels for every position of the batch in
-// parallel across the configured worker count.
+// parallel across the engine's worker pool (one pool per run, not one
+// goroutine set per batch).
 func (e *Engine) computeBatch(b *sched.Batch, atom *field.Atom) {
 	space := e.cfg.Store.Space()
 	type unit struct {
@@ -636,35 +646,20 @@ func (e *Engine) computeBatch(b *sched.Batch, atom *field.Atom) {
 			Val [field.Components]float64
 		}, len(sq.Points))
 	}
-	workers := e.cfg.Parallelism
-	if workers > len(units) {
-		workers = len(units)
+	if e.pool == nil {
+		// Lazily started on the simulation goroutine (Run or Session.loop),
+		// whichever drives this engine; both close it when they return.
+		e.pool = newComputePool(e.cfg.Parallelism)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				u := &units[i]
-				ac := geom.AtomFromCode(u.sq.Atom.Code)
-				for p, pos := range u.sq.Points {
-					val := field.Interpolate(u.sq.Query.Kernel, atom, space, ac, pos)
-					u.out[p].Pos = geom3{X: pos.X, Y: pos.Y, Z: pos.Z}
-					u.out[p].Val = val
-				}
-			}
-		}()
-	}
-	for i := range units {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	e.pool.run(len(units), func(i int) {
+		u := &units[i]
+		ac := geom.AtomFromCode(u.sq.Atom.Code)
+		for p, pos := range u.sq.Points {
+			val := field.Interpolate(u.sq.Query.Kernel, atom, space, ac, pos)
+			u.out[p].Pos = geom3{X: pos.X, Y: pos.Y, Z: pos.Z}
+			u.out[p].Val = val
+		}
+	})
 	if e.cfg.KeepResults {
 		for _, u := range units {
 			st := e.states[u.sq.Query.ID]

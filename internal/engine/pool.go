@@ -1,0 +1,65 @@
+package engine
+
+import "sync"
+
+// computePool is the bounded worker pool batch kernel evaluation fans out
+// on. The engine used to spawn fresh goroutines for every batch; the pool
+// amortizes that over the run — workers are started once and fed closures
+// over an unbuffered channel. run may be called concurrently from
+// multiple goroutines (each call tracks its own completion), which the
+// race stress test exercises.
+type computePool struct {
+	tasks chan func()
+	wg    sync.WaitGroup // worker lifetimes
+}
+
+// newComputePool starts workers goroutines (at least one).
+func newComputePool(workers int) *computePool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &computePool{tasks: make(chan func())}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(i) for every i in [0, n) across the pool and returns
+// when all calls have completed. Each index is executed exactly once.
+func (p *computePool) run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// close shuts the pool down and waits for the workers to drain. No run
+// call may be in flight or issued afterwards.
+func (p *computePool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// closePool tears down the engine's worker pool, if one was started.
+func (e *Engine) closePool() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}

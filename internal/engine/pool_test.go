@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Every index must be executed exactly once per run call.
+func TestComputePoolExactlyOnce(t *testing.T) {
+	p := newComputePool(4)
+	defer p.close()
+	for trial := 0; trial < 50; trial++ {
+		n := trial % 17
+		counts := make([]int32, n)
+		p.run(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("trial %d: index %d executed %d times", trial, i, c)
+			}
+		}
+	}
+}
+
+// Concurrent batch evaluation: several goroutines share one pool, each
+// fanning out its own work; every unit must run exactly once and run must
+// not return before its own units finished. Run with -race (make
+// race-obs) this doubles as the data-race check on the pool.
+func TestComputePoolConcurrentStress(t *testing.T) {
+	p := newComputePool(3)
+	defer p.close()
+	const submitters = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := (s+r)%13 + 1
+				counts := make([]int32, n)
+				p.run(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+				// run returned: all units of THIS call must be complete,
+				// regardless of other submitters' in-flight work.
+				for i, c := range counts {
+					if c != 1 {
+						t.Errorf("submitter %d round %d: index %d executed %d times", s, r, i, c)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// A zero-sized run is a no-op and must not deadlock or touch workers.
+func TestComputePoolEmptyRun(t *testing.T) {
+	p := newComputePool(2)
+	defer p.close()
+	p.run(0, func(int) { t.Fatal("fn called for n=0") })
+}

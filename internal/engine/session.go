@@ -106,6 +106,7 @@ func (s *Session) Err() error {
 func (s *Session) loop(e *Engine) {
 	defer close(s.done)
 	defer close(s.results)
+	defer e.closePool()
 
 	total := 0
 	flushed := 0

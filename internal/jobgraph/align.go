@@ -23,65 +23,127 @@ type Pair struct {
 	SeqA, SeqB int
 }
 
-// Align runs the Needleman–Wunsch global alignment of §IV.B between two
-// jobs of lenA and lenB queries. share(i, j) reports whether query i of
-// job A and query j of job B exhibit data sharing (score 1); skipping a
-// query costs nothing (gap penalty 0). It returns the aligned sharing
-// pairs in increasing sequence order. By construction the pairs are
-// non-crossing and each query appears in at most one pair — exactly the
-// feasibility conditions for gating edges between one pair of jobs.
-func Align(lenA, lenB int, share func(i, j int) bool) []Pair {
-	if lenA == 0 || lenB == 0 {
+// Aligner runs the Needleman–Wunsch global alignment of §IV.B
+// incrementally, one row (one query of job A) at a time, against a fixed
+// job B. Because each new row depends only on the previous one, extending
+// the alignment with a further query never recomputes earlier rows — this
+// is the append-row update the incremental merge path uses, and it lets
+// the graph admit a job against the already-admitted run without
+// re-running any pairwise DP from scratch. The DP matrix and the share
+// bits are kept in flat reusable arenas, so repeated alignments allocate
+// only for the returned pairs.
+//
+// The zero Aligner is ready for use: call Begin, then AppendRow for each
+// query of job A in sequence order, then Pairs.
+type Aligner struct {
+	lenB int
+	rows int     // rows appended so far (queries of job A)
+	m    []int32 // (rows+1)×(lenB+1) score matrix, row-major, borders included
+	sh   []bool  // rows×lenB share bits, recorded during the forward pass
+}
+
+// Begin starts a fresh alignment against a job of lenB queries, reusing
+// the internal arenas.
+func (al *Aligner) Begin(lenB int) {
+	al.lenB = lenB
+	al.rows = 0
+	need := lenB + 1
+	if cap(al.m) < need {
+		al.m = make([]int32, need)
+	}
+	al.m = al.m[:need]
+	for j := range al.m {
+		al.m[j] = 0
+	}
+	al.sh = al.sh[:0]
+}
+
+// AppendRow extends the alignment with the next query of job A.
+// share(j) reports whether that query and query j of job B exhibit data
+// sharing (score 1); skipping a query costs nothing (gap penalty 0), as
+// in the paper. The share answers are recorded so the traceback never
+// re-asks.
+func (al *Aligner) AppendRow(share func(j int) bool) {
+	i := al.rows + 1
+	w := al.lenB + 1
+	need := (i + 1) * w
+	for len(al.m) < need {
+		al.m = append(al.m, 0)
+	}
+	prev := al.m[(i-1)*w : i*w]
+	row := al.m[i*w : (i+1)*w]
+	row[0] = 0
+	for j := 1; j <= al.lenB; j++ {
+		s := share(j - 1)
+		al.sh = append(al.sh, s)
+		best := prev[j-1]
+		if s {
+			best++
+		}
+		if prev[j] > best {
+			best = prev[j]
+		}
+		if row[j-1] > best {
+			best = row[j-1]
+		}
+		row[j] = best
+	}
+	al.rows = i
+}
+
+// Pairs runs the traceback over the accumulated rows and returns the
+// aligned sharing pairs in increasing sequence order. By construction the
+// pairs are non-crossing and each query appears in at most one pair —
+// exactly the feasibility conditions for gating edges between one pair of
+// jobs. The returned slice is freshly allocated (callers retain it).
+func (al *Aligner) Pairs() []Pair {
+	if al.rows == 0 || al.lenB == 0 {
 		return nil
 	}
-	// m[i][j] = best score aligning the first i queries of A with the
-	// first j of B. Computed bottom-up as in the paper:
-	// m[i][j] = max(m[i-1][j-1] + s(i,j), m[i][j-1], m[i-1][j]).
-	m := make([][]int32, lenA+1)
-	for i := range m {
-		m[i] = make([]int32, lenB+1)
-	}
-	for i := 1; i <= lenA; i++ {
-		for j := 1; j <= lenB; j++ {
-			best := m[i-1][j-1]
-			if share(i-1, j-1) {
-				best++
-			}
-			if m[i-1][j] > best {
-				best = m[i-1][j]
-			}
-			if m[i][j-1] > best {
-				best = m[i][j-1]
-			}
-			m[i][j] = best
-		}
-	}
+	w := al.lenB + 1
 	// Traceback, preferring matched diagonals so every unit of score
 	// becomes a gating edge.
 	var rev []Pair
-	i, j := lenA, lenB
+	i, j := al.rows, al.lenB
 	for i > 0 && j > 0 {
 		s := int32(0)
-		if share(i-1, j-1) {
+		if al.sh[(i-1)*al.lenB+(j-1)] {
 			s = 1
 		}
 		switch {
-		case s == 1 && m[i][j] == m[i-1][j-1]+1:
+		case s == 1 && al.m[i*w+j] == al.m[(i-1)*w+(j-1)]+1:
 			rev = append(rev, Pair{SeqA: i - 1, SeqB: j - 1})
 			i--
 			j--
-		case m[i][j] == m[i-1][j]:
+		case al.m[i*w+j] == al.m[(i-1)*w+j]:
 			i--
-		case m[i][j] == m[i][j-1]:
+		case al.m[i*w+j] == al.m[i*w+(j-1)]:
 			j--
 		default: // unmatched diagonal (s == 0, equal scores)
 			i--
 			j--
 		}
 	}
-	// Reverse into increasing order.
-	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
-		rev[l], rev[r] = rev[r], rev[l]
+	out := make([]Pair, len(rev))
+	for k, p := range rev {
+		out[len(rev)-1-k] = p
 	}
-	return rev
+	return out
+}
+
+// Align runs the full Needleman–Wunsch alignment between two jobs of lenA
+// and lenB queries in one call. share(i, j) reports whether query i of
+// job A and query j of job B exhibit data sharing. It is the batch
+// convenience over Aligner's append-row interface and computes the
+// identical alignment.
+func Align(lenA, lenB int, share func(i, j int) bool) []Pair {
+	if lenA == 0 || lenB == 0 {
+		return nil
+	}
+	var al Aligner
+	al.Begin(lenB)
+	for i := 0; i < lenA; i++ {
+		al.AppendRow(func(j int) bool { return share(i, j) })
+	}
+	return al.Pairs()
 }

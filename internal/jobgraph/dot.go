@@ -20,12 +20,12 @@ func (g *Graph) Dot() string {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	for _, jobID := range ids {
-		n := g.jobLen[jobID]
+		n := g.jobs[jobID].n
 		fmt.Fprintf(&b, "  subgraph cluster_j%d {\n    label=\"job %d\";\n", jobID, jobID)
 		for s := 0; s < n; s++ {
 			q := Ref{Job: jobID, Seq: s}
 			style := ""
-			switch g.state[q] {
+			switch g.State(q) {
 			case Done:
 				style = " style=filled fillcolor=gray80"
 			case Queue:
@@ -33,7 +33,7 @@ func (g *Graph) Dot() string {
 			case Ready:
 				style = " style=filled fillcolor=lightyellow"
 			}
-			label := fmt.Sprintf("%d.%d\\n%s", jobID, s, g.state[q])
+			label := fmt.Sprintf("%d.%d\\n%s", jobID, s, g.State(q))
 			if gn := g.GatingNumber(q); gn > 0 {
 				label += fmt.Sprintf("\\nG=%d", gn)
 			}
@@ -49,8 +49,8 @@ func (g *Graph) Dot() string {
 	// Gating edges: emit each component as a clique, each pair once.
 	seen := map[string]bool{}
 	for _, jobID := range ids {
-		for _, q := range g.gated[jobID] {
-			c := g.comp[q]
+		for _, q := range g.jobs[jobID].gated {
+			c := g.compOf(q)
 			for _, a := range c.members {
 				for _, d := range c.members {
 					if a.Job > d.Job || (a.Job == d.Job && a.Seq >= d.Seq) {

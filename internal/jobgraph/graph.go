@@ -3,6 +3,8 @@ package jobgraph
 import (
 	"fmt"
 	"sort"
+
+	"jaws/internal/store"
 )
 
 // Ref identifies a query vertex in the precedence graph: query Seq
@@ -53,16 +55,39 @@ type component struct {
 	level   int
 }
 
+// jobInfo is the per-job record: query states and component pointers are
+// dense slices indexed by sequence number (the per-Ref maps they replace
+// dominated the gating profile), gated lists the job's gated queries in
+// sequence order, and atoms holds the per-query atom lists when the job
+// was registered through AddJobWithAtoms (nil for the callback path).
+type jobInfo struct {
+	n      int
+	states []State
+	comps  []*component
+	gated  []Ref
+	atoms  [][]store.AtomID
+}
+
 // Graph is the precedence graph with gating edges for a set of ordered
 // jobs. It is not safe for concurrent use; the scheduler owns it.
 type Graph struct {
-	shares  func(a, b Ref) bool
-	jobLen  map[int64]int
-	jobSeq  []int64 // job registration order, for deterministic iteration
-	state   map[Ref]State
-	comp    map[Ref]*component
-	gated   map[int64][]Ref // per job: gated queries in seq order
+	shares func(a, b Ref) bool
+	jobs   map[int64]*jobInfo
+	jobSeq []int64 // job registration order, for deterministic iteration
+
+	// postings is the inverted index over atom-registered jobs: for each
+	// atom, the queries whose footprint contains it. The merge phase reads
+	// a new job's sharing partners straight out of it instead of probing
+	// the shares callback once per query pair.
+	postings map[store.AtomID][]Ref
+
 	dpCache map[[2]int64][]Pair
+	al      Aligner
+
+	// work and touched are the reusable buffers of the incremental
+	// propagation (see promote).
+	work    []Ref
+	touched []*component
 
 	// mergeByArrival disables the paper's greedy largest-alignment-first
 	// merge in favour of plain registration order (ablation).
@@ -78,7 +103,9 @@ type Graph struct {
 }
 
 // New creates an empty graph. shares reports whether two queries (from
-// different jobs) access at least one common atom — A(a) ∩ A(b) ≠ ∅.
+// different jobs) access at least one common atom — A(a) ∩ A(b) ≠ ∅. It
+// may be nil when every job is registered through AddJobWithAtoms, which
+// derives sharing from the inverted atom index instead.
 func New(shares func(a, b Ref) bool) *Graph {
 	return newGraph(shares, false)
 }
@@ -91,16 +118,13 @@ func NewArrivalMerge(shares func(a, b Ref) bool) *Graph {
 }
 
 func newGraph(shares func(a, b Ref) bool, byArrival bool) *Graph {
-	g := &Graph{
-		shares:  shares,
-		jobLen:  make(map[int64]int),
-		state:   make(map[Ref]State),
-		comp:    make(map[Ref]*component),
-		gated:   make(map[int64][]Ref),
-		dpCache: make(map[[2]int64][]Pair),
+	return &Graph{
+		shares:         shares,
+		jobs:           make(map[int64]*jobInfo),
+		postings:       make(map[store.AtomID][]Ref),
+		dpCache:        make(map[[2]int64][]Pair),
+		mergeByArrival: byArrival,
 	}
-	g.mergeByArrival = byArrival
-	return g
 }
 
 // SetObserver registers fn to be notified of every gating-edge admission
@@ -108,7 +132,7 @@ func newGraph(shares func(a, b Ref) bool, byArrival bool) *Graph {
 func (g *Graph) SetObserver(fn func(admitted bool, u, v Ref)) { g.obs = fn }
 
 // Jobs returns the number of registered jobs.
-func (g *Graph) Jobs() int { return len(g.jobLen) }
+func (g *Graph) Jobs() int { return len(g.jobs) }
 
 // EdgesAdmitted reports how many gating links were admitted (a component
 // of k members counts as k-1 links).
@@ -118,31 +142,88 @@ func (g *Graph) EdgesAdmitted() int { return g.admitted }
 // refused.
 func (g *Graph) EdgesRejected() int { return g.rejected }
 
+// stateOf returns the state of q and whether q is a live (registered,
+// unpruned) query. Unknown queries read as Wait, matching the map
+// semantics this replaced.
+func (g *Graph) stateOf(q Ref) (State, bool) {
+	ji := g.jobs[q.Job]
+	if ji == nil || q.Seq < 0 || q.Seq >= ji.n {
+		return Wait, false
+	}
+	return ji.states[q.Seq], true
+}
+
+// compOf returns q's gating component, or nil.
+func (g *Graph) compOf(q Ref) *component {
+	ji := g.jobs[q.Job]
+	if ji == nil || q.Seq < 0 || q.Seq >= ji.n {
+		return nil
+	}
+	return ji.comps[q.Seq]
+}
+
 // AddJob registers an ordered job of n queries, aligns it against every
 // previously registered job with the Needleman–Wunsch dynamic program, and
 // greedily merges the resulting gating edges into the graph (most-sharing
 // partner jobs first). This is the incremental path of §IV.B: "when a new
 // job arrives, it can be added to the existing graph incrementally".
+// Sharing with already-registered jobs is probed through the shares
+// callback (which must be non-nil for edges to form on this path).
 func (g *Graph) AddJob(id int64, n int) error {
-	if _, dup := g.jobLen[id]; dup {
+	return g.addJob(id, n, nil)
+}
+
+// AddJobWithAtoms registers an ordered job whose per-query atom footprints
+// are known up front: atoms[s] lists the atoms query s accesses (order
+// irrelevant; duplicates harmless). The job enters the inverted atom
+// index, and its sharing partners are discovered by a single pass over the
+// index — one postings lookup per atom — instead of one set-intersection
+// probe per query pair, so admission cost scales with actual sharing
+// rather than with the number of registered queries.
+func (g *Graph) AddJobWithAtoms(id int64, atoms [][]store.AtomID) error {
+	return g.addJob(id, len(atoms), atoms)
+}
+
+func (g *Graph) addJob(id int64, n int, atoms [][]store.AtomID) error {
+	if _, dup := g.jobs[id]; dup {
 		return fmt.Errorf("jobgraph: job %d already registered", id)
 	}
 	if n <= 0 {
 		return fmt.Errorf("jobgraph: job %d has no queries", id)
 	}
-	g.jobLen[id] = n
-	g.jobSeq = append(g.jobSeq, id)
-	g.state[Ref{Job: id, Seq: 0}] = Ready
-	for s := 1; s < n; s++ {
-		g.state[Ref{Job: id, Seq: s}] = Wait
+	ji := &jobInfo{
+		n:      n,
+		states: make([]State, n),
+		comps:  make([]*component, n),
+		atoms:  atoms,
 	}
+	ji.states[0] = Ready
+	g.jobs[id] = ji
+	g.jobSeq = append(g.jobSeq, id)
+	for s, as := range atoms {
+		for _, a := range as {
+			g.postings[a] = append(g.postings[a], Ref{Job: id, Seq: s})
+		}
+	}
+	g.touched = g.touched[:0]
 	g.mergeJob(id)
-	g.propagate()
+	// Incremental propagation: the only queries the registration can have
+	// made promotable are the new job's first query (born Ready) and the
+	// Ready members of components whose membership just changed. Promoting
+	// a Ready query to Queue never enables further promotions (gating only
+	// requires partners to have reached Ready), so one pass suffices.
+	g.work = g.work[:0]
+	g.work = append(g.work, Ref{Job: id, Seq: 0})
+	for _, c := range g.touched {
+		g.work = append(g.work, c.members...)
+	}
+	g.promote(g.work)
 	return nil
 }
 
 // dpPairs returns (computing and caching) the dynamic-program alignment
-// between jobs a and b, expressed as pairs (seq in a, seq in b).
+// between jobs a and b via the shares callback, expressed as pairs
+// (seq in a, seq in b).
 func (g *Graph) dpPairs(a, b int64) []Pair {
 	key := [2]int64{a, b}
 	if a > b {
@@ -160,7 +241,7 @@ func (g *Graph) dpPairs(a, b int64) []Pair {
 		return flipped
 	}
 	lo, hi := key[0], key[1]
-	pairs := Align(g.jobLen[lo], g.jobLen[hi], func(i, j int) bool {
+	pairs := Align(g.jobs[lo].n, g.jobs[hi].n, func(i, j int) bool {
 		return g.shares(Ref{Job: lo, Seq: i}, Ref{Job: hi, Seq: j})
 	})
 	g.dpCache[key] = pairs
@@ -177,18 +258,79 @@ func (g *Graph) dpPairs(a, b int64) []Pair {
 // mergeJob admits gating edges between the new job and every previously
 // registered job, taking partner jobs in decreasing order of alignment
 // size (the greedy merge of §IV.B) and admitting each job's edges in
-// precedence order.
+// precedence order. When both sides registered atom lists, the sharing
+// relation comes from one pass over the inverted index; mixed pairs fall
+// back to the shares callback.
 func (g *Graph) mergeJob(newJob int64) {
+	ji := g.jobs[newJob]
 	type cand struct {
 		partner int64
 		pairs   []Pair // SeqA = new job, SeqB = partner
 	}
 	var cands []cand
+	// Single sweep over the new job's atoms: every postings hit marks one
+	// shared (new-seq, partner-seq) cell of the pairwise DP's share
+	// relation. The alignment then reads the marks in O(1) per cell.
+	var marks map[int64]map[int]bool
+	if ji.atoms != nil {
+		marks = make(map[int64]map[int]bool)
+		for i, as := range ji.atoms {
+			for _, a := range as {
+				for _, ref := range g.postings[a] {
+					if ref.Job == newJob {
+						continue
+					}
+					pj := g.jobs[ref.Job]
+					m := marks[ref.Job]
+					if m == nil {
+						m = make(map[int]bool)
+						marks[ref.Job] = m
+					}
+					m[i*pj.n+ref.Seq] = true
+				}
+			}
+		}
+	}
 	for _, other := range g.jobSeq {
 		if other == newJob {
 			continue
 		}
-		if pairs := g.dpPairs(newJob, other); len(pairs) > 0 {
+		pj := g.jobs[other]
+		var pairs []Pair
+		if ji.atoms != nil && pj.atoms != nil {
+			m := marks[other]
+			if len(m) == 0 {
+				continue
+			}
+			// Orient the DP with the smaller job ID as the A side — the
+			// same canonical orientation dpPairs uses — so traceback
+			// tie-breaks match the callback path exactly.
+			nB := pj.n
+			if newJob < other {
+				g.al.Begin(nB)
+				for i := 0; i < ji.n; i++ {
+					base := i * nB
+					g.al.AppendRow(func(j int) bool { return m[base+j] })
+				}
+				pairs = g.al.Pairs()
+			} else {
+				g.al.Begin(ji.n)
+				for j := 0; j < nB; j++ {
+					j := j
+					g.al.AppendRow(func(i int) bool { return m[i*nB+j] })
+				}
+				pairs = g.al.Pairs()
+				for k := range pairs {
+					pairs[k].SeqA, pairs[k].SeqB = pairs[k].SeqB, pairs[k].SeqA
+				}
+			}
+		} else {
+			if g.shares == nil {
+				continue // no way to probe sharing for this pair
+			}
+			pairs = g.dpPairs(newJob, other)
+		}
+		if len(pairs) > 0 {
 			cands = append(cands, cand{partner: other, pairs: pairs})
 		}
 	}
@@ -212,11 +354,11 @@ func (g *Graph) mergeJob(newJob int64) {
 // could take (the MaxGatNum computation of Fig. 4).
 func (g *Graph) levelBefore(j int64, seq int) int {
 	max := 0
-	for _, q := range g.gated[j] {
+	for _, q := range g.jobs[j].gated {
 		if q.Seq >= seq {
 			break
 		}
-		if lvl := g.comp[q].level; lvl >= max {
+		if lvl := g.compOf(q).level; lvl >= max {
 			max = lvl
 		}
 	}
@@ -227,9 +369,9 @@ func (g *Graph) levelBefore(j int64, seq int) int {
 // job j strictly after seq, or -1 if none; a component containing (j, seq)
 // must sit strictly below this level.
 func (g *Graph) levelAfterBound(j int64, seq int) int {
-	for _, q := range g.gated[j] {
+	for _, q := range g.jobs[j].gated {
 		if q.Seq > seq {
-			return g.comp[q].level
+			return g.compOf(q).level
 		}
 	}
 	return -1
@@ -248,7 +390,7 @@ func (g *Graph) levelAfterBound(j int64, seq int) int {
 //
 // It reports whether the edge was admitted.
 func (g *Graph) admitEdge(u, v Ref) bool {
-	cu, cv := g.comp[u], g.comp[v]
+	cu, cv := g.compOf(u), g.compOf(v)
 	if cu != nil && cu == cv {
 		return true // already co-scheduled
 	}
@@ -336,11 +478,13 @@ func (g *Graph) admitEdge(u, v Ref) bool {
 		return merged.members[i].Seq < merged.members[j].Seq
 	})
 	for _, m := range merged.members {
-		if g.comp[m] == nil {
+		mi := g.jobs[m.Job]
+		if mi.comps[m.Seq] == nil {
 			g.insertGated(m)
 		}
-		g.comp[m] = merged
+		mi.comps[m.Seq] = merged
 	}
+	g.touched = append(g.touched, merged)
 	g.admitted++
 	if g.obs != nil {
 		g.obs(true, u, v)
@@ -366,8 +510,8 @@ func (g *Graph) wouldCross(a, b Ref) bool {
 	}
 	// Scan gated queries of job a; those whose component also holds a
 	// query of job b define the existing pairs.
-	for _, qa := range g.gated[a.Job] {
-		c := g.comp[qa]
+	for _, qa := range g.jobs[a.Job].gated {
+		c := g.compOf(qa)
 		for _, m := range c.members {
 			if m.Job != b.Job {
 				continue
@@ -387,27 +531,29 @@ func (g *Graph) wouldCross(a, b Ref) bool {
 // insertGated records that q now has gating edges, keeping the per-job
 // list sorted by sequence.
 func (g *Graph) insertGated(q Ref) {
-	lst := g.gated[q.Job]
+	ji := g.jobs[q.Job]
+	lst := ji.gated
 	i := sort.Search(len(lst), func(i int) bool { return lst[i].Seq >= q.Seq })
 	lst = append(lst, Ref{})
 	copy(lst[i+1:], lst[i:])
 	lst[i] = q
-	g.gated[q.Job] = lst
+	ji.gated = lst
 }
 
 // GatingNumber returns G(q): the gating level of q's component, or 0 if q
 // has no gating edges.
 func (g *Graph) GatingNumber(q Ref) int {
-	if c := g.comp[q]; c != nil {
+	if c := g.compOf(q); c != nil {
 		return c.level
 	}
 	return 0
 }
 
 // Partners returns the queries co-scheduled with q (its component minus
-// itself), in deterministic order.
+// itself), in deterministic order. The slice is freshly allocated; hot
+// paths should prefer EachPartner.
 func (g *Graph) Partners(q Ref) []Ref {
-	c := g.comp[q]
+	c := g.compOf(q)
 	if c == nil {
 		return nil
 	}
@@ -420,43 +566,88 @@ func (g *Graph) Partners(q Ref) []Ref {
 	return out
 }
 
+// EachPartner calls fn for every query co-scheduled with q, in
+// deterministic (job, seq) order, stopping early when fn returns false.
+// It allocates nothing.
+func (g *Graph) EachPartner(q Ref, fn func(Ref) bool) {
+	c := g.compOf(q)
+	if c == nil {
+		return
+	}
+	for _, m := range c.members {
+		if m != q && !fn(m) {
+			return
+		}
+	}
+}
+
 // State returns the scheduling state of q.
-func (g *Graph) State(q Ref) State { return g.state[q] }
+func (g *Graph) State(q Ref) State {
+	st, _ := g.stateOf(q)
+	return st
+}
 
 // MarkDone records the completion of q, releases its successor from WAIT,
 // and propagates gating releases. Marking an unknown or non-QUEUE query
 // done is a programming error in the engine and panics.
 func (g *Graph) MarkDone(q Ref) {
-	st, ok := g.state[q]
-	if !ok {
+	ji := g.jobs[q.Job]
+	if ji == nil || q.Seq < 0 || q.Seq >= ji.n {
 		panic(fmt.Sprintf("jobgraph: MarkDone on unknown query %v", q))
 	}
-	if st != Queue {
+	if st := ji.states[q.Seq]; st != Queue {
 		panic(fmt.Sprintf("jobgraph: MarkDone on %v in state %v", q, st))
 	}
-	g.state[q] = Done
-	succ := Ref{Job: q.Job, Seq: q.Seq + 1}
-	if st, ok := g.state[succ]; ok && st == Wait {
-		g.state[succ] = Ready
+	ji.states[q.Seq] = Done
+	// Incremental propagation: q's own transition (QUEUE→DONE) cannot
+	// change anyone's gating satisfaction — both states already count as
+	// "reached Ready". Only the successor's WAIT→READY release can, and
+	// only for the successor itself and the members of its component.
+	if q.Seq+1 >= ji.n || ji.states[q.Seq+1] != Wait {
+		return
 	}
-	g.propagate()
+	succ := Ref{Job: q.Job, Seq: q.Seq + 1}
+	ji.states[succ.Seq] = Ready
+	g.work = g.work[:0]
+	g.work = append(g.work, succ)
+	if c := ji.comps[succ.Seq]; c != nil {
+		g.work = append(g.work, c.members...)
+	}
+	g.promote(g.work)
 }
 
-// propagate promotes READY queries whose gating constraints are satisfied
-// to QUEUE, iterating to a fixpoint so whole gating components release
-// together.
-func (g *Graph) propagate() {
+// promote moves the given queries from READY to QUEUE where their gating
+// constraints are satisfied. Because promotion only raises states that
+// already count as "reached Ready" for partners, it can never enable a
+// further promotion, so the worklist needs no fixpoint iteration; callers
+// just list every query whose satisfaction may have changed. The naive
+// full-graph fixpoint this replaces is kept as propagateAll for the
+// equivalence tests.
+func (g *Graph) promote(work []Ref) {
+	for _, r := range work {
+		ji := g.jobs[r.Job]
+		if ji == nil || ji.states[r.Seq] != Ready {
+			continue
+		}
+		if g.gatingSatisfied(r) {
+			ji.states[r.Seq] = Queue
+		}
+	}
+}
+
+// propagateAll is the reference propagation: sweep every query to a
+// fixpoint. Kept only to cross-check the incremental promote in tests.
+func (g *Graph) propagateAll() {
 	for {
 		changed := false
 		for _, jobID := range g.jobSeq {
-			n := g.jobLen[jobID]
-			for s := 0; s < n; s++ {
-				q := Ref{Job: jobID, Seq: s}
-				if g.state[q] != Ready {
+			ji := g.jobs[jobID]
+			for s := 0; s < ji.n; s++ {
+				if ji.states[s] != Ready {
 					continue
 				}
-				if g.gatingSatisfied(q) {
-					g.state[q] = Queue
+				if g.gatingSatisfied(Ref{Job: jobID, Seq: s}) {
+					ji.states[s] = Queue
 					changed = true
 				}
 			}
@@ -471,7 +662,7 @@ func (g *Graph) propagate() {
 // least reached READY (Done partners count as satisfied: their data
 // sharing opportunity has passed).
 func (g *Graph) gatingSatisfied(q Ref) bool {
-	c := g.comp[q]
+	c := g.compOf(q)
 	if c == nil {
 		return true
 	}
@@ -479,7 +670,7 @@ func (g *Graph) gatingSatisfied(q Ref) bool {
 		if m == q {
 			continue
 		}
-		if g.state[m] < Ready {
+		if st, _ := g.stateOf(m); st < Ready {
 			return false
 		}
 	}
@@ -491,11 +682,10 @@ func (g *Graph) gatingSatisfied(q Ref) bool {
 func (g *Graph) Schedulable() []Ref {
 	var out []Ref
 	for _, jobID := range g.jobSeq {
-		n := g.jobLen[jobID]
-		for s := 0; s < n; s++ {
-			q := Ref{Job: jobID, Seq: s}
-			if g.state[q] == Queue {
-				out = append(out, q)
+		ji := g.jobs[jobID]
+		for s := 0; s < ji.n; s++ {
+			if ji.states[s] == Queue {
+				out = append(out, Ref{Job: jobID, Seq: s})
 			}
 		}
 	}
@@ -505,9 +695,9 @@ func (g *Graph) Schedulable() []Ref {
 // Finished reports whether every query of every registered job is DONE.
 func (g *Graph) Finished() bool {
 	for _, jobID := range g.jobSeq {
-		n := g.jobLen[jobID]
-		for s := 0; s < n; s++ {
-			if g.state[Ref{Job: jobID, Seq: s}] != Done {
+		ji := g.jobs[jobID]
+		for s := 0; s < ji.n; s++ {
+			if ji.states[s] != Done {
 				return false
 			}
 		}
@@ -518,42 +708,53 @@ func (g *Graph) Finished() bool {
 // Prune drops completed jobs from the graph (the paper prunes completed
 // queries continually to keep the merge phase cheap). A job is dropped
 // when all of its queries are DONE and none of its components link to a
-// live query.
+// live query. Pruning also retires the job's postings so the inverted
+// index tracks only live jobs.
 func (g *Graph) Prune() {
 	keep := g.jobSeq[:0]
 	for _, jobID := range g.jobSeq {
-		n := g.jobLen[jobID]
+		ji := g.jobs[jobID]
 		done := true
-		for s := 0; s < n; s++ {
-			if g.state[Ref{Job: jobID, Seq: s}] != Done {
+		for s := 0; s < ji.n; s++ {
+			if ji.states[s] != Done {
 				done = false
 				break
 			}
 		}
 		live := false
 		if done {
-			for _, q := range g.gated[jobID] {
-				for _, m := range g.comp[q].members {
-					// A member with no state entry was pruned earlier, which
+		scan:
+			for _, q := range ji.gated {
+				for _, m := range g.compOf(q).members {
+					// A member with no live record was pruned earlier, which
 					// implies it was already Done.
-					if st, known := g.state[m]; known && st != Done {
+					if st, known := g.stateOf(m); known && st != Done {
 						live = true
-						break
+						break scan
 					}
-				}
-				if live {
-					break
 				}
 			}
 		}
 		if done && !live {
-			for s := 0; s < n; s++ {
-				q := Ref{Job: jobID, Seq: s}
-				delete(g.state, q)
-				delete(g.comp, q)
+			for _, as := range ji.atoms {
+				for _, a := range as {
+					refs := g.postings[a]
+					for k := 0; k < len(refs); {
+						if refs[k].Job == jobID {
+							refs[k] = refs[len(refs)-1]
+							refs = refs[:len(refs)-1]
+						} else {
+							k++
+						}
+					}
+					if len(refs) == 0 {
+						delete(g.postings, a)
+					} else {
+						g.postings[a] = refs
+					}
+				}
 			}
-			delete(g.gated, jobID)
-			delete(g.jobLen, jobID)
+			delete(g.jobs, jobID)
 			for key := range g.dpCache {
 				if key[0] == jobID || key[1] == jobID {
 					delete(g.dpCache, key)

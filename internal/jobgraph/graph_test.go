@@ -249,7 +249,7 @@ func TestGatingLevelsMonotoneProperty(t *testing.T) {
 			prev := 0
 			for s := range regions {
 				q := Ref{Job: id, Seq: s}
-				if g.comp[q] == nil {
+				if g.compOf(q) == nil {
 					continue
 				}
 				lvl := g.GatingNumber(q)

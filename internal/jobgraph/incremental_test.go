@@ -1,0 +1,218 @@
+package jobgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"jaws/internal/morton"
+	"jaws/internal/store"
+)
+
+// randomRegionJobs draws nJobs jobs of 1..maxLen queries, each query
+// labelled with one of maxRegion regions (two queries share data iff
+// their labels match, the Fig. 2 convention).
+func randomRegionJobs(rng *rand.Rand, nJobs, maxLen, maxRegion int) map[int64][]int {
+	jobs := make(map[int64][]int, nJobs)
+	for j := 0; j < nJobs; j++ {
+		n := rng.Intn(maxLen) + 1
+		regions := make([]int, n)
+		for i := range regions {
+			regions[i] = rng.Intn(maxRegion)
+		}
+		jobs[int64(j+1)] = regions
+	}
+	return jobs
+}
+
+// regionAtoms maps a region-label job description to per-query atom
+// lists: one atom per label, so lists intersect iff labels match.
+func regionAtoms(regions []int) [][]store.AtomID {
+	atoms := make([][]store.AtomID, len(regions))
+	for s, r := range regions {
+		atoms[s] = []store.AtomID{{Step: 0, Code: morton.Code(r)}}
+	}
+	return atoms
+}
+
+// The postings-index path (AddJobWithAtoms) and the callback path
+// (AddJob with a shares function) must produce identical graphs: same
+// admissions, same rejections, same states and gating numbers through a
+// full randomized execution.
+func TestAtomsPathMatchesCallbackPath(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomRegionJobs(rng, rng.Intn(5)+2, 8, 5)
+		cb := New(func(a, b Ref) bool {
+			return jobs[a.Job][a.Seq] == jobs[b.Job][b.Seq]
+		})
+		ix := New(nil)
+		var ids []int64
+		for id := int64(1); int(id) <= len(jobs); id++ {
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if err := cb.AddJob(id, len(jobs[id])); err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.AddJobWithAtoms(id, regionAtoms(jobs[id])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		compare := func(stage string) {
+			t.Helper()
+			if cb.EdgesAdmitted() != ix.EdgesAdmitted() || cb.EdgesRejected() != ix.EdgesRejected() {
+				t.Fatalf("seed %d %s: edges admitted/rejected %d/%d (callback) vs %d/%d (atoms)",
+					seed, stage, cb.EdgesAdmitted(), cb.EdgesRejected(), ix.EdgesAdmitted(), ix.EdgesRejected())
+			}
+			for _, id := range ids {
+				for s := range jobs[id] {
+					q := Ref{Job: id, Seq: s}
+					if cb.State(q) != ix.State(q) {
+						t.Fatalf("seed %d %s: %v state %v (callback) vs %v (atoms)",
+							seed, stage, q, cb.State(q), ix.State(q))
+					}
+					if cb.GatingNumber(q) != ix.GatingNumber(q) {
+						t.Fatalf("seed %d %s: %v gating %d (callback) vs %d (atoms)",
+							seed, stage, q, cb.GatingNumber(q), ix.GatingNumber(q))
+					}
+				}
+			}
+		}
+		compare("after registration")
+		// Drive both graphs through the same randomized completion order.
+		for !cb.Finished() {
+			sched := cb.Schedulable()
+			if len(sched) == 0 {
+				t.Fatalf("seed %d: deadlock with unfinished graph", seed)
+			}
+			q := sched[rng.Intn(len(sched))]
+			cb.MarkDone(q)
+			ix.MarkDone(q)
+			compare("after " + q.String())
+		}
+	}
+}
+
+// The incremental worklist propagation must leave the graph at the same
+// fixpoint the naive full-graph sweep reaches: after every public
+// operation, re-running the reference propagateAll must change nothing.
+func TestIncrementalPromoteReachesFixpoint(t *testing.T) {
+	snapshot := func(g *Graph) map[Ref]State {
+		m := make(map[Ref]State)
+		for _, id := range g.jobSeq {
+			ji := g.jobs[id]
+			for s := 0; s < ji.n; s++ {
+				m[Ref{Job: id, Seq: s}] = ji.states[s]
+			}
+		}
+		return m
+	}
+	assertFixpoint := func(t *testing.T, g *Graph, seed int64, stage string) {
+		t.Helper()
+		before := snapshot(g)
+		g.propagateAll()
+		for q, st := range snapshot(g) {
+			if before[q] != st {
+				t.Fatalf("seed %d %s: incremental propagation missed %v (%v, fixpoint says %v)",
+					seed, stage, q, before[q], st)
+			}
+		}
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		jobs := randomRegionJobs(rng, rng.Intn(6)+2, 8, 4)
+		g := New(nil)
+		// Interleave registrations with completions so promotion happens
+		// both from AddJob merges and from MarkDone releases.
+		pendingIDs := make([]int64, 0, len(jobs))
+		for id := int64(1); int(id) <= len(jobs); id++ {
+			pendingIDs = append(pendingIDs, id)
+		}
+		total := 0
+		for _, regions := range jobs {
+			total += len(regions)
+		}
+		doneCount := 0
+		for doneCount < total {
+			if len(pendingIDs) > 0 && (rng.Intn(2) == 0 || len(g.Schedulable()) == 0) {
+				id := pendingIDs[0]
+				pendingIDs = pendingIDs[1:]
+				if err := g.AddJobWithAtoms(id, regionAtoms(jobs[id])); err != nil {
+					t.Fatal(err)
+				}
+				assertFixpoint(t, g, seed, "AddJob")
+				continue
+			}
+			sched := g.Schedulable()
+			if len(sched) == 0 {
+				t.Fatalf("seed %d: deadlock with %d/%d done", seed, doneCount, total)
+			}
+			q := sched[rng.Intn(len(sched))]
+			g.MarkDone(q)
+			doneCount++
+			assertFixpoint(t, g, seed, "MarkDone")
+			if rng.Intn(8) == 0 {
+				g.Prune()
+				assertFixpoint(t, g, seed, "Prune")
+			}
+		}
+	}
+}
+
+// EachPartner must visit exactly the Partners slice, in order, without
+// allocating.
+func TestEachPartnerMatchesPartners(t *testing.T) {
+	g := regionGraph(t, map[int64][]int{1: {1, 2, 4}, 2: {2, 4}, 3: {2}})
+	for _, q := range []Ref{{Job: 1, Seq: 1}, {Job: 2, Seq: 0}, {Job: 1, Seq: 0}, {Job: 9, Seq: 0}} {
+		want := g.Partners(q)
+		var got []Ref
+		g.EachPartner(q, func(r Ref) bool {
+			got = append(got, r)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%v: EachPartner visited %v, Partners %v", q, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: EachPartner visited %v, Partners %v", q, got, want)
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	g.EachPartner(Ref{Job: 1, Seq: 1}, func(Ref) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop visited %d partners, want 1", n)
+	}
+}
+
+// The append-row Aligner must agree with the one-shot Align on random
+// share relations, including after arena reuse.
+func TestAlignerAppendRowMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var al Aligner
+	for trial := 0; trial < 200; trial++ {
+		lenA, lenB := rng.Intn(9)+1, rng.Intn(9)+1
+		shares := make([]bool, lenA*lenB)
+		for i := range shares {
+			shares[i] = rng.Intn(3) == 0
+		}
+		share := func(i, j int) bool { return shares[i*lenB+j] }
+		want := Align(lenA, lenB, share)
+		al.Begin(lenB)
+		for i := 0; i < lenA; i++ {
+			i := i
+			al.AppendRow(func(j int) bool { return share(i, j) })
+		}
+		got := al.Pairs()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}

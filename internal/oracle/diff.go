@@ -56,8 +56,10 @@ type Divergence struct {
 	// Kind classifies the disagreement: "model-vs-real" (the reference
 	// model and the production scheduler chose differently),
 	// "replay-vs-recorded" (a fresh production replay did not reproduce
-	// the recorded run — lost state or nondeterminism), or
-	// "pending-mismatch" (queue accounting drifted).
+	// the recorded run — lost state or nondeterminism),
+	// "pending-mismatch" (queue accounting drifted), or
+	// "utility-mismatch" (the production scheduler's memoized utility
+	// view disagreed with the model's naive rescan).
 	Kind string
 	// Detail is a human-readable account of the two answers.
 	Detail string
@@ -74,11 +76,23 @@ func (d *Divergence) Error() string {
 // checked against the recording — a determinism and
 // recording-completeness audit. It returns the first divergence, or nil
 // when the sides agree over the whole log.
+//
+// The replay installs a residency version source on the production
+// scheduler — bumped whenever a decision's snapshot replaces the current
+// one — so the memoized incremental utility path runs and is certified,
+// not the recompute-everything fallback. After every decision the
+// production UtilityProvider view (AtomUtility, StepMean, PendingSteps)
+// is compared against the model's naive rescan with strict float
+// equality.
 func Diff(t Target, log *OpLog) *Divergence {
 	var snap map[store.AtomID]bool
+	var snapVersion uint64 = 1
 	resident := func(id store.AtomID) bool { return snap[id] }
 	real := t.New(resident)
 	model := t.NewModel()
+	if rv, ok := real.(sched.ResidencyVersioned); ok {
+		rv.SetResidencyVersion(func() uint64 { return snapVersion })
+	}
 
 	for i, op := range log.Ops {
 		switch op.Kind {
@@ -87,6 +101,7 @@ func Diff(t Target, log *OpLog) *Divergence {
 			model.Enqueue(op.Sub, op.Now)
 		case OpDecision:
 			snap = op.Resident
+			snapVersion++
 			rGot := real.NextBatch(op.Now)
 			mGot := model.NextBatch(op.Now, func(id store.AtomID) bool { return snap[id] })
 			if op.Got != nil && !batchesEqual(rGot, op.Got) {
@@ -100,6 +115,9 @@ func Diff(t Target, log *OpLog) *Divergence {
 					Target: t.Name, OpIndex: i, Kind: "model-vs-real",
 					Detail: fmt.Sprintf("model %s, real %s", describeBatches(mGot), describeBatches(rGot)),
 				}
+			}
+			if d := diffUtilities(t.Name, i, real, model, resident); d != nil {
+				return d
 			}
 		case OpRunEnd:
 			real.OnRunEnd(op.RT, op.TP)
@@ -116,6 +134,54 @@ func Diff(t Target, log *OpLog) *Divergence {
 		return &Divergence{
 			Target: t.Name, OpIndex: len(log.Ops) - 1, Kind: "model-vs-real",
 			Detail: fmt.Sprintf("final alpha: real %g, model %g", ra, ma),
+		}
+	}
+	return nil
+}
+
+// diffUtilities compares the production scheduler's utility view against
+// the model's naive rescan, when both sides expose one. Equality is
+// strict (==): the incremental structures promise bit-identical floats,
+// not approximations, because the URC cache policy ranks on these exact
+// values.
+func diffUtilities(name string, opIndex int, real sched.Scheduler, model Model, resident func(store.AtomID) bool) *Divergence {
+	up, ok := real.(sched.UtilityProvider)
+	if !ok {
+		return nil
+	}
+	um, ok := model.(UtilityModel)
+	if !ok {
+		return nil
+	}
+	rSteps, mSteps := up.PendingSteps(), um.PendingSteps()
+	if len(rSteps) != len(mSteps) {
+		return &Divergence{
+			Target: name, OpIndex: opIndex, Kind: "utility-mismatch",
+			Detail: fmt.Sprintf("pending steps: real %v, model %v", rSteps, mSteps),
+		}
+	}
+	for k := range mSteps {
+		if rSteps[k] != mSteps[k] {
+			return &Divergence{
+				Target: name, OpIndex: opIndex, Kind: "utility-mismatch",
+				Detail: fmt.Sprintf("pending steps: real %v, model %v", rSteps, mSteps),
+			}
+		}
+	}
+	for _, step := range mSteps {
+		if r, m := up.StepMean(step), um.StepMean(step, resident); r != m {
+			return &Divergence{
+				Target: name, OpIndex: opIndex, Kind: "utility-mismatch",
+				Detail: fmt.Sprintf("step %d mean U_t: real %v, model %v", step, r, m),
+			}
+		}
+	}
+	for _, id := range um.PendingAtoms() {
+		if r, m := up.AtomUtility(id), um.AtomUtility(id, resident); r != m {
+			return &Divergence{
+				Target: name, OpIndex: opIndex, Kind: "utility-mismatch",
+				Detail: fmt.Sprintf("atom s%d/a%d U_t: real %v, model %v", id.Step, id.Code, r, m),
+			}
 		}
 	}
 	return nil

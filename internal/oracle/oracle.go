@@ -91,6 +91,25 @@ type Model interface {
 	Pending() int
 }
 
+// UtilityModel is the oracle-side counterpart of sched.UtilityProvider:
+// reference utility accessors computed by naive rescan over the sorted
+// queue list, taking the residency snapshot explicitly (the model holds
+// no cache). The differential harness compares these against the
+// production scheduler's memoized answers with strict float equality.
+type UtilityModel interface {
+	// AtomUtility returns Eq. 1's U_t for the atom's pending queue, 0
+	// when the atom has no pending work.
+	AtomUtility(id store.AtomID, resident func(store.AtomID) bool) float64
+	// StepMean returns the mean U_t over the step's pending atoms, 0 when
+	// the step has no pending work.
+	StepMean(step int, resident func(store.AtomID) bool) float64
+	// PendingSteps lists the steps with pending work, ascending.
+	PendingSteps() []int
+	// PendingAtoms lists every atom with pending work in clustered-index
+	// key order.
+	PendingAtoms() []store.AtomID
+}
+
 // NewModel builds the reference model for the algorithm.
 func NewModel(a Algo, p Params) Model {
 	switch a {
@@ -191,6 +210,40 @@ func (l *queueList) ofStep(step int) []*modelQueue {
 	return out
 }
 
+// atoms returns every pending atom in key order.
+func (l *queueList) atoms() []store.AtomID {
+	out := make([]store.AtomID, len(l.queues))
+	for i, q := range l.queues {
+		out[i] = q.atom
+	}
+	return out
+}
+
+// atomUtility returns the atom's Eq. 1 value, 0 when it has no queue.
+func (l *queueList) atomUtility(cost sched.CostModel, id store.AtomID, resident func(store.AtomID) bool) float64 {
+	for _, q := range l.queues {
+		if q.atom == id {
+			return ut(cost, q, resident)
+		}
+	}
+	return 0
+}
+
+// stepMean returns the mean Eq. 1 value over the step's queues, summing
+// in key-ascending order — the same accumulation order as the production
+// buckets, so agreement is bit-exact, not approximate.
+func (l *queueList) stepMean(cost sched.CostModel, step int, resident func(store.AtomID) bool) float64 {
+	qs := l.ofStep(step)
+	if len(qs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range qs {
+		sum += ut(cost, q, resident)
+	}
+	return sum / float64(len(qs))
+}
+
 // ut computes Eq. 1: U_t(i) = ΣW / (T_b·φ(i) + T_m·ΣW), with φ(i) = 0 for
 // a cache-resident atom.
 func ut(cost sched.CostModel, q *modelQueue, resident func(store.AtomID) bool) float64 {
@@ -288,6 +341,22 @@ func (m *modelLifeRaft) OnRunEnd(rt, tp float64) {}
 func (m *modelLifeRaft) Alpha() float64          { return m.alpha }
 func (m *modelLifeRaft) Pending() int            { return m.q.subs }
 
+// AtomUtility implements UtilityModel.
+func (m *modelLifeRaft) AtomUtility(id store.AtomID, resident func(store.AtomID) bool) float64 {
+	return m.q.atomUtility(m.cost, id, resident)
+}
+
+// StepMean implements UtilityModel.
+func (m *modelLifeRaft) StepMean(step int, resident func(store.AtomID) bool) float64 {
+	return m.q.stepMean(m.cost, step, resident)
+}
+
+// PendingSteps implements UtilityModel.
+func (m *modelLifeRaft) PendingSteps() []int { return m.q.steps() }
+
+// PendingAtoms implements UtilityModel.
+func (m *modelLifeRaft) PendingAtoms() []store.AtomID { return m.q.atoms() }
+
 // --- JAWS ----------------------------------------------------------------
 
 // modelJAWS is the two-level selection of Fig. 6: the time step with the
@@ -367,6 +436,27 @@ func (m *modelJAWS) NextBatch(now time.Duration, resident func(store.AtomID) boo
 func (m *modelJAWS) OnRunEnd(rt, tp float64) { m.ctrl.onRunEnd(rt, tp) }
 func (m *modelJAWS) Alpha() float64          { return m.ctrl.alpha }
 func (m *modelJAWS) Pending() int            { return m.q.subs }
+
+// AtomUtility implements UtilityModel.
+func (m *modelJAWS) AtomUtility(id store.AtomID, resident func(store.AtomID) bool) float64 {
+	return m.q.atomUtility(m.cost, id, resident)
+}
+
+// StepMean implements UtilityModel.
+func (m *modelJAWS) StepMean(step int, resident func(store.AtomID) bool) float64 {
+	return m.q.stepMean(m.cost, step, resident)
+}
+
+// PendingSteps implements UtilityModel.
+func (m *modelJAWS) PendingSteps() []int { return m.q.steps() }
+
+// PendingAtoms implements UtilityModel.
+func (m *modelJAWS) PendingAtoms() []store.AtomID { return m.q.atoms() }
+
+var (
+	_ UtilityModel = (*modelLifeRaft)(nil)
+	_ UtilityModel = (*modelJAWS)(nil)
+)
 
 // modelAlphaController is the §V.A starvation-resistance controller,
 // restated from the paper: smooth each run's response time and throughput

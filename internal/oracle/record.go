@@ -145,9 +145,20 @@ func (r *RecordingSched) SetTracer(t *obs.Tracer) {
 	}
 }
 
+// SetResidencyVersion implements sched.ResidencyVersioned, passing the
+// cache's mutation counter through so the wrapped scheduler's memoized
+// utility path stays engaged under recording — the differential suite
+// must certify the incremental structures, not a fallback.
+func (r *RecordingSched) SetResidencyVersion(fn func() uint64) {
+	if rv, ok := r.inner.(sched.ResidencyVersioned); ok {
+		rv.SetResidencyVersion(fn)
+	}
+}
+
 var (
-	_ sched.Scheduler = (*RecordingSched)(nil)
-	_ sched.Traced    = (*RecordingSched)(nil)
+	_ sched.Scheduler          = (*RecordingSched)(nil)
+	_ sched.Traced             = (*RecordingSched)(nil)
+	_ sched.ResidencyVersioned = (*RecordingSched)(nil)
 )
 
 // batchesEqual reports whether two decision answers agree exactly: same

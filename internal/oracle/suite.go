@@ -10,12 +10,25 @@ import (
 	"jaws/internal/workload"
 )
 
+// Suite profiles: parameter families a seed can run under.
+const (
+	// ProfileStandard is the original sustained-queueing configuration.
+	ProfileStandard = "standard"
+	// ProfileChurn is the high-churn configuration: tiny batches, adaptive
+	// α, a tight cache, and short adaptation runs, so queue membership and
+	// residency — and with them the memo epochs, heap rebuilds, and
+	// freelist recycling of the incremental scheduler structures — turn
+	// over at the maximum rate.
+	ProfileChurn = "churn"
+)
+
 // SeedResult is the outcome of one differential run: one (algorithm,
-// seed, fault schedule) triple captured on a real engine and replayed
-// through the reference model.
+// seed, profile, fault schedule) tuple captured on a real engine and
+// replayed through the reference model.
 type SeedResult struct {
 	Algo      Algo
 	Seed      int64
+	Profile   string
 	FaultSpec string
 	// Ops and Decisions size the captured log.
 	Ops, Decisions int
@@ -41,7 +54,11 @@ func (r *SeedResult) String() string {
 	if f == "" {
 		f = "-"
 	}
-	return fmt.Sprintf("%-8s seed=%-4d fault=%-40s ops=%-5d dec=%-4d %s", r.Algo, r.Seed, f, r.Ops, r.Decisions, status)
+	p := r.Profile
+	if p == "" {
+		p = ProfileStandard
+	}
+	return fmt.Sprintf("%-8s seed=%-4d %-8s fault=%-40s ops=%-5d dec=%-4d %s", r.Algo, r.Seed, p, f, r.Ops, r.Decisions, status)
 }
 
 // SuiteParams derives deterministic per-seed parameters: a tiny workload
@@ -77,6 +94,33 @@ func SuiteParams(a Algo, seed int64) (CaptureConfig, Params) {
 	return cfg, p
 }
 
+// ChurnParams derives the high-churn variant of SuiteParams: batch size
+// forced to 1 or 2, adaptive α on for every JAWS seed, double the arrival
+// compression, half the cache, and 3-query adaptation runs. Decisions
+// come thick and small, residency turns over constantly, and the α
+// controller fires often — the regime that stresses the incremental
+// utility structures (epoch invalidation, heap rebuilds, freelists)
+// hardest.
+func ChurnParams(a Algo, seed int64) (CaptureConfig, Params) {
+	cfg, p := SuiteParams(a, seed)
+	p.BatchSize = 1 + int(seed%2)
+	p.Adaptive = a == AlgoJAWS
+	cfg.Params = p
+	cfg.Workload.Steps = 6
+	cfg.Workload.SpeedUp = 400
+	cfg.CacheAtoms = 12
+	cfg.RunLength = 3
+	return cfg, p
+}
+
+// ProfileParams returns the capture config and parameters of a profile.
+func ProfileParams(profile string, a Algo, seed int64) (CaptureConfig, Params) {
+	if profile == ProfileChurn {
+		return ChurnParams(a, seed)
+	}
+	return SuiteParams(a, seed)
+}
+
 // SuiteFaultSpec is the deterministic fault schedule paired with each
 // seed in the with-faults pass: transient disk errors and cache
 // corruption throughout, plus a node crash partway through the run.
@@ -85,11 +129,17 @@ func SuiteFaultSpec(seed int64) string {
 	return fmt.Sprintf("disk-transient:p=0.05;corrupt:p=0.05;crash@0:at=%ds", crashAt)
 }
 
-// DiffSeed captures one run and checks it: differential replay plus the
-// invariant suite. A non-nil error means the harness itself failed (bad
-// config), not that the run diverged.
+// DiffSeed captures one standard-profile run and checks it: differential
+// replay plus the invariant suite. A non-nil error means the harness
+// itself failed (bad config), not that the run diverged.
 func DiffSeed(a Algo, seed int64, faultSpec string) (*SeedResult, error) {
-	cfg, p := SuiteParams(a, seed)
+	return DiffSeedProfile(ProfileStandard, a, seed, faultSpec)
+}
+
+// DiffSeedProfile captures one run under the named profile and checks
+// it: differential replay plus the invariant suite.
+func DiffSeedProfile(profile string, a Algo, seed int64, faultSpec string) (*SeedResult, error) {
+	cfg, p := ProfileParams(profile, a, seed)
 	cfg.FaultSpec = faultSpec
 	cfg.FaultSeed = seed
 	c, err := Run(cfg)
@@ -99,6 +149,7 @@ func DiffSeed(a Algo, seed int64, faultSpec string) (*SeedResult, error) {
 	res := &SeedResult{
 		Algo:      a,
 		Seed:      seed,
+		Profile:   profile,
 		FaultSpec: faultSpec,
 		Ops:       len(c.Log.Ops),
 		Decisions: len(c.Decisions),
@@ -121,25 +172,35 @@ func DiffSeed(a Algo, seed int64, faultSpec string) (*SeedResult, error) {
 }
 
 // Suite runs the differential suite over seeds 1..n for every algorithm,
-// without and (when withFaults) with the per-seed fault schedule. report,
-// when non-nil, receives every result as it completes.
+// without and (when withFaults) with the per-seed fault schedule. The
+// contention-based algorithms (LifeRaft, JAWS) additionally run each
+// seed under the high-churn profile, so one suite pass covers both the
+// sustained-queueing and maximum-turnover regimes: 3n standard + 2n
+// churn captures per fault arm. report, when non-nil, receives every
+// result as it completes.
 func Suite(n int, withFaults bool, report func(*SeedResult)) ([]*SeedResult, error) {
 	var out []*SeedResult
 	for _, a := range []Algo{AlgoNoShare, AlgoLifeRaft, AlgoJAWS} {
+		profiles := []string{ProfileStandard}
+		if a != AlgoNoShare {
+			profiles = append(profiles, ProfileChurn)
+		}
 		for seed := int64(1); seed <= int64(n); seed++ {
 			specs := []string{""}
 			if withFaults {
 				specs = append(specs, SuiteFaultSpec(seed))
 			}
 			for _, spec := range specs {
-				r, err := DiffSeed(a, seed, spec)
-				if err != nil {
-					return out, fmt.Errorf("oracle: %v seed %d fault %q: %w", a, seed, spec, err)
+				for _, profile := range profiles {
+					r, err := DiffSeedProfile(profile, a, seed, spec)
+					if err != nil {
+						return out, fmt.Errorf("oracle: %v seed %d %s fault %q: %w", a, seed, profile, spec, err)
+					}
+					if report != nil {
+						report(r)
+					}
+					out = append(out, r)
 				}
-				if report != nil {
-					report(r)
-				}
-				out = append(out, r)
 			}
 		}
 	}

@@ -5,8 +5,8 @@ import "testing"
 // TestDifferentialSuite is the headline check of this package: randomized
 // workloads are captured on a real engine and replayed through the
 // reference models, with and without fault schedules, and every decision
-// must agree bit for bit. 34 seeds × 3 algorithms × {clean, faulted} =
-// 204 differential runs.
+// and utility must agree bit for bit. 34 seeds × (3 standard + 2 churn
+// profiles) × {clean, faulted} = 340 differential runs.
 func TestDifferentialSuite(t *testing.T) {
 	seeds := 34
 	if testing.Short() {
@@ -16,7 +16,7 @@ func TestDifferentialSuite(t *testing.T) {
 	if err != nil {
 		t.Fatalf("suite: %v", err)
 	}
-	if want := seeds * 3 * 2; len(results) != want {
+	if want := seeds * (3 + 2) * 2; len(results) != want {
 		t.Fatalf("suite ran %d captures, want %d", len(results), want)
 	}
 	var crashed, decisions int

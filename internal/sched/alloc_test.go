@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// The decision path must be allocation-free in steady state: once the
+// freelists and decision buffers have warmed up, Enqueue and NextBatch
+// perform zero heap allocations per round for every scheduler. This pins
+// the incremental-index design (no per-decision sorting or map building);
+// make check runs it with the rest of the package tests.
+
+// allocWorkload returns a mixed set of sub-queries spanning several steps
+// and atoms, some sharing an atom queue.
+func allocWorkload() []*query.SubQuery {
+	var sqs []*query.SubQuery
+	qid := query.ID(1)
+	for step := 0; step < 3; step++ {
+		for a := uint32(0); a < 4; a++ {
+			sqs = append(sqs, subQueryAt(qid, step, a, 0, 0, 10+int(a)*25))
+			qid++
+		}
+	}
+	// Contention: second sub-queries on two of the atoms.
+	sqs = append(sqs, subQueryAt(qid, 1, 2, 0, 0, 40))
+	qid++
+	sqs = append(sqs, subQueryAt(qid, 2, 3, 0, 0, 15))
+	return sqs
+}
+
+// drain enqueues the workload and takes decisions until the scheduler is
+// empty — one steady-state round.
+func drainRound(s Scheduler, sqs []*query.SubQuery) {
+	for _, sq := range sqs {
+		s.Enqueue(sq, 0)
+	}
+	now := time.Duration(0)
+	for s.Pending() > 0 {
+		if batches := s.NextBatch(now); len(batches) == 0 {
+			panic("scheduler returned no batches with pending work")
+		}
+		now += time.Millisecond
+	}
+	// One more NextBatch so the last round's released queues are recycled
+	// inside the measured window, not carried into the next one.
+	s.NextBatch(now)
+}
+
+func TestDecisionPathZeroAllocs(t *testing.T) {
+	resident := func(id store.AtomID) bool { return id.Step == 0 }
+	version := func() uint64 { return 7 }
+	cases := []struct {
+		name  string
+		build func() Scheduler
+	}{
+		{"NoShare", func() Scheduler { return NewNoShare() }},
+		{"LifeRaft-alpha0-heap", func() Scheduler {
+			s := NewLifeRaft(testCost, 0, resident)
+			s.SetResidencyVersion(version)
+			return s
+		}},
+		{"LifeRaft-alpha0.5", func() Scheduler {
+			s := NewLifeRaft(testCost, 0.5, resident)
+			s.SetResidencyVersion(version)
+			return s
+		}},
+		{"JAWS", func() Scheduler {
+			s := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 3, Resident: resident})
+			s.SetResidencyVersion(version)
+			return s
+		}},
+		{"JAWS-adaptive", func() Scheduler {
+			s := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 2, InitialAlpha: 0.5, Adaptive: true, Resident: resident})
+			s.SetResidencyVersion(version)
+			return s
+		}},
+		{"JAWS-noversion", func() Scheduler {
+			// Memoization off (no version source): still zero allocs, every
+			// utility recomputed in place.
+			return NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 3, Resident: resident})
+		}},
+		{"JAWS+QoS-urgent", func() Scheduler {
+			inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 3, Resident: resident})
+			inner.SetResidencyVersion(version)
+			// Default stretch: deadlines land inside the horizon, so the
+			// urgent EDF path is the one measured.
+			return NewQoS(inner, testCost, 0, 0)
+		}},
+		{"JAWS+QoS-fallthrough", func() Scheduler {
+			inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 3, Resident: resident})
+			inner.SetResidencyVersion(version)
+			// Enormous stretch: nothing is ever urgent, so the inner JAWS
+			// path runs through the QoS bookkeeping.
+			return NewQoS(inner, testCost, 1e9, time.Nanosecond)
+		}},
+	}
+	sqs := allocWorkload()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build()
+			// Warm the freelists and decision buffers to steady state.
+			for i := 0; i < 3; i++ {
+				drainRound(s, sqs)
+			}
+			if avg := testing.AllocsPerRun(10, func() { drainRound(s, sqs) }); avg != 0 {
+				t.Fatalf("%s: %.1f allocs per enqueue+drain round, want 0", tc.name, avg)
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jaws/internal/morton"
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// Utility memoization: with a residency version source installed, U_t and
+// the per-step Σ U_t must be computed once per epoch, not once per read —
+// the regression the recompute counters pin. (stepMeanUt and PendingSteps
+// used to rescan on every call.)
+func TestUtilityMemoizationCountsRecomputes(t *testing.T) {
+	var version uint64 = 1
+	q := newQueues(testCost, nil)
+	q.setResidencyVersion(func() uint64 { return version })
+	q.add(subQueryAt(1, 0, 0, 0, 0, 100), 0)
+	q.add(subQueryAt(2, 0, 1, 0, 0, 200), 0)
+	q.add(subQueryAt(3, 1, 0, 0, 0, 50), 0)
+	q.syncResidency()
+
+	base := q.utRecomputes
+	first := q.stepMeanUt(0)
+	afterFirst := q.utRecomputes - base
+	if afterFirst == 0 {
+		t.Fatal("first StepMean read computed nothing")
+	}
+	for i := 0; i < 5; i++ {
+		if got := q.stepMeanUt(0); got != first {
+			t.Fatalf("StepMean changed across memoized reads: %v then %v", first, got)
+		}
+	}
+	if extra := q.utRecomputes - base - afterFirst; extra != 0 {
+		t.Fatalf("memoized StepMean reads recomputed %d utilities, want 0", extra)
+	}
+	sumBase := q.stepSumRecomputes
+	q.stepMeanUt(0)
+	if q.stepSumRecomputes != sumBase {
+		t.Fatal("memoized StepMean recomputed the step aggregate")
+	}
+
+	// Residency change: the next sync must invalidate every memo.
+	version++
+	q.syncResidency()
+	if q.stepMeanUt(0) != first {
+		t.Fatal("identical inputs must reproduce the identical float after recompute")
+	}
+	if q.stepSumRecomputes == sumBase {
+		t.Fatal("version bump did not trigger an aggregate recompute")
+	}
+
+	// New work on an atom invalidates just that memo path, same version.
+	utBase := q.utRecomputes
+	q.add(subQueryAt(4, 0, 0, 0, 0, 10), 0)
+	q.stepMeanUt(0)
+	if q.utRecomputes == utBase {
+		t.Fatal("enqueue on a memoized atom did not invalidate its utility")
+	}
+}
+
+// Without a version source, memoization stays off: every read recomputes
+// (exactness by default).
+func TestNoVersionSourceAlwaysRecomputes(t *testing.T) {
+	q := newQueues(testCost, nil)
+	q.add(subQueryAt(1, 0, 0, 0, 0, 100), 0)
+	base := q.stepSumRecomputes
+	for i := 0; i < 4; i++ {
+		q.stepMeanUt(0)
+	}
+	if got := q.stepSumRecomputes - base; got != 4 {
+		t.Fatalf("un-versioned queues recomputed the aggregate %d times over 4 reads, want 4", got)
+	}
+}
+
+// PendingSteps is maintained incrementally: ascending, tracking bucket
+// creation and removal, with no per-call work.
+func TestPendingStepsIncremental(t *testing.T) {
+	q := newQueues(testCost, nil)
+	q.add(subQueryAt(1, 5, 0, 0, 0, 10), 0)
+	q.add(subQueryAt(2, 1, 0, 0, 0, 10), 0)
+	q.add(subQueryAt(3, 3, 0, 0, 0, 10), 0)
+	want := []int{1, 3, 5}
+	if len(q.steps) != len(want) {
+		t.Fatalf("steps = %v, want %v", q.steps, want)
+	}
+	for i := range want {
+		if q.steps[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", q.steps, want)
+		}
+	}
+	q.beginDecision()
+	q.take(store.AtomID{Step: 3})
+	if len(q.steps) != 2 || q.steps[0] != 1 || q.steps[1] != 5 {
+		t.Fatalf("after take: steps = %v, want [1 5]", q.steps)
+	}
+}
+
+// The indexed max-heap (LifeRaft at α = 0 with a version source) must make
+// exactly the decisions the plain scan makes, through random enqueues,
+// takes, and residency changes.
+func TestHeapMatchesScan(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		residentSet := make(map[store.AtomID]bool)
+		var version uint64 = 1
+		resident := func(id store.AtomID) bool { return residentSet[id] }
+
+		heapSched := NewLifeRaft(testCost, 0, resident)
+		heapSched.SetResidencyVersion(func() uint64 { return version })
+		scanSched := NewLifeRaft(testCost, 0, resident) // no version: scan path
+		if !heapSched.q.useHeap || scanSched.q.memoOK() {
+			t.Fatal("test premise broken: heap/scan configuration")
+		}
+
+		now := time.Duration(0)
+		qid := 1
+		for op := 0; op < 300; op++ {
+			now += time.Millisecond
+			switch r := rng.Intn(10); {
+			case r < 6 || heapSched.Pending() == 0:
+				// Random atom in a small universe so queues collide.
+				sq := subQueryAt(query.ID(qid), rng.Intn(2),
+					uint32(rng.Intn(3)), uint32(rng.Intn(2)), 0, rng.Intn(200)+1)
+				qid++
+				heapSched.Enqueue(sq, now)
+				scanSched.Enqueue(sq, now)
+			case r < 8:
+				// Flip residency of a pending or absent atom; bump the version.
+				id := store.AtomID{Step: rng.Intn(2), Code: morton.Code(rng.Intn(64))}
+				residentSet[id] = !residentSet[id]
+				version++
+			default:
+				hb := heapSched.NextBatch(now)
+				sb := scanSched.NextBatch(now)
+				if len(hb) != 1 || len(sb) != 1 {
+					t.Fatalf("seed %d op %d: batch lens %d vs %d", seed, op, len(hb), len(sb))
+				}
+				if hb[0].Atom != sb[0].Atom {
+					t.Fatalf("seed %d op %d: heap picked %v, scan picked %v", seed, op, hb[0].Atom, sb[0].Atom)
+				}
+				if len(hb[0].SubQueries) != len(sb[0].SubQueries) {
+					t.Fatalf("seed %d op %d: batch sizes differ", seed, op)
+				}
+			}
+		}
+	}
+}

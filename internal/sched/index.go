@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"sort"
+
+	"jaws/internal/store"
+)
+
+// This file holds the incremental index structures behind the queues
+// type: per-step Morton-sorted buckets with memoized utility aggregates,
+// an indexed max-heap over candidate atoms, and the freelists that keep
+// the decision path allocation-free.
+//
+// Invariants (each checked by the differential oracle, which replays
+// every decision through a naive rescan model):
+//
+//   - buckets is sorted by step ascending and steps[i] == buckets[i].step;
+//     iterating buckets then each bucket's atoms (key-ascending) visits
+//     atoms in exactly the global clustered-index key order the reference
+//     model iterates in, so floating-point accumulation order is
+//     identical.
+//   - A memoized value stamped with seen == epoch equals the value a
+//     fresh recomputation would produce: the epoch advances whenever the
+//     residency version changes, and per-atom/per-bucket stamps are
+//     zeroed whenever positions or membership change, so a valid stamp
+//     implies every input of the memo is unchanged.
+//   - When heapSeen == epoch the heap contains exactly the pending atoms,
+//     every member's ut stamp is current, heapIdx back-pointers are
+//     consistent, and the max-heap property holds under the total order
+//     (ut descending, key ascending) — whose maximum is the same atom a
+//     key-ascending scan with strict > selects.
+
+// stepBucket is the per-time-step index: the step's pending atom queues
+// in Morton (clustered-key) order plus the memoized Σ U_t aggregate.
+type stepBucket struct {
+	step  int
+	atoms []*atomQueue // key-ascending
+	// utSum is Σ ut over atoms, valid iff sumSeen == queues.epoch.
+	utSum   float64
+	sumSeen uint64
+}
+
+// insertAtom places aq into the bucket's key-sorted slice.
+func (b *stepBucket) insertAtom(aq *atomQueue) {
+	key := aq.id.Key()
+	i := sort.Search(len(b.atoms), func(i int) bool { return b.atoms[i].id.Key() >= key })
+	b.atoms = append(b.atoms, nil)
+	copy(b.atoms[i+1:], b.atoms[i:])
+	b.atoms[i] = aq
+	b.sumSeen = 0
+}
+
+// removeAtom deletes aq from the bucket's key-sorted slice.
+func (b *stepBucket) removeAtom(aq *atomQueue) {
+	key := aq.id.Key()
+	i := sort.Search(len(b.atoms), func(i int) bool { return b.atoms[i].id.Key() >= key })
+	copy(b.atoms[i:], b.atoms[i+1:])
+	b.atoms[len(b.atoms)-1] = nil
+	b.atoms = b.atoms[:len(b.atoms)-1]
+	b.sumSeen = 0
+}
+
+// bucketFor returns the bucket of step, creating it (in step order) when
+// create is set. Returns nil when absent and create is false.
+func (q *queues) bucketFor(step int, create bool) *stepBucket {
+	i := sort.Search(len(q.buckets), func(i int) bool { return q.buckets[i].step >= step })
+	if i < len(q.buckets) && q.buckets[i].step == step {
+		return q.buckets[i]
+	}
+	if !create {
+		return nil
+	}
+	var b *stepBucket
+	if n := len(q.freeBuckets); n > 0 {
+		b = q.freeBuckets[n-1]
+		q.freeBuckets[n-1] = nil
+		q.freeBuckets = q.freeBuckets[:n-1]
+		b.step = step
+	} else {
+		b = &stepBucket{step: step}
+	}
+	q.buckets = append(q.buckets, nil)
+	copy(q.buckets[i+1:], q.buckets[i:])
+	q.buckets[i] = b
+	q.steps = append(q.steps, 0)
+	copy(q.steps[i+1:], q.steps[i:])
+	q.steps[i] = step
+	return b
+}
+
+// dropBucket removes an emptied bucket from the step index and recycles
+// it.
+func (q *queues) dropBucket(b *stepBucket) {
+	i := sort.Search(len(q.buckets), func(i int) bool { return q.buckets[i].step >= b.step })
+	copy(q.buckets[i:], q.buckets[i+1:])
+	q.buckets[len(q.buckets)-1] = nil
+	q.buckets = q.buckets[:len(q.buckets)-1]
+	copy(q.steps[i:], q.steps[i+1:])
+	q.steps = q.steps[:len(q.steps)-1]
+	b.atoms = b.atoms[:0]
+	b.sumSeen = 0
+	q.freeBuckets = append(q.freeBuckets, b)
+}
+
+// --- residency-version gating -------------------------------------------
+
+// syncResidency advances the memo epoch when the cache may have changed
+// since the last call. Without a version source memoization stays off
+// (every read recomputes — always exact); the engine installs the cache's
+// mutation counter via SetResidencyVersion, after which φ-dependent memos
+// survive across calls until the counter moves.
+func (q *queues) syncResidency() {
+	if q.resVersion == nil {
+		return
+	}
+	v := q.resVersion()
+	if !q.haveRes || v != q.lastRes {
+		q.haveRes = true
+		q.lastRes = v
+		q.epoch++
+	}
+}
+
+// memoOK reports whether cross-call memoization is safe.
+func (q *queues) memoOK() bool { return q.resVersion != nil }
+
+// --- indexed max-heap ---------------------------------------------------
+
+// heapLess is the heap's total order: U_t descending, clustered key
+// ascending. Its maximum is exactly the atom a key-ascending scan with
+// strict > keeps, which is what the reference model computes.
+func heapLess(a, b *atomQueue) bool {
+	if a.ut != b.ut {
+		return a.ut > b.ut
+	}
+	return a.id.Key() < b.id.Key()
+}
+
+// heapValid reports whether the heap mirrors the current epoch. The heap
+// requires memoization (it compares cached ut values), so without a
+// residency version source it stays disengaged and callers fall back to
+// the exact linear scan.
+func (q *queues) heapValid() bool { return q.useHeap && q.memoOK() && q.heapSeen == q.epoch }
+
+// heapRebuild reconstructs the heap from the buckets: recompute every
+// atom's ut at the current epoch, then heapify.
+func (q *queues) heapRebuild() {
+	q.heap = q.heap[:0]
+	for _, b := range q.buckets {
+		for _, aq := range b.atoms {
+			q.ut(aq)
+			aq.heapIdx = len(q.heap)
+			q.heap = append(q.heap, aq)
+		}
+	}
+	for i := len(q.heap)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+	q.heapSeen = q.epoch
+}
+
+// heapTop returns the maximum under heapLess, rebuilding if stale.
+func (q *queues) heapTop() *atomQueue {
+	if !q.heapValid() {
+		q.heapRebuild()
+	}
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+func (q *queues) heapPush(aq *atomQueue) {
+	aq.heapIdx = len(q.heap)
+	q.heap = append(q.heap, aq)
+	q.siftUp(aq.heapIdx)
+}
+
+func (q *queues) heapRemove(aq *atomQueue) {
+	i := aq.heapIdx
+	last := len(q.heap) - 1
+	q.heap[i] = q.heap[last]
+	q.heap[i].heapIdx = i
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	aq.heapIdx = -1
+	if i < last {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+}
+
+// heapFix restores the heap property around aq after its ut changed.
+func (q *queues) heapFix(aq *atomQueue) {
+	q.siftDown(aq.heapIdx)
+	q.siftUp(aq.heapIdx)
+}
+
+func (q *queues) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		q.heap[i].heapIdx = i
+		q.heap[parent].heapIdx = parent
+		i = parent
+	}
+}
+
+func (q *queues) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && heapLess(q.heap[l], q.heap[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && heapLess(q.heap[r], q.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		q.heap[i].heapIdx = i
+		q.heap[best].heapIdx = best
+		i = best
+	}
+}
+
+// --- freelists ----------------------------------------------------------
+
+// newAtomQueue returns a recycled (or fresh) atom queue for id.
+func (q *queues) newAtomQueue(id store.AtomID) *atomQueue {
+	if n := len(q.freeAtoms); n > 0 {
+		aq := q.freeAtoms[n-1]
+		q.freeAtoms[n-1] = nil
+		q.freeAtoms = q.freeAtoms[:n-1]
+		aq.id = id
+		return aq
+	}
+	return &atomQueue{id: id, heapIdx: -1}
+}
+
+// beginDecision recycles the atom queues released by the previous
+// decision. It runs at the top of every NextBatch, which is what bounds
+// the lifetime of returned batches (see the Scheduler contract): the
+// SubQueries slices handed out by the previous decision are reused from
+// here on.
+func (q *queues) beginDecision() {
+	for i, aq := range q.released {
+		for j := range aq.subs {
+			aq.subs[j] = nil // drop sub-query references so completed queries can be collected
+		}
+		aq.subs = aq.subs[:0]
+		aq.positions = 0
+		aq.oldest = 0
+		aq.utSeen = 0
+		aq.heapIdx = -1
+		q.freeAtoms = append(q.freeAtoms, aq)
+		q.released[i] = nil
+	}
+	q.released = q.released[:0]
+}

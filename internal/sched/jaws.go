@@ -31,6 +31,46 @@ type JAWSConfig struct {
 	NoMortonOrder bool
 }
 
+// selSorter orders a JAWS selection in one of the three orders the
+// algorithm needs, swapping the score slice in lockstep. A preallocated
+// struct (instead of sort.Slice closures) keeps the decision path
+// allocation-free.
+type selSorter struct {
+	sel   []*atomQueue
+	score []float64
+	mode  int
+}
+
+const (
+	sortScoreDescKeyAsc  = iota // truncation: most contentious first
+	sortKeyAsc                  // Morton execution order
+	sortScoreDescKeyDesc        // noMorton ablation: metric order
+)
+
+func (s *selSorter) Len() int { return len(s.sel) }
+
+func (s *selSorter) Swap(i, j int) {
+	s.sel[i], s.sel[j] = s.sel[j], s.sel[i]
+	s.score[i], s.score[j] = s.score[j], s.score[i]
+}
+
+func (s *selSorter) Less(i, j int) bool {
+	switch s.mode {
+	case sortKeyAsc:
+		return s.sel[i].id.Key() < s.sel[j].id.Key()
+	case sortScoreDescKeyDesc:
+		if s.score[i] != s.score[j] {
+			return s.score[i] > s.score[j]
+		}
+		return s.sel[i].id.Key() > s.sel[j].id.Key()
+	default: // sortScoreDescKeyAsc
+		if s.score[i] != s.score[j] {
+			return s.score[i] > s.score[j]
+		}
+		return s.sel[i].id.Key() < s.sel[j].id.Key()
+	}
+}
+
 // JAWS is the two-level, adaptively starvation-resistant scheduler of §V.
 // At the coarse level it picks the time step with the highest mean aged
 // workload throughput; at the fine level it batches up to k above-mean
@@ -41,6 +81,12 @@ type JAWS struct {
 	ctrl     *alphaController
 	noMorton bool
 	trace    *obs.Tracer
+
+	// Reused decision buffers (zero allocations in steady state).
+	sel    []*atomQueue
+	score  []float64
+	sorter selSorter
+	out    []Batch
 }
 
 // NewJAWS creates a JAWS scheduler.
@@ -69,83 +115,95 @@ func (s *JAWS) Name() string { return "JAWS" }
 // Enqueue implements Scheduler.
 func (s *JAWS) Enqueue(sq *query.SubQuery, now time.Duration) { s.q.add(sq, now) }
 
+// sortSel sorts the current selection under the given mode.
+func (s *JAWS) sortSel(mode int) {
+	s.sorter.sel = s.sel
+	s.sorter.score = s.score
+	s.sorter.mode = mode
+	sort.Sort(&s.sorter)
+}
+
 // NextBatch implements Scheduler. Two-level selection (Fig. 6): first the
 // time step with the highest mean aged workload throughput, then up to k
 // atoms of that step whose metric exceeds the step mean, sorted in Morton
 // order. If no atom strictly exceeds the mean (e.g. all queues equal),
 // the single best atom is scheduled so progress is always made.
+//
+// The selection walks the step buckets in ascending step order and each
+// bucket's atoms in ascending key order — exactly the iteration order of
+// the reference model, so strict > reproduces its tie-breaks and the
+// floating-point sums accumulate identically.
 func (s *JAWS) NextBatch(now time.Duration) []Batch {
-	if len(s.q.byStep) == 0 {
+	s.q.beginDecision()
+	if len(s.q.buckets) == 0 {
 		return nil
 	}
+	s.q.syncResidency()
 	alpha := s.ctrl.alpha
 
-	bestStep, bestMean := -1, 0.0
-	for step := range s.q.byStep {
-		mean := s.q.stepMeanUe(step, alpha, now)
-		if bestStep < 0 || mean > bestMean || (mean == bestMean && step < bestStep) {
-			bestStep, bestMean = step, mean
+	var bestBucket *stepBucket
+	bestMean := 0.0
+	for _, b := range s.q.buckets {
+		mean := s.q.stepMeanUeBucket(b, alpha, now)
+		if bestBucket == nil || mean > bestMean {
+			bestBucket, bestMean = b, mean
 		}
 	}
 
-	atoms := s.q.byStep[bestStep]
-	selected := make([]*atomQueue, 0, s.k)
+	s.sel = s.sel[:0]
+	s.score = s.score[:0]
 	var fallback *atomQueue
 	fallbackScore := 0.0
-	for _, aq := range atoms {
-		score := s.q.ue(aq, alpha, now)
-		if score > bestMean {
-			selected = append(selected, aq)
+	for _, aq := range bestBucket.atoms {
+		sc := s.q.ue(aq, alpha, now)
+		if sc > bestMean {
+			s.sel = append(s.sel, aq)
+			s.score = append(s.score, sc)
 		}
-		if fallback == nil || score > fallbackScore ||
-			(score == fallbackScore && aq.id.Key() < fallback.id.Key()) {
-			fallback, fallbackScore = aq, score
+		if fallback == nil || sc > fallbackScore {
+			fallback, fallbackScore = aq, sc
 		}
 	}
-	if len(selected) == 0 {
-		selected = append(selected, fallback)
+	if len(s.sel) == 0 {
+		s.sel = append(s.sel, fallback)
+		s.score = append(s.score, fallbackScore)
 	}
 	// Keep the k most contentious of the above-mean atoms, then execute
-	// them in Morton order to amortize seeks.
-	if len(selected) > s.k {
-		sort.Slice(selected, func(i, j int) bool {
-			si, sj := s.q.ue(selected[i], alpha, now), s.q.ue(selected[j], alpha, now)
-			if si != sj {
-				return si > sj
-			}
-			return selected[i].id.Key() < selected[j].id.Key()
-		})
-		selected = selected[:s.k]
+	// them in Morton order to amortize seeks. The selection is built in
+	// key order, so the Morton re-sort is only needed after a truncation
+	// disturbed it.
+	truncated := false
+	if len(s.sel) > s.k {
+		s.sortSel(sortScoreDescKeyAsc)
+		s.sel = s.sel[:s.k]
+		s.score = s.score[:s.k]
+		truncated = true
 	}
 	if s.noMorton {
 		// Ablation: metric order instead of Morton order.
-		sort.Slice(selected, func(i, j int) bool {
-			si, sj := s.q.ue(selected[i], alpha, now), s.q.ue(selected[j], alpha, now)
-			if si != sj {
-				return si > sj
-			}
-			return selected[i].id.Key() > selected[j].id.Key()
-		})
-	} else {
-		sort.Slice(selected, func(i, j int) bool {
-			return selected[i].id.Key() < selected[j].id.Key()
-		})
+		s.sortSel(sortScoreDescKeyDesc)
+	} else if truncated {
+		s.sortSel(sortKeyAsc)
 	}
 	if s.trace.Enabled() {
-		for _, aq := range selected {
+		for i, aq := range s.sel {
 			s.trace.Decision(now, s.Name(), aq.id.Step, uint64(aq.id.Code),
-				len(selected), s.q.ut(aq), s.q.ue(aq, alpha, now), alpha)
+				len(s.sel), s.q.ut(aq), s.score[i], alpha)
 		}
 	}
-	out := make([]Batch, len(selected))
-	for i, aq := range selected {
-		out[i] = s.q.take(aq.id)
+	s.out = s.out[:0]
+	for i, aq := range s.sel {
+		s.out = append(s.out, s.q.take(aq.id))
+		s.sel[i] = nil
 	}
-	return out
+	return s.out
 }
 
 // SetTracer implements Traced.
 func (s *JAWS) SetTracer(t *obs.Tracer) { s.trace = t }
+
+// SetResidencyVersion implements ResidencyVersioned.
+func (s *JAWS) SetResidencyVersion(fn func() uint64) { s.q.setResidencyVersion(fn) }
 
 // Pending implements Scheduler.
 func (s *JAWS) Pending() int { return s.q.subs }
@@ -162,6 +220,7 @@ func (s *JAWS) BatchSize() int { return s.k }
 
 // AtomUtility implements UtilityProvider.
 func (s *JAWS) AtomUtility(id store.AtomID) float64 {
+	s.q.syncResidency()
 	if aq, ok := s.q.byAtom[id]; ok {
 		return s.q.ut(aq)
 	}
@@ -169,21 +228,20 @@ func (s *JAWS) AtomUtility(id store.AtomID) float64 {
 }
 
 // StepMean implements UtilityProvider.
-func (s *JAWS) StepMean(step int) float64 { return s.q.stepMeanUt(step) }
-
-// PendingSteps implements UtilityProvider.
-func (s *JAWS) PendingSteps() []int {
-	out := make([]int, 0, len(s.q.byStep))
-	for step := range s.q.byStep {
-		out = append(out, step)
-	}
-	return out
+func (s *JAWS) StepMean(step int) float64 {
+	s.q.syncResidency()
+	return s.q.stepMeanUt(step)
 }
 
+// PendingSteps implements UtilityProvider: the memoized ascending step
+// list (no per-call allocation; do not mutate).
+func (s *JAWS) PendingSteps() []int { return s.q.steps }
+
 var (
-	_ Scheduler       = (*JAWS)(nil)
-	_ UtilityProvider = (*JAWS)(nil)
-	_ Traced          = (*JAWS)(nil)
+	_ Scheduler          = (*JAWS)(nil)
+	_ UtilityProvider    = (*JAWS)(nil)
+	_ Traced             = (*JAWS)(nil)
+	_ ResidencyVersioned = (*JAWS)(nil)
 )
 
 // alphaController implements the adaptive starvation resistance of §V.A.

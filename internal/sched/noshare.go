@@ -13,10 +13,17 @@ import (
 // ever co-scheduled; the only I/O sharing is whatever the buffer cache
 // happens to provide across consecutive queries.
 type NoShare struct {
-	fifo    []*noShareQuery
+	fifo    []*noShareQuery // ring: the live entries are fifo[head:]
+	head    int
 	byQuery map[query.ID]*noShareQuery
 	pending int
 	trace   *obs.Tracer
+
+	// Reused decision buffers and the query-struct freelist (zero
+	// allocations in steady state).
+	free    []*noShareQuery
+	out     []Batch
+	singles []*query.SubQuery
 }
 
 type noShareQuery struct {
@@ -37,7 +44,14 @@ func (s *NoShare) Name() string { return "NoShare" }
 func (s *NoShare) Enqueue(sq *query.SubQuery, now time.Duration) {
 	qs, ok := s.byQuery[sq.Query.ID]
 	if !ok {
-		qs = &noShareQuery{id: sq.Query.ID}
+		if n := len(s.free); n > 0 {
+			qs = s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			qs.id = sq.Query.ID
+		} else {
+			qs = &noShareQuery{id: sq.Query.ID}
+		}
 		s.byQuery[sq.Query.ID] = qs
 		s.fifo = append(s.fifo, qs)
 	}
@@ -46,22 +60,38 @@ func (s *NoShare) Enqueue(sq *query.SubQuery, now time.Duration) {
 }
 
 // NextBatch implements Scheduler: the whole next query, one batch per
-// atom, in the Morton order pre-processing produced.
+// atom, in the Morton order pre-processing produced. The returned batches
+// are valid until the next NextBatch call (see the Scheduler contract).
 func (s *NoShare) NextBatch(now time.Duration) []Batch {
-	if len(s.fifo) == 0 {
+	if s.head == len(s.fifo) {
 		return nil
 	}
-	qs := s.fifo[0]
-	s.fifo = s.fifo[1:]
+	qs := s.fifo[s.head]
+	s.fifo[s.head] = nil
+	s.head++
+	if s.head == len(s.fifo) {
+		// Drained: reset the ring so the backing array is reused.
+		s.fifo = s.fifo[:0]
+		s.head = 0
+	}
 	delete(s.byQuery, qs.id)
-	out := make([]Batch, len(qs.subs))
+	// The singleton SubQueries slices are carved out of one reused arena;
+	// it is filled completely before any batch references it, so a growth
+	// reallocation cannot strand earlier batches on an old backing array.
+	s.singles = append(s.singles[:0], qs.subs...)
+	s.out = s.out[:0]
 	for i, sq := range qs.subs {
-		out[i] = Batch{Atom: sq.Atom, SubQueries: []*query.SubQuery{sq}}
+		s.out = append(s.out, Batch{Atom: sq.Atom, SubQueries: s.singles[i : i+1 : i+1]})
 		// Arrival-order scheduling has no metric to report: U_t/U_e stay 0.
 		s.trace.Decision(now, s.Name(), sq.Atom.Step, uint64(sq.Atom.Code), len(qs.subs), 0, 0, 0)
 	}
 	s.pending -= len(qs.subs)
-	return out
+	for i := range qs.subs {
+		qs.subs[i] = nil
+	}
+	qs.subs = qs.subs[:0]
+	s.free = append(s.free, qs)
+	return s.out
 }
 
 // SetTracer implements Traced.
@@ -92,6 +122,8 @@ type LifeRaft struct {
 	q     *queues
 	alpha float64
 	trace *obs.Tracer
+	// outBatch is the reused single-batch decision buffer.
+	outBatch [1]Batch
 }
 
 // NewLifeRaft creates a LifeRaft scheduler. resident reports cache
@@ -103,7 +135,12 @@ func NewLifeRaft(cost CostModel, alpha float64, resident func(store.AtomID) bool
 	if alpha > 1 {
 		alpha = 1
 	}
-	return &LifeRaft{q: newQueues(cost, resident), alpha: alpha}
+	q := newQueues(cost, resident)
+	// At α = 0 the aged metric degenerates to U_t bitwise, which is
+	// time-independent, so the indexed max-heap can stand in for the
+	// argmax scan (engaged once a residency version source is installed).
+	q.useHeap = alpha == 0
+	return &LifeRaft{q: q, alpha: alpha}
 }
 
 // Name implements Scheduler.
@@ -114,28 +151,43 @@ func (s *LifeRaft) Enqueue(sq *query.SubQuery, now time.Duration) { s.q.add(sq, 
 
 // NextBatch implements Scheduler: the single atom queue with the highest
 // aged workload throughput (LifeRaft schedules one atom at a time; the
-// two-level batching of k atoms is what JAWS adds).
+// two-level batching of k atoms is what JAWS adds). At α = 0 the answer
+// comes from the indexed max-heap in O(log n); otherwise a linear scan in
+// the model's key order keeps the tie-breaks exact.
 func (s *LifeRaft) NextBatch(now time.Duration) []Batch {
+	s.q.beginDecision()
+	if s.q.subs == 0 {
+		return nil
+	}
+	s.q.syncResidency()
 	var best *atomQueue
 	bestScore := 0.0
-	for _, aq := range s.q.byAtom {
-		score := s.q.ue(aq, s.alpha, now)
-		if best == nil || score > bestScore || (score == bestScore && aq.id.Key() < best.id.Key()) {
-			best, bestScore = aq, score
+	if s.alpha == 0 && s.q.useHeap && s.q.memoOK() {
+		best = s.q.heapTop()
+		bestScore = s.q.ue(best, s.alpha, now)
+	} else {
+		for _, b := range s.q.buckets {
+			for _, aq := range b.atoms {
+				score := s.q.ue(aq, s.alpha, now)
+				if best == nil || score > bestScore {
+					best, bestScore = aq, score
+				}
+			}
 		}
-	}
-	if best == nil {
-		return nil
 	}
 	if s.trace.Enabled() {
 		s.trace.Decision(now, s.Name(), best.id.Step, uint64(best.id.Code),
 			1, s.q.ut(best), bestScore, s.alpha)
 	}
-	return []Batch{s.q.take(best.id)}
+	s.outBatch[0] = s.q.take(best.id)
+	return s.outBatch[:]
 }
 
 // SetTracer implements Traced.
 func (s *LifeRaft) SetTracer(t *obs.Tracer) { s.trace = t }
+
+// SetResidencyVersion implements ResidencyVersioned.
+func (s *LifeRaft) SetResidencyVersion(fn func() uint64) { s.q.setResidencyVersion(fn) }
 
 // Pending implements Scheduler.
 func (s *LifeRaft) Pending() int { return s.q.subs }
@@ -149,6 +201,7 @@ func (s *LifeRaft) Alpha() float64 { return s.alpha }
 
 // AtomUtility implements UtilityProvider.
 func (s *LifeRaft) AtomUtility(id store.AtomID) float64 {
+	s.q.syncResidency()
 	if aq, ok := s.q.byAtom[id]; ok {
 		return s.q.ut(aq)
 	}
@@ -156,19 +209,18 @@ func (s *LifeRaft) AtomUtility(id store.AtomID) float64 {
 }
 
 // StepMean implements UtilityProvider.
-func (s *LifeRaft) StepMean(step int) float64 { return s.q.stepMeanUt(step) }
-
-// PendingSteps implements UtilityProvider.
-func (s *LifeRaft) PendingSteps() []int {
-	out := make([]int, 0, len(s.q.byStep))
-	for step := range s.q.byStep {
-		out = append(out, step)
-	}
-	return out
+func (s *LifeRaft) StepMean(step int) float64 {
+	s.q.syncResidency()
+	return s.q.stepMeanUt(step)
 }
 
+// PendingSteps implements UtilityProvider: the memoized ascending step
+// list (no per-call allocation; do not mutate).
+func (s *LifeRaft) PendingSteps() []int { return s.q.steps }
+
 var (
-	_ Scheduler       = (*LifeRaft)(nil)
-	_ UtilityProvider = (*LifeRaft)(nil)
-	_ Traced          = (*LifeRaft)(nil)
+	_ Scheduler          = (*LifeRaft)(nil)
+	_ UtilityProvider    = (*LifeRaft)(nil)
+	_ Traced             = (*LifeRaft)(nil)
+	_ ResidencyVersioned = (*LifeRaft)(nil)
 )

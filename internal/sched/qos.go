@@ -41,8 +41,44 @@ type QoS struct {
 	// the query's last atom is served.
 	pendingCnt map[query.ID]int
 
+	// Reused decision buffers and the inner-map pool (zero allocations in
+	// steady state).
+	urgents []qosUrgent
+	sorter  qosSorter
+	out     []Batch
+	mapPool []map[query.ID]bool
+
 	missed int
 	met    int
+}
+
+// qosUrgent is one urgent atom: the earliest deadline over the queries
+// pending on it.
+type qosUrgent struct {
+	atom     store.AtomID
+	deadline time.Duration
+}
+
+// qosSorter orders urgents either earliest-deadline-first (key on ties)
+// or by clustered key for Morton execution. Preallocated so the decision
+// path stays allocation-free.
+type qosSorter struct {
+	urgents []qosUrgent
+	byKey   bool
+}
+
+func (s *qosSorter) Len() int { return len(s.urgents) }
+func (s *qosSorter) Swap(i, j int) {
+	s.urgents[i], s.urgents[j] = s.urgents[j], s.urgents[i]
+}
+func (s *qosSorter) Less(i, j int) bool {
+	if s.byKey {
+		return s.urgents[i].atom.Key() < s.urgents[j].atom.Key()
+	}
+	if s.urgents[i].deadline != s.urgents[j].deadline {
+		return s.urgents[i].deadline < s.urgents[j].deadline
+	}
+	return s.urgents[i].atom.Key() < s.urgents[j].atom.Key()
 }
 
 // NewQoS wraps a JAWS scheduler with proportional completion-time
@@ -88,7 +124,13 @@ func (s *QoS) Enqueue(sq *query.SubQuery, now time.Duration) {
 	}
 	m := s.pendingBy[sq.Atom]
 	if m == nil {
-		m = make(map[query.ID]bool)
+		if n := len(s.mapPool); n > 0 {
+			m = s.mapPool[n-1]
+			s.mapPool[n-1] = nil
+			s.mapPool = s.mapPool[:n-1]
+		} else {
+			m = make(map[query.ID]bool)
+		}
 		s.pendingBy[sq.Atom] = m
 	}
 	if !m[qid] {
@@ -100,13 +142,12 @@ func (s *QoS) Enqueue(sq *query.SubQuery, now time.Duration) {
 
 // NextBatch implements Scheduler: serve urgent atoms (whose pending
 // sub-queries have deadlines within the horizon) earliest-deadline-first;
-// otherwise fall through to contention-ordered JAWS batching.
+// otherwise fall through to contention-ordered JAWS batching. The urgent
+// pass iterates a map, but the subsequent sort is a total order (deadline,
+// then unique clustered key), so the decision is deterministic.
 func (s *QoS) NextBatch(now time.Duration) []Batch {
-	type urgent struct {
-		atom     store.AtomID
-		deadline time.Duration
-	}
-	var urgents []urgent
+	s.inner.q.beginDecision()
+	s.urgents = s.urgents[:0]
 	for atom, qs := range s.pendingBy {
 		best := time.Duration(1<<62 - 1)
 		for qid := range qs {
@@ -115,35 +156,37 @@ func (s *QoS) NextBatch(now time.Duration) []Batch {
 			}
 		}
 		if best <= now+s.horizon {
-			urgents = append(urgents, urgent{atom: atom, deadline: best})
+			s.urgents = append(s.urgents, qosUrgent{atom: atom, deadline: best})
 		}
 	}
 	var batches []Batch
-	if len(urgents) > 0 {
-		sort.Slice(urgents, func(i, j int) bool {
-			if urgents[i].deadline != urgents[j].deadline {
-				return urgents[i].deadline < urgents[j].deadline
-			}
-			return urgents[i].atom.Key() < urgents[j].atom.Key()
-		})
+	if len(s.urgents) > 0 {
+		s.sorter.urgents = s.urgents
+		s.sorter.byKey = false
+		sort.Sort(&s.sorter)
 		// Take up to the inner batch size of urgent atoms, then execute in
 		// Morton order (the data-sharing elasticity the paper notes
 		// survives real-time constraints).
 		k := s.inner.BatchSize()
-		if len(urgents) > k {
-			urgents = urgents[:k]
+		if len(s.urgents) > k {
+			s.urgents = s.urgents[:k]
 		}
-		sort.Slice(urgents, func(i, j int) bool { return urgents[i].atom.Key() < urgents[j].atom.Key() })
-		for _, u := range urgents {
-			batches = append(batches, s.inner.q.take(u.atom))
+		s.sorter.urgents = s.urgents
+		s.sorter.byKey = true
+		sort.Sort(&s.sorter)
+		s.out = s.out[:0]
+		for _, u := range s.urgents {
+			s.out = append(s.out, s.inner.q.take(u.atom))
 		}
+		batches = s.out
 	} else {
 		batches = s.inner.NextBatch(now)
 	}
 	// Bookkeeping: retire served sub-queries; the deadline verdict lands
 	// once, when a query's final atom is served.
 	for _, b := range batches {
-		for qid := range s.pendingBy[b.Atom] {
+		m := s.pendingBy[b.Atom]
+		for qid := range m {
 			s.pendingCnt[qid]--
 			if s.pendingCnt[qid] > 0 {
 				continue
@@ -156,7 +199,13 @@ func (s *QoS) NextBatch(now time.Duration) []Batch {
 			delete(s.deadlines, qid)
 			delete(s.pendingCnt, qid)
 		}
-		delete(s.pendingBy, b.Atom)
+		if m != nil {
+			for qid := range m {
+				delete(m, qid)
+			}
+			s.mapPool = append(s.mapPool, m)
+			delete(s.pendingBy, b.Atom)
+		}
 	}
 	return batches
 }
@@ -182,6 +231,10 @@ func (s *QoS) DeadlinesMet() int { return s.met }
 // by the fallthrough path's decisions.
 func (s *QoS) SetTracer(t *obs.Tracer) { s.inner.SetTracer(t) }
 
+// SetResidencyVersion implements ResidencyVersioned by forwarding to the
+// inner JAWS instance.
+func (s *QoS) SetResidencyVersion(fn func() uint64) { s.inner.SetResidencyVersion(fn) }
+
 // AtomUtility implements UtilityProvider.
 func (s *QoS) AtomUtility(id store.AtomID) float64 { return s.inner.AtomUtility(id) }
 
@@ -192,7 +245,8 @@ func (s *QoS) StepMean(step int) float64 { return s.inner.StepMean(step) }
 func (s *QoS) PendingSteps() []int { return s.inner.PendingSteps() }
 
 var (
-	_ Scheduler       = (*QoS)(nil)
-	_ UtilityProvider = (*QoS)(nil)
-	_ Traced          = (*QoS)(nil)
+	_ Scheduler          = (*QoS)(nil)
+	_ UtilityProvider    = (*QoS)(nil)
+	_ Traced             = (*QoS)(nil)
+	_ ResidencyVersioned = (*QoS)(nil)
 )

@@ -10,10 +10,16 @@
 // A scheduler owns the per-atom workload queues: each pending sub-query
 // sits in the queue of its primary atom, and the scheduler picks which
 // atom queue(s) to drain next.
+//
+// The decision path is incremental and allocation-free: atom queues live
+// in per-step Morton-sorted buckets (no per-decision sort), Eq. 1/2
+// utilities and per-step aggregates are memoized behind a cache-residency
+// version counter, and batches reuse pooled structures. The differential
+// oracle (internal/oracle) certifies that every decision is byte-identical
+// to a naive rescan reference model.
 package sched
 
 import (
-	"sort"
 	"time"
 
 	"jaws/internal/obs"
@@ -55,6 +61,11 @@ type Scheduler interface {
 	Enqueue(sq *query.SubQuery, now time.Duration)
 	// NextBatch selects and removes the next batch(es) of work. It
 	// returns nil when no work is pending.
+	//
+	// Ownership: the returned slice and the batches' SubQueries slices
+	// are valid only until the next NextBatch call on the same scheduler —
+	// schedulers recycle the underlying storage. Callers that retain a
+	// decision (recorders, tracers) must copy it.
 	NextBatch(now time.Duration) []Batch
 	// Pending reports the number of queued sub-queries.
 	Pending() int
@@ -83,8 +94,20 @@ type UtilityProvider interface {
 	// StepMean returns the mean workload throughput of the step's pending
 	// atoms (0 if the step has no pending work).
 	StepMean(step int) float64
-	// PendingSteps lists the steps with pending work.
+	// PendingSteps lists the steps with pending work, ascending. The
+	// returned slice is owned by the scheduler and must not be mutated or
+	// retained across scheduler calls.
 	PendingSteps() []int
+}
+
+// ResidencyVersioned is implemented by schedulers that memoize
+// φ(i)-dependent utility values behind a residency version counter: the
+// counter must change whenever the set of cache-resident atoms may have
+// changed (the cache's mutation counter). Without a version source the
+// schedulers recompute utilities on every read — still exact, just not
+// incremental. The engine installs the cache's Version method.
+type ResidencyVersioned interface {
+	SetResidencyVersion(fn func() uint64)
 }
 
 // atomQueue is the workload queue of one atom: the union of the pending
@@ -94,15 +117,47 @@ type atomQueue struct {
 	subs      []*query.SubQuery
 	positions int
 	oldest    time.Duration // enqueue time of the oldest sub-query
+
+	// ut memoizes the Eq. 1 value, valid iff utSeen == queues.epoch
+	// (see index.go for the invariant).
+	ut     float64
+	utSeen uint64
+	// heapIdx is the position in queues.heap, -1 when not a member.
+	heapIdx int
 }
 
-// queues indexes the atom queues by atom and by time step.
+// queues indexes the atom queues by atom and by time step. See index.go
+// for the incremental structures (sorted step buckets, memo epochs, the
+// indexed max-heap, and the freelists).
 type queues struct {
 	byAtom   map[store.AtomID]*atomQueue
-	byStep   map[int]map[store.AtomID]*atomQueue
+	buckets  []*stepBucket // step-ascending; buckets[i].step == steps[i]
+	steps    []int         // memoized PendingSteps answer
 	subs     int
 	resident func(store.AtomID) bool
 	cost     CostModel
+
+	// Residency-version gating for the utility memos (see syncResidency).
+	resVersion func() uint64
+	lastRes    uint64
+	haveRes    bool
+	epoch      uint64
+
+	// Indexed max-heap over all pending atoms (ut desc, key asc); engaged
+	// by LifeRaft at α = 0, rebuilt lazily when the epoch moves.
+	heap     []*atomQueue
+	heapSeen uint64
+	useHeap  bool
+
+	// Freelists and the deferred-recycle list backing the zero-allocation
+	// decision path.
+	freeAtoms   []*atomQueue
+	freeBuckets []*stepBucket
+	released    []*atomQueue
+
+	// Recompute counters (regression tests pin that memoization works).
+	utRecomputes      int
+	stepSumRecomputes int
 }
 
 func newQueues(cost CostModel, resident func(store.AtomID) bool) *queues {
@@ -111,39 +166,66 @@ func newQueues(cost CostModel, resident func(store.AtomID) bool) *queues {
 	}
 	return &queues{
 		byAtom:   make(map[store.AtomID]*atomQueue),
-		byStep:   make(map[int]map[store.AtomID]*atomQueue),
 		resident: resident,
 		cost:     cost,
+		epoch:    1,
 	}
+}
+
+// setResidencyVersion installs the residency version source, enabling
+// cross-call memoization (and the heap, for schedulers that want it).
+func (q *queues) setResidencyVersion(fn func() uint64) {
+	q.resVersion = fn
+	q.haveRes = false
+	q.epoch++
 }
 
 func (q *queues) add(sq *query.SubQuery, now time.Duration) {
+	q.syncResidency()
 	aq, ok := q.byAtom[sq.Atom]
 	if !ok {
-		aq = &atomQueue{id: sq.Atom, oldest: now}
+		aq = q.newAtomQueue(sq.Atom)
+		aq.oldest = now
 		q.byAtom[sq.Atom] = aq
-		step := q.byStep[sq.Atom.Step]
-		if step == nil {
-			step = make(map[store.AtomID]*atomQueue)
-			q.byStep[sq.Atom.Step] = step
+		q.bucketFor(sq.Atom.Step, true).insertAtom(aq)
+		aq.subs = append(aq.subs, sq)
+		aq.positions += len(sq.Points)
+		q.subs++
+		if q.heapValid() {
+			q.ut(aq)
+			q.heapPush(aq)
 		}
-		step[sq.Atom] = aq
+		return
 	}
 	aq.subs = append(aq.subs, sq)
 	aq.positions += len(sq.Points)
+	aq.utSeen = 0 // positions changed: the memoized ut is stale
 	q.subs++
+	if b := q.bucketFor(sq.Atom.Step, false); b != nil {
+		b.sumSeen = 0
+	}
+	if q.heapValid() {
+		q.ut(aq)
+		q.heapFix(aq)
+	}
 }
 
-// take removes and returns the queue of atom id as a Batch.
+// take removes the queue of atom id, returning it as a Batch. The
+// Batch's SubQueries slice is recycled at the start of the next
+// NextBatch call (see beginDecision).
 func (q *queues) take(id store.AtomID) Batch {
 	aq := q.byAtom[id]
 	delete(q.byAtom, id)
-	step := q.byStep[id.Step]
-	delete(step, id)
-	if len(step) == 0 {
-		delete(q.byStep, id.Step)
+	b := q.bucketFor(id.Step, false)
+	b.removeAtom(aq)
+	if len(b.atoms) == 0 {
+		q.dropBucket(b)
+	}
+	if q.heapValid() && aq.heapIdx >= 0 {
+		q.heapRemove(aq)
 	}
 	q.subs -= len(aq.subs)
+	q.released = append(q.released, aq)
 	return Batch{Atom: aq.id, SubQueries: aq.subs}
 }
 
@@ -152,18 +234,29 @@ func (q *queues) take(id store.AtomID) Batch {
 //	U_t(i) = ΣW / (T_b·φ(i) + T_m·ΣW)
 //
 // in positions per second, where φ(i) is 0 if the atom is resident in the
-// cache and 1 otherwise.
+// cache and 1 otherwise. The value is memoized per residency epoch when a
+// version source is installed; recomputation reproduces the identical
+// float (same expression, same inputs), which the oracle certifies.
 func (q *queues) ut(aq *atomQueue) float64 {
+	if q.memoOK() && aq.utSeen == q.epoch {
+		return aq.ut
+	}
+	q.utRecomputes++
 	w := float64(aq.positions)
 	phi := 1.0
 	if q.resident(aq.id) {
 		phi = 0
 	}
 	denom := q.cost.Tb.Seconds()*phi + q.cost.Tm.Seconds()*w
-	if denom <= 0 {
-		return 0
+	v := 0.0
+	if denom > 0 {
+		v = w / denom
 	}
-	return w / denom
+	if q.memoOK() {
+		aq.ut = v
+		aq.utSeen = q.epoch
+	}
+	return v
 }
 
 // ue computes the aged workload throughput metric of Eq. 2:
@@ -177,41 +270,49 @@ func (q *queues) ue(aq *atomQueue, alpha float64, now time.Duration) float64 {
 	return q.ut(aq)*(1-alpha) + ageMs*alpha
 }
 
-// sortedStepQueues returns the step's atom queues in Morton order.
-// Iterating the map directly would make floating-point sums depend on the
-// runtime's map order and turn whole simulations non-deterministic.
-func (q *queues) sortedStepQueues(step int) []*atomQueue {
-	atoms := q.byStep[step]
-	out := make([]*atomQueue, 0, len(atoms))
-	for _, aq := range atoms {
-		out = append(out, aq)
+// stepUtSum returns Σ U_t over the bucket's atoms, accumulated in Morton
+// order, memoized per epoch. At α = 0 this is also Σ U_e bitwise:
+// ut·(1−0) ≡ ut and ageMs·0 ≡ +0.0 for the non-negative finite ages the
+// virtual clock produces, and x + 0.0 ≡ x for the non-negative ut.
+func (q *queues) stepUtSum(b *stepBucket) float64 {
+	if q.memoOK() && b.sumSeen == q.epoch {
+		return b.utSum
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id.Key() < out[j].id.Key() })
-	return out
+	q.stepSumRecomputes++
+	sum := 0.0
+	for _, aq := range b.atoms {
+		sum += q.ut(aq)
+	}
+	if q.memoOK() {
+		b.utSum = sum
+		b.sumSeen = q.epoch
+	}
+	return sum
 }
 
-// stepMeanUe returns the mean aged metric over the pending atoms of step.
-func (q *queues) stepMeanUe(step int, alpha float64, now time.Duration) float64 {
-	atoms := q.sortedStepQueues(step)
-	if len(atoms) == 0 {
+// stepMeanUeBucket returns the mean aged metric over the bucket's atoms.
+// The α = 0 case reuses the memoized Σ U_t (bitwise-identical, see
+// stepUtSum); otherwise the age terms are time-dependent and the sum is
+// rebuilt each call — in the same Morton order as the reference model.
+func (q *queues) stepMeanUeBucket(b *stepBucket, alpha float64, now time.Duration) float64 {
+	if len(b.atoms) == 0 {
 		return 0
 	}
+	if alpha == 0 {
+		return q.stepUtSum(b) / float64(len(b.atoms))
+	}
 	sum := 0.0
-	for _, aq := range atoms {
+	for _, aq := range b.atoms {
 		sum += q.ue(aq, alpha, now)
 	}
-	return sum / float64(len(atoms))
+	return sum / float64(len(b.atoms))
 }
 
 // stepMeanUt returns the mean un-aged metric over the pending atoms.
 func (q *queues) stepMeanUt(step int) float64 {
-	atoms := q.sortedStepQueues(step)
-	if len(atoms) == 0 {
+	b := q.bucketFor(step, false)
+	if b == nil || len(b.atoms) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, aq := range atoms {
-		sum += q.ut(aq)
-	}
-	return sum / float64(len(atoms))
+	return q.stepUtSum(b) / float64(len(b.atoms))
 }
