@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-oracle check-prop check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve
+.PHONY: check check-oracle check-prop check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve lint
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
@@ -21,6 +21,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+## lint: static analysis beyond vet — staticcheck and govulncheck. The
+## target never installs anything: tools that are not on PATH are
+## skipped with a notice (CI installs both; see .github/workflows/ci.yml).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else echo "lint: staticcheck not on PATH, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo govulncheck ./...; govulncheck ./...; \
+	else echo "lint: govulncheck not on PATH, skipping"; fi
 
 test:
 	$(GO) test ./...

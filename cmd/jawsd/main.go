@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultSpec   = fs.String("fault-spec", "", "deterministic fault schedule, e.g. 'disk-transient:p=0.05' (see internal/fault)")
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for the fault injector (each node derives its own stream)")
 		traceOut    = fs.String("trace-out", "", "write a JSONL decision trace to this file")
+		flight      = fs.Bool("flight", false, "record scheduler decision flight records (ring + trace-out sink; enables /varz sched and jaws_sched_* metrics)")
+		flightRing  = fs.Int("flight-ring", 0, "flight recorder ring capacity in records (0: default 4096, <0: unbounded)")
 		metricsOut  = fs.String("metrics-out", "", "write the metrics registry (Prometheus text) to this file on exit")
 		serveFor    = fs.Duration("serve-for", 0, "drain and exit after this long (0: serve until a signal)")
 		allowQuit   = fs.Bool("allow-quit", false, "serve POST /quitquitquit to trigger a graceful drain")
@@ -117,6 +119,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// holds both sides of every request.
 		reqSpans = obs.NewReqSpanAgg()
 	}
+	var recorder *obs.FlightRecorder
+	if *flight {
+		// Decision flight records land in the recorder's ring (for /varz
+		// aggregates), the jaws_sched_* counters, and — when -trace-out is
+		// set — the shared JSONL trace, where jawsreport -why joins them
+		// with the engine spans.
+		recorder = obs.NewFlightRecorder(*flightRing, tracer, reg)
+		o.Flight = recorder
+	}
 	var logger *obs.Logger
 	if *logOut != "" {
 		w := io.Writer(stderr)
@@ -142,6 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			CacheAtoms: *cacheAtoms,
 			Compute:    true,
 			Obs:        o,
+			EngineID:   i, // label decision records per node
 			Fault:      spec,
 			FaultSeed:  *faultSeed + int64(i), // independent fault streams
 		})
@@ -168,6 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Log:             logger,
 		SLO:             slo,
 		ReqIDSeed:       *reqSeed,
+		Flight:          recorder,
 	})
 	if err != nil {
 		return errf("%v", err)
@@ -267,11 +280,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "slo             %.2f%% <= %v (objective %.2f%%, burn %.2f, budget %.0f%%)\n",
 			snap.Compliance*100, snap.Target, snap.Objective*100, snap.BurnRate, snap.BudgetRemaining*100)
 	}
+	if recorder != nil {
+		snap := recorder.Snapshot()
+		fmt.Fprintf(stdout, "flight          %d decisions (%d atoms chosen; pass-overs: %d batch-full, %d lost-race, %d aged-in; %d gated rounds)\n",
+			snap.Decisions, snap.ChosenAtoms, snap.PassBatchFull, snap.PassLostRace, snap.PassAgedIn, snap.GatedEdgeRounds)
+	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
 			return errf("trace: %v", err)
 		}
 		fmt.Fprintf(stdout, "trace           %d events -> %s\n", tracer.Total(), *traceOut)
+		// Fold the final drop totals into the counter so the exported
+		// metrics file agrees with the closed trace.
+		c := reg.Counter("jaws_trace_dropped_total")
+		if dropped := tracer.RingDropped() + tracer.SinkDropped(); dropped > c.Value() {
+			c.Add(dropped - c.Value())
+		}
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -12,10 +12,22 @@
 // execute/write) and where the virtual time went inside it. -req looks a
 // single request ID up and prints its full stitched record.
 //
+// Traces recorded with the decision flight recorder (jawsd -flight, or
+// jawsbench, which always records) additionally carry one
+// "decision_record" event per scheduling round. jawsreport joins them
+// with the engine spans into wait-cause attribution: -why reconstructs
+// one query's complete wait chain — every decision round it was
+// eligible but passed over, attributed to losing the utility race (to
+// whom, by what margin), being aged in over, the batch bound, or a
+// gating edge before dispatch — and the main report gains a per-cause
+// tail breakdown plus the dominant cause of each starvation-tail query.
+//
 // It also audits the trace itself: every span — virtual and wall — is
 // checked against the attribution invariant (phase components must sum
 // exactly to the total), and the trace footer's drop counters are
 // surfaced so a truncated trace is never mistaken for a complete one.
+// A failed audit (conservation violations, a missing footer, or sink
+// drops) exits with status 2 so CI jobs catch corrupt traces.
 //
 // Usage:
 //
@@ -23,24 +35,33 @@
 //	jawsreport run.jsonl
 //	jawsreport -k 20 < run.jsonl
 //	jawsreport -req r8b6f3a2c91d04e75 service.jsonl
+//	jawsreport -why r8b6f3a2c91d04e75 service.jsonl
+//	jawsreport -why 42 run.jsonl
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"jaws/internal/metrics"
 	"jaws/internal/obs"
 )
 
+// errIntegrity marks a trace that failed the integrity audit; main
+// translates it into exit status 2 (the report is still fully printed).
+var errIntegrity = errors.New("trace integrity audit failed")
+
 func main() {
 	worstK := flag.Int("k", 10, "size of the starvation tail (worst-k queries)")
 	reqID := flag.String("req", "", "look one request ID up and print its stitched record")
+	why := flag.String("why", "", "reconstruct one query's wait chain from the decision records (query ID or request ID)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -54,7 +75,12 @@ func main() {
 		in = f
 		name = flag.Arg(0)
 	}
-	if err := run(in, name, os.Stdout, *worstK, *reqID); err != nil {
+	err := run(in, name, os.Stdout, *worstK, *reqID, *why)
+	if errors.Is(err, errIntegrity) {
+		fmt.Fprintf(os.Stderr, "jawsreport: %v\n", err)
+		os.Exit(2)
+	}
+	if err != nil {
 		fatalf("%v", err)
 	}
 }
@@ -67,12 +93,14 @@ type stitched struct {
 }
 
 // run streams the trace and writes the lifecycle report. Split out from
-// main so tests can drive it against golden files. When reqID is
-// non-empty only that request's stitched record is printed.
-func run(in io.Reader, name string, out io.Writer, worstK int, reqID string) error {
+// main so tests can drive it against golden files. When reqID (or why)
+// is non-empty only that request's stitched record (or that query's
+// wait chain) is printed.
+func run(in io.Reader, name string, out io.Writer, worstK int, reqID, why string) error {
 	var (
 		spans         []obs.Span
 		reqSpans      []obs.ReqSpan
+		decRecs       []obs.DecisionRecord
 		footer        *obs.TraceFooter
 		events        int64
 		violations    int
@@ -108,6 +136,11 @@ func run(in io.Reader, name string, out io.Writer, worstK int, reqID string) err
 				reqViolations++
 			}
 			reqSpans = append(reqSpans, *ev.Req)
+		case obs.KindDecisionRecord:
+			if ev.Flight == nil {
+				return fmt.Errorf("line %d: decision_record event without payload", line)
+			}
+			decRecs = append(decRecs, *ev.Flight)
 		case obs.KindFooter:
 			footer = ev.Footer
 		default:
@@ -135,6 +168,18 @@ func run(in io.Reader, name string, out io.Writer, worstK int, reqID string) err
 			}
 		}
 		return fmt.Errorf("%s: no request span with ID %s", name, reqID)
+	}
+
+	if why != "" {
+		sp, err := resolveWhy(why, spans, byReq)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if len(decRecs) == 0 {
+			return fmt.Errorf("%s: no decision records (rerun the trace with the flight recorder on, e.g. jawsd -flight)", name)
+		}
+		printWhy(out, obs.NewDecisionIndex(decRecs).Chain(*sp))
+		return nil
 	}
 
 	if len(spans) == 0 {
@@ -167,6 +212,34 @@ func run(in io.Reader, name string, out io.Writer, worstK int, reqID string) err
 				fmt.Sprint(sp.Decisions), fmt.Sprintf("%d/%d", sp.Hits, sp.Misses))
 		}
 		fmt.Fprint(out, wt.String())
+	}
+
+	if len(decRecs) > 0 {
+		ix := obs.NewDecisionIndex(decRecs)
+		fmt.Fprintf(out, "\n== wait causes (%d decision records) ==\n", len(decRecs))
+		cb := &metrics.Table{Header: []string{"cause", "total", "mean/query", "p50", "p95", "p99"}}
+		for _, ct := range obs.CauseBreakdown(spans, ix) {
+			cb.AddRow(ct.Cause, fms(ct.TotalMS), fms(ct.MeanMS), fms(ct.P50MS), fms(ct.P95MS), fms(ct.P99MS))
+		}
+		fmt.Fprint(out, cb.String())
+
+		if len(sum.WorstK) > 0 {
+			fmt.Fprintf(out, "\n== starvation tail by dominant wait cause ==\n")
+			dt := &metrics.Table{Header: []string{"query", "wait", "dominant cause", "share", "passed over", "detail"}}
+			for i := range sum.WorstK {
+				c := ix.Chain(sum.WorstK[i])
+				cause, d := c.DominantCause()
+				wait := c.Span.Gated + c.Span.Queued
+				share := "-"
+				if wait > 0 {
+					share = fmt.Sprintf("%.0f%%", float64(d)/float64(wait)*100)
+				}
+				dt.AddRow(fmt.Sprint(c.Query), fd(wait), string(cause), share,
+					fmt.Sprint(c.PassedOver()), dominantDetail(c, cause))
+			}
+			fmt.Fprint(out, dt.String())
+			fmt.Fprintln(out, "(jawsreport -why <query|request-id> reconstructs a full wait chain)")
+		}
 	}
 
 	if len(reqSpans) > 0 {
@@ -228,8 +301,139 @@ func run(in io.Reader, name string, out io.Writer, worstK int, reqID string) err
 	default:
 		fmt.Fprintf(out, "footer: %d events emitted, 0 lost\n", footer.Total)
 	}
+
+	// A failed audit is an exit-status failure, not just a WARNING line:
+	// conservation violations or a dropped/truncated trace mean every
+	// number above may be wrong, and CI must not greenlight it.
+	switch {
+	case violations > 0:
+		return fmt.Errorf("%w: %d spans violate the attribution invariant", errIntegrity, violations)
+	case reqViolations > 0:
+		return fmt.Errorf("%w: %d request spans violate the attribution invariant", errIntegrity, reqViolations)
+	case footer == nil:
+		return fmt.Errorf("%w: no trace footer", errIntegrity)
+	case footer.SinkDropped > 0:
+		return fmt.Errorf("%w: %d events lost to sink write errors", errIntegrity, footer.SinkDropped)
+	}
 	return nil
 }
+
+// resolveWhy maps the -why argument — a query ID or a request ID — to
+// the engine span it names.
+func resolveWhy(why string, spans []obs.Span, byReq map[string]*obs.Span) (*obs.Span, error) {
+	if qid, err := strconv.ParseInt(why, 10, 64); err == nil {
+		for i := range spans {
+			if spans[i].Query == qid {
+				return &spans[i], nil
+			}
+		}
+		return nil, fmt.Errorf("no engine span for query %d", qid)
+	}
+	if sp := byReq[why]; sp != nil {
+		return sp, nil
+	}
+	return nil, fmt.Errorf("no engine span carries request ID %s", why)
+}
+
+// whyRoundCap bounds the per-round table of a wait chain; chains longer
+// than this elide the middle (the summary still covers every round).
+const whyRoundCap = 40
+
+// printWhy renders one query's reconstructed wait chain.
+func printWhy(out io.Writer, c *obs.WaitChain) {
+	sp := &c.Span
+	fmt.Fprintf(out, "why query %d", c.Query)
+	if sp.Req != "" {
+		fmt.Fprintf(out, " (request %s)", sp.Req)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  engine %d   arrival %s   done %s   total %s\n",
+		c.Engine, fd(sp.Arrival), fd(sp.Done), fd(sp.Total()))
+	fmt.Fprintf(out, "  phases  gated %s + queued %s + overhead %s + disk %s + compute %s\n",
+		fd(sp.Gated), fd(sp.Queued), fd(sp.Overhead), fd(sp.Disk), fd(sp.Compute))
+	if c.Note != "" {
+		fmt.Fprintf(out, "  note: %s\n", c.Note)
+		return
+	}
+
+	if sp.Gated > 0 {
+		fmt.Fprintf(out, "\n  gated-behind: %s held before dispatch\n", fd(sp.Gated))
+		if len(c.GatedEdges) == 0 {
+			fmt.Fprintln(out, "    (no gating edge recorded: admission latency, or the hold predates the recorder window)")
+		}
+		for _, e := range c.GatedEdges {
+			fmt.Fprintf(out, "    q(%d,%d) waiting on q(%d,%d)", e.Job, e.Seq, e.OnJob, e.OnSeq)
+			if e.OnQuery != 0 {
+				fmt.Fprintf(out, " = query %d", e.OnQuery)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+
+	served := len(c.Rounds) - c.PassedOver()
+	fmt.Fprintf(out, "\n  decision rounds in [dispatch, done): %d (%d serving, %d passed over)\n",
+		len(c.Rounds), served, c.PassedOver())
+	rt := &metrics.Table{Header: []string{"round", "t", "charged", "outcome", "detail"}}
+	elided := 0
+	for i := range c.Rounds {
+		if len(c.Rounds) > whyRoundCap && i >= whyRoundCap/2 && i < len(c.Rounds)-whyRoundCap/2 {
+			elided++
+			continue
+		}
+		r := &c.Rounds[i]
+		outcome, detail := "SERVED", "sub-query in this round's batch"
+		if !r.Serving {
+			outcome, detail = string(r.Cause), r.Detail
+		}
+		rt.AddRow(fmt.Sprint(r.Seq), fd(r.T), fd(r.Dur), outcome, detail)
+	}
+	fmt.Fprint(out, rt.String())
+	if elided > 0 {
+		fmt.Fprintf(out, "  (%d middle rounds elided)\n", elided)
+	}
+
+	fmt.Fprintln(out, "\n  wait by cause:")
+	for _, cause := range obs.AllWaitCauses {
+		if d := c.ByCause[cause]; d > 0 {
+			fmt.Fprintf(out, "    %-12s %s\n", cause, fd(d))
+		}
+	}
+	total := sp.Gated + sp.Queued
+	if c.Exact {
+		fmt.Fprintf(out, "  conservation: causes sum to gated+queued = %s (exact)\n", fd(total))
+	} else {
+		fmt.Fprintf(out, "  conservation: causes cover %s of gated+queued = %s (decision records incomplete for this window)\n",
+			fd(sp.Gated+c.Queued), fd(total))
+	}
+}
+
+// dominantDetail compresses a chain's dominant cause into one table
+// cell: the most representative round detail, or the gating edge.
+func dominantDetail(c *obs.WaitChain, cause obs.WaitCause) string {
+	if cause == obs.CauseGated {
+		if len(c.GatedEdges) > 0 {
+			e := c.GatedEdges[0]
+			return fmt.Sprintf("waiting on q(%d,%d)", e.OnJob, e.OnSeq)
+		}
+		return "held before dispatch"
+	}
+	// The longest round charged to the dominant cause carries the most
+	// representative detail.
+	var best *obs.WaitRound
+	for i := range c.Rounds {
+		r := &c.Rounds[i]
+		if !r.Serving && r.Cause == cause && (best == nil || r.Dur > best.Dur) {
+			best = r
+		}
+	}
+	if best == nil {
+		return "-"
+	}
+	return best.Detail
+}
+
+// fms renders a float of milliseconds compactly.
+func fms(v float64) string { return fmt.Sprintf("%.1fms", v) }
 
 // printStitched renders one request's full record: the wall-clock phases
 // the serving layer charged around the engine, and — when the trace

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -14,10 +15,15 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // TestGolden locks the report's rendering against golden files; run with
 // -update after intentional output changes.
 func TestGolden(t *testing.T) {
-	for _, tc := range []struct{ fixture, golden string }{
-		{"trace.jsonl", "trace.golden"},
-		{"truncated.jsonl", "truncated.golden"},
-		{"service.jsonl", "service.golden"},
+	for _, tc := range []struct {
+		fixture, golden string
+		wantIntegrity   bool
+	}{
+		{"trace.jsonl", "trace.golden", false},
+		// The truncated fixture has no footer: the report must render in
+		// full AND the audit must fail with the errIntegrity exit.
+		{"truncated.jsonl", "truncated.golden", true},
+		{"service.jsonl", "service.golden", false},
 	} {
 		t.Run(tc.fixture, func(t *testing.T) {
 			// Input fixtures are shared with cmd/tracestat (both commands
@@ -28,7 +34,12 @@ func TestGolden(t *testing.T) {
 			}
 			defer in.Close()
 			var out bytes.Buffer
-			if err := run(in, tc.fixture, &out, 10, ""); err != nil {
+			err = run(in, tc.fixture, &out, 10, "", "")
+			if tc.wantIntegrity {
+				if !errors.Is(err, errIntegrity) {
+					t.Fatalf("err = %v, want errIntegrity", err)
+				}
+			} else if err != nil {
 				t.Fatal(err)
 			}
 			goldenPath := filepath.Join("testdata", tc.golden)
@@ -65,7 +76,7 @@ func TestReqLookup(t *testing.T) {
 		in := open(t)
 		defer in.Close()
 		var out bytes.Buffer
-		if err := run(in, "service.jsonl", &out, 10, "r1111111111111111"); err != nil {
+		if err := run(in, "service.jsonl", &out, 10, "r1111111111111111", ""); err != nil {
 			t.Fatal(err)
 		}
 		for _, want := range []string{
@@ -85,7 +96,7 @@ func TestReqLookup(t *testing.T) {
 		in := open(t)
 		defer in.Close()
 		var out bytes.Buffer
-		if err := run(in, "service.jsonl", &out, 10, "r3333333333333333"); err != nil {
+		if err := run(in, "service.jsonl", &out, 10, "r3333333333333333", ""); err != nil {
 			t.Fatal(err)
 		}
 		for _, want := range []string{
@@ -103,7 +114,7 @@ func TestReqLookup(t *testing.T) {
 		in := open(t)
 		defer in.Close()
 		var out bytes.Buffer
-		err := run(in, "service.jsonl", &out, 10, "rdeadbeefdeadbeef")
+		err := run(in, "service.jsonl", &out, 10, "rdeadbeefdeadbeef", "")
 		if err == nil || !strings.Contains(err.Error(), "no request span") {
 			t.Fatalf("unknown ID: err = %v, want a no-request-span error", err)
 		}
@@ -114,7 +125,7 @@ func TestReqLookup(t *testing.T) {
 func TestNoSpans(t *testing.T) {
 	in := bytes.NewBufferString(`{"t":0,"kind":"cache_hit","step":1,"code":5}` + "\n")
 	var out bytes.Buffer
-	if err := run(in, "nospans", &out, 10, ""); err == nil {
+	if err := run(in, "nospans", &out, 10, "", ""); err == nil {
 		t.Fatal("expected an error for a span-free trace")
 	}
 }

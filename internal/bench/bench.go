@@ -24,7 +24,8 @@ import (
 // ArtifactVersion is the BENCH_*.json schema version. Bump it on any
 // incompatible change to Artifact's shape; Load rejects other versions so
 // cross-version comparisons fail loudly instead of silently misreading.
-const ArtifactVersion = 1
+// Version 2 added the per-cause wait tail (wait_causes).
+const ArtifactVersion = 2
 
 // ConfigRecord pins the simulation parameters that produced an artifact.
 // Two artifacts are comparable only if their configs match.
@@ -81,6 +82,14 @@ type Artifact struct {
 	DiskBytes    int64   `json:"disk_bytes"`
 
 	GateBlocked int `json:"gate_blocked"`
+
+	// WaitCauses is the per-cause wait-time tail across all completed
+	// queries, in obs.AllWaitCauses order: how much of the waiting the
+	// gating graph caused versus lost utility races, the batch bound, and
+	// the age bias (see obs.CauseBreakdown). Tracking the p99 of each
+	// cause PR over PR shows *which* scheduling mechanism a regression
+	// came from, not just that the tail moved.
+	WaitCauses []obs.CauseTail `json:"wait_causes"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -104,13 +113,16 @@ func record(s experiments.Scale, alg experiments.Algorithm) ConfigRecord {
 }
 
 // Run executes the JAWS2 benchmark workload at the given scale with span
-// collection enabled and distills the report into an artifact. The scale's
-// Obs is replaced for the run (a fresh span aggregator, no tracer, no
-// registry) so the measurement is self-contained and repeatable.
+// collection and the decision flight recorder enabled, and distills the
+// report into an artifact. The scale's Obs is replaced for the run (a
+// fresh span aggregator and an unbounded recorder — attribution must
+// not lose rounds — no tracer, no registry) so the measurement is
+// self-contained and repeatable.
 func Run(s experiments.Scale, name string) (*Artifact, error) {
 	alg := experiments.AlgJAWS2
 	agg := obs.NewSpanAgg()
-	s.Obs = &obs.Obs{Spans: agg}
+	rec := obs.NewFlightRecorder(-1, nil, nil)
+	s.Obs = &obs.Obs{Spans: agg, Flight: rec}
 	rep, err := experiments.RunAlgorithm(s, alg, s.BatchSize)
 	if err != nil {
 		return nil, err
@@ -149,6 +161,7 @@ func Run(s experiments.Scale, name string) (*Artifact, error) {
 			ComputeMS:  ms(sum.Phases.Compute / n),
 		}
 	}
+	a.WaitCauses = obs.CauseBreakdown(agg.Spans(), obs.NewDecisionIndex(rec.Records()))
 	return a, nil
 }
 

@@ -38,6 +38,16 @@ func TestArtifactByteDeterminism(t *testing.T) {
 	if a1.Phases == (PhaseMeans{}) {
 		t.Fatal("artifact carries no phase attribution")
 	}
+	if len(a1.WaitCauses) != 4 {
+		t.Fatalf("artifact carries %d wait-cause rows, want 4", len(a1.WaitCauses))
+	}
+	var totalWait float64
+	for _, ct := range a1.WaitCauses {
+		totalWait += ct.TotalMS
+	}
+	if totalWait <= 0 {
+		t.Fatal("wait-cause breakdown attributes no wait at all")
+	}
 }
 
 // TestArtifactRoundTrip writes and reloads an artifact.
@@ -55,8 +65,16 @@ func TestArtifactRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != *a {
-		t.Fatalf("round trip changed artifact:\n got %+v\nwant %+v", got, a)
+	gb, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, ab) {
+		t.Fatalf("round trip changed artifact:\n got %s\nwant %s", gb, ab)
 	}
 }
 

@@ -93,6 +93,10 @@ type Config struct {
 	// engine uninstrumented: every instrumentation point reduces to one nil
 	// check (see the obs package's zero-overhead contract).
 	Obs *obs.Obs
+	// EngineID labels this engine's decision flight records so a shared
+	// trace can be split back into per-node timelines (cluster layers give
+	// each node a distinct ID). Ignored unless Obs carries a recorder.
+	EngineID int
 	// Fault enables deterministic fault injection: transient/permanent
 	// disk errors, latency spikes, cache corruption, and a scheduled node
 	// crash (see internal/fault). Nil (the default) disables injection for
@@ -528,6 +532,7 @@ func (e *Engine) dispatch(q *query.Query) {
 // runs — the two effects the paper's two-level batching banks on.
 func (e *Engine) execute(batches []sched.Batch) error {
 	e.inst.noteDecision(len(batches))
+	e.inst.noteFlight(e, batches)
 	e.inst.noteBeginDecision(batches)
 	defer e.inst.noteEndDecision()
 	e.advance(e.cfg.DecisionOverhead, causeOverhead)

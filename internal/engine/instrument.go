@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"jaws/internal/cache"
+	"jaws/internal/job"
 	"jaws/internal/jobgraph"
 	"jaws/internal/obs"
 	"jaws/internal/query"
@@ -32,6 +33,15 @@ type instruments struct {
 	// aggregator is configured (metrics-only runs skip the per-advance
 	// distribution cost).
 	spans *spanTracker
+
+	// flight is the decision flight recorder; nil disables and keeps the
+	// decision path at one branch per capture site. engineID labels the
+	// records, flightSeq numbers them, blockedBuf is the reusable
+	// BlockedBy scratch.
+	flight     *obs.FlightRecorder
+	engineID   int
+	flightSeq  int64
+	blockedBuf []jobgraph.Ref
 
 	decisions     *obs.Counter   // scheduling decisions submitted
 	decisionAtoms *obs.Histogram // batch size k per decision
@@ -102,7 +112,7 @@ var engineMetricHelp = map[string]string{
 // captures its tracer. Returns nil when o carries neither, so the
 // uninstrumented engine holds a single nil pointer.
 func newInstruments(o *obs.Obs) *instruments {
-	if o == nil || (o.Trace == nil && o.Reg == nil && o.Spans == nil) {
+	if o == nil || (o.Trace == nil && o.Reg == nil && o.Spans == nil && o.Flight == nil) {
 		return nil
 	}
 	reg := o.Registry()
@@ -112,6 +122,7 @@ func newInstruments(o *obs.Obs) *instruments {
 	return &instruments{
 		trace:          o.Tracer(),
 		spans:          newSpanTracker(o),
+		flight:         o.Recorder(),
 		decisions:      reg.Counter("jaws_decisions_total"),
 		decisionAtoms:  reg.Histogram("jaws_decision_atoms", decisionBounds...),
 		batchAtoms:     reg.Counter("jaws_batch_atoms_total"),
@@ -154,10 +165,20 @@ func (in *instruments) install(e *Engine) {
 		if tr, ok := e.cfg.Sched.(sched.Traced); ok {
 			tr.SetTracer(nil)
 		}
+		if ex, ok := e.cfg.Sched.(sched.Explained); ok {
+			ex.SetExplain(false)
+		}
 		if e.graph != nil {
 			e.graph.SetObserver(nil)
 		}
 		return
+	}
+	in.engineID = e.cfg.EngineID
+	// Decision capture follows the recorder: flipped on only when flight
+	// records are being collected, cleared otherwise (the facade reuses
+	// schedulers across runs).
+	if ex, ok := e.cfg.Sched.(sched.Explained); ok {
+		ex.SetExplain(in.flight.Enabled())
 	}
 	e.cfg.Cache.SetObserver(cache.Observer{
 		Hit: func(id store.AtomID) {
@@ -213,6 +234,78 @@ func (in *instruments) noteDecision(batches int) {
 	in.decisions.Inc()
 	in.decisionAtoms.Observe(float64(batches))
 	in.batchAtoms.Add(int64(batches))
+}
+
+// noteFlight turns the scheduler's decision capture into one flight
+// record: winner and batch with per-atom utilities, runner-up steps
+// with mean-U_e margins, queue depths, and the gating edges holding
+// arrived queries out of the race. The capture's slices are adopted,
+// not copied — the scheduler nils them at its next reset, so the record
+// owns the arrays outright. Disabled (no recorder) this is one branch.
+func (in *instruments) noteFlight(e *Engine, batches []sched.Batch) {
+	if in == nil || !in.flight.Enabled() {
+		return
+	}
+	rec := &obs.DecisionRecord{
+		Engine:     in.engineID,
+		Seq:        in.flightSeq,
+		T:          e.clock.Now(),
+		Sched:      e.cfg.Sched.Name(),
+		Alpha:      e.cfg.Sched.Alpha(),
+		WinnerStep: -1,
+	}
+	in.flightSeq++
+	if ex, ok := e.cfg.Sched.(sched.Explained); ok {
+		if exp := ex.LastExplain(); exp != nil {
+			rec.Sched = exp.Sched
+			rec.Alpha = exp.Alpha
+			rec.Urgent = exp.Urgent
+			rec.WinnerStep = exp.WinnerStep
+			rec.PendingAtoms = exp.PendingAtoms
+			rec.PendingSubs = exp.PendingSubs
+			rec.Steps = exp.Steps
+			rec.Chosen = exp.Chosen
+			rec.Truncated = exp.Truncated
+		}
+	}
+	// Schedulers without decision capture still yield a joinable record:
+	// rebuild the chosen set from the batches themselves.
+	if len(rec.Chosen) == 0 && len(batches) > 0 {
+		rec.Chosen = make([]obs.DecisionAtom, 0, len(batches))
+		for i := range batches {
+			a := obs.DecisionAtom{
+				Step: batches[i].Atom.Step,
+				Code: uint64(batches[i].Atom.Code),
+				Subs: len(batches[i].SubQueries),
+			}
+			a.Queries = make([]int64, 0, len(batches[i].SubQueries))
+			for _, sq := range batches[i].SubQueries {
+				a.Queries = append(a.Queries, int64(sq.Query.ID))
+			}
+			rec.Chosen = append(rec.Chosen, a)
+		}
+	}
+	// Gating edges: every held-back arrived query, and who it waits on.
+	if e.graph != nil {
+		for _, q := range e.arrived {
+			j := e.jobsByID[q.JobID]
+			if j == nil || j.Type != job.Ordered {
+				continue
+			}
+			in.blockedBuf = e.graph.BlockedBy(jobgraph.Ref{Job: q.JobID, Seq: q.Seq}, in.blockedBuf[:0])
+			for _, b := range in.blockedBuf {
+				edge := obs.DecisionEdge{
+					Query: int64(q.ID), Job: q.JobID, Seq: q.Seq,
+					OnJob: b.Job, OnSeq: b.Seq,
+				}
+				if bj := e.jobsByID[b.Job]; bj != nil && b.Seq >= 0 && b.Seq < len(bj.Queries) {
+					edge.OnQuery = int64(bj.Queries[b.Seq].ID)
+				}
+				rec.Blocked = append(rec.Blocked, edge)
+			}
+		}
+	}
+	in.flight.Record(rec)
 }
 
 // noteCompleted records a finished query's response time and closes its

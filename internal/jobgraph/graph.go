@@ -677,6 +677,37 @@ func (g *Graph) gatingSatisfied(q Ref) bool {
 	return true
 }
 
+// BlockedBy appends to buf the queries directly holding q back and
+// returns the extended slice (empty when q is schedulable, done, or
+// unknown): a WAIT query is held by its job predecessor; a READY query
+// by the co-scheduled partners that have not yet reached READY
+// themselves, in deterministic (job, seq) order. It allocates nothing
+// when buf has capacity.
+func (g *Graph) BlockedBy(q Ref, buf []Ref) []Ref {
+	st, known := g.stateOf(q)
+	if !known {
+		return buf
+	}
+	switch st {
+	case Wait:
+		return append(buf, Ref{Job: q.Job, Seq: q.Seq - 1})
+	case Ready:
+		c := g.compOf(q)
+		if c == nil {
+			return buf
+		}
+		for _, m := range c.members {
+			if m == q {
+				continue
+			}
+			if mst, _ := g.stateOf(m); mst < Ready {
+				buf = append(buf, m)
+			}
+		}
+	}
+	return buf
+}
+
 // Schedulable returns all queries currently in the QUEUE state, ordered by
 // (job registration order, sequence).
 func (g *Graph) Schedulable() []Ref {

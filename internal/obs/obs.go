@@ -28,6 +28,9 @@ type Obs struct {
 	// collection (spans are still emitted as trace events when Trace is
 	// configured).
 	Spans *SpanAgg
+	// Flight records scheduler decision rounds; nil disables the flight
+	// recorder (and keeps the scheduler decision path zero-alloc).
+	Flight *FlightRecorder
 }
 
 // Tracer returns the event tracer, nil-safely.
@@ -52,4 +55,12 @@ func (o *Obs) SpanAggregator() *SpanAgg {
 		return nil
 	}
 	return o.Spans
+}
+
+// Recorder returns the decision flight recorder, nil-safely.
+func (o *Obs) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }

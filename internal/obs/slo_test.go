@@ -78,6 +78,53 @@ func TestSLOTrackerWindowExpiry(t *testing.T) {
 	}
 }
 
+// TestSLOTrackerRolloverPastWindow drives the re-anchor path hard:
+// clock jumps strictly larger than the whole window must clear every
+// bucket, re-anchor the head interval at the jump target, and leave the
+// ring consistent for the next cycle of observations and expiries.
+func TestSLOTrackerRolloverPastWindow(t *testing.T) {
+	window := time.Minute
+	tr, clk := newTestTracker(100*time.Millisecond, 0.99, window)
+
+	// Fill several buckets across the window.
+	for i := 0; i < 10; i++ {
+		tr.Observe(time.Second, false) // bad
+		clk.advance(window / sloBuckets)
+	}
+	if snap := tr.Snapshot(); snap.Bad != 10 {
+		t.Fatalf("pre-jump window holds %d bad, want 10", snap.Bad)
+	}
+
+	// Jump far past the window (many times over): everything expires.
+	clk.advance(7 * window)
+	if snap := tr.Snapshot(); snap.Good != 0 || snap.Bad != 0 {
+		t.Fatalf("post-jump window not empty: %+v", snap)
+	}
+
+	// The tracker must be correctly re-anchored at the jump target: a new
+	// observation lives for exactly one more window, not less (a stale
+	// headAt would expire it early) and not more.
+	tr.Observe(time.Millisecond, false) // good
+	clk.advance(window - window/sloBuckets)
+	if snap := tr.Snapshot(); snap.Good != 1 {
+		t.Fatalf("observation expired early after re-anchor: %+v", snap)
+	}
+	clk.advance(2 * window / sloBuckets)
+	if snap := tr.Snapshot(); snap.Good != 0 {
+		t.Fatalf("observation survived past the window after re-anchor: %+v", snap)
+	}
+
+	// Repeated over-window jumps interleaved with observations must never
+	// leak counts between epochs.
+	for epoch := 0; epoch < 3; epoch++ {
+		tr.Observe(time.Second, true)
+		clk.advance(window + time.Second)
+	}
+	if snap := tr.Snapshot(); snap.Good != 0 || snap.Bad != 0 {
+		t.Fatalf("epoch leak after repeated over-window jumps: %+v", snap)
+	}
+}
+
 func TestSLOTrackerDefaultsAndNil(t *testing.T) {
 	if NewSLOTracker(0, 0.99, time.Minute) != nil {
 		t.Fatal("non-positive target must disable tracking")

@@ -56,6 +56,52 @@ func TestSpanAggMergePools(t *testing.T) {
 	}
 }
 
+// TestSpanAggMergeOneSided pins the degenerate merges the cluster
+// aggregation path hits: an empty source must leave the destination
+// untouched, and merging into an empty destination must carry every
+// span across without mutating the source.
+func TestSpanAggMergeOneSided(t *testing.T) {
+	full := NewSpanAgg()
+	full.Add(mkSpan(1, time.Second))
+	full.Add(mkSpan(2, 2*time.Second))
+
+	// Empty source → destination unchanged.
+	before := full.Spans()
+	full.Merge(NewSpanAgg())
+	after := full.Spans()
+	if len(after) != len(before) {
+		t.Fatalf("merging an empty aggregator changed the count: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("merging an empty aggregator changed span %d: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+
+	// Empty destination → all spans carried over, source intact.
+	empty := NewSpanAgg()
+	empty.Merge(full)
+	if empty.Count() != 2 {
+		t.Fatalf("empty destination picked up %d spans, want 2", empty.Count())
+	}
+	got := empty.Spans()
+	for i := range before {
+		if got[i] != before[i] {
+			t.Fatalf("one-sided merge corrupted span %d: %+v, want %+v", i, got[i], before[i])
+		}
+	}
+	if full.Count() != 2 {
+		t.Fatalf("one-sided merge mutated the source: %d", full.Count())
+	}
+
+	// Merged spans are a copy: mutating the destination's view must not
+	// reach back into the source.
+	got[0].Query = 999
+	if full.Spans()[0].Query == 999 {
+		t.Fatal("merge aliased the source's backing array")
+	}
+}
+
 func TestSummarizeSpansPercentilesAndWorstK(t *testing.T) {
 	var spans []Span
 	// 100 spans with totals 1s..100s.

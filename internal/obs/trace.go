@@ -61,6 +61,12 @@ const (
 	// serving layer's request-time attribution, carrying the request ID
 	// that stitches it to the engine span (see ReqSpan).
 	KindReqSpan Kind = "reqspan"
+	// KindDecisionRecord is one scheduler decision round captured by the
+	// flight recorder: the winning step and batch, the runner-up steps
+	// with their mean-utility margins, and the gating edges holding
+	// arrived queries (see DecisionRecord). Distinct from KindDecision,
+	// which is the per-atom pick event.
+	KindDecisionRecord Kind = "decision_record"
 	// KindFooter is the trace's closing record, written once by Close:
 	// the emission total and the drop counters that make a truncated or
 	// error-shortened trace detectable.
@@ -101,9 +107,10 @@ type Event struct {
 	Attempt int `json:"attempt,omitempty"` // fault: zero-based retry index
 	Node    int `json:"node,omitempty"`    // fault: crashed node index
 
-	Span   *Span        `json:"span,omitempty"`   // span: the completed lifecycle
-	Req    *ReqSpan     `json:"req,omitempty"`    // reqspan: the served request
-	Footer *TraceFooter `json:"footer,omitempty"` // trace_footer: closing record
+	Span   *Span           `json:"span,omitempty"`   // span: the completed lifecycle
+	Req    *ReqSpan        `json:"req,omitempty"`    // reqspan: the served request
+	Flight *DecisionRecord `json:"flight,omitempty"` // decision_record: one scheduler round
+	Footer *TraceFooter    `json:"footer,omitempty"` // trace_footer: closing record
 }
 
 // TraceFooter is the payload of the trace's closing record.
@@ -423,6 +430,16 @@ func (t *Tracer) SpanDone(sp Span) {
 		return
 	}
 	t.Emit(Event{T: sp.Done, Kind: KindSpan, Span: &sp})
+}
+
+// DecisionRecordDone records one scheduler decision round captured by
+// the flight recorder. The record is owned by the recorder and immutable
+// once emitted, so the event aliases it without copying.
+func (t *Tracer) DecisionRecordDone(rec *DecisionRecord) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.Emit(Event{T: rec.T, Kind: KindDecisionRecord, Flight: rec})
 }
 
 // ReqSpanDone records one served request's wall-clock lifecycle. The

@@ -82,6 +82,11 @@ type JAWS struct {
 	noMorton bool
 	trace    *obs.Tracer
 
+	// Decision capture for the flight recorder (see Explained); off by
+	// default so the decision path stays allocation-free.
+	explain bool
+	exp     Explain
+
 	// Reused decision buffers (zero allocations in steady state).
 	sel    []*atomQueue
 	score  []float64
@@ -140,14 +145,25 @@ func (s *JAWS) NextBatch(now time.Duration) []Batch {
 	}
 	s.q.syncResidency()
 	alpha := s.ctrl.alpha
+	var exp *Explain
+	if s.explain {
+		exp = &s.exp
+		exp.reset(s.Name(), alpha, len(s.q.byAtom), s.q.subs)
+	}
 
 	var bestBucket *stepBucket
 	bestMean := 0.0
 	for _, b := range s.q.buckets {
 		mean := s.q.stepMeanUeBucket(b, alpha, now)
+		if exp != nil {
+			exp.captureStep(s.q, b, alpha, now)
+		}
 		if bestBucket == nil || mean > bestMean {
 			bestBucket, bestMean = b, mean
 		}
+	}
+	if exp != nil {
+		exp.WinnerStep = bestBucket.step
 	}
 
 	s.sel = s.sel[:0]
@@ -175,6 +191,13 @@ func (s *JAWS) NextBatch(now time.Duration) []Batch {
 	truncated := false
 	if len(s.sel) > s.k {
 		s.sortSel(sortScoreDescKeyAsc)
+		if exp != nil {
+			// The victims are the tail beyond k, before the shrink: the
+			// above-mean candidates the batch bound passed over.
+			for i := s.k; i < len(s.sel); i++ {
+				exp.captureAtom(&exp.Truncated, s.q, s.sel[i], s.score[i], now)
+			}
+		}
 		s.sel = s.sel[:s.k]
 		s.score = s.score[:s.k]
 		truncated = true
@@ -193,10 +216,24 @@ func (s *JAWS) NextBatch(now time.Duration) []Batch {
 	}
 	s.out = s.out[:0]
 	for i, aq := range s.sel {
+		if exp != nil {
+			exp.captureAtom(&exp.Chosen, s.q, aq, s.score[i], now)
+		}
 		s.out = append(s.out, s.q.take(aq.id))
 		s.sel[i] = nil
 	}
 	return s.out
+}
+
+// SetExplain implements Explained.
+func (s *JAWS) SetExplain(on bool) { s.explain = on }
+
+// LastExplain implements Explained.
+func (s *JAWS) LastExplain() *Explain {
+	if !s.explain {
+		return nil
+	}
+	return &s.exp
 }
 
 // SetTracer implements Traced.
@@ -242,6 +279,7 @@ var (
 	_ UtilityProvider    = (*JAWS)(nil)
 	_ Traced             = (*JAWS)(nil)
 	_ ResidencyVersioned = (*JAWS)(nil)
+	_ Explained          = (*JAWS)(nil)
 )
 
 // alphaController implements the adaptive starvation resistance of §V.A.

@@ -19,6 +19,10 @@ type NoShare struct {
 	pending int
 	trace   *obs.Tracer
 
+	// Decision capture for the flight recorder (see Explained).
+	explain bool
+	exp     Explain
+
 	// Reused decision buffers and the query-struct freelist (zero
 	// allocations in steady state).
 	free    []*noShareQuery
@@ -66,6 +70,13 @@ func (s *NoShare) NextBatch(now time.Duration) []Batch {
 	if s.head == len(s.fifo) {
 		return nil
 	}
+	var exp *Explain
+	if s.explain {
+		exp = &s.exp
+		// Arrival-order scheduling has no step level or utilities: the
+		// capture carries the FIFO depth and the served atoms only.
+		exp.reset(s.Name(), 0, len(s.fifo)-s.head, s.pending)
+	}
 	qs := s.fifo[s.head]
 	s.fifo[s.head] = nil
 	s.head++
@@ -84,6 +95,12 @@ func (s *NoShare) NextBatch(now time.Duration) []Batch {
 		s.out = append(s.out, Batch{Atom: sq.Atom, SubQueries: s.singles[i : i+1 : i+1]})
 		// Arrival-order scheduling has no metric to report: U_t/U_e stay 0.
 		s.trace.Decision(now, s.Name(), sq.Atom.Step, uint64(sq.Atom.Code), len(qs.subs), 0, 0, 0)
+		if exp != nil {
+			exp.Chosen = append(exp.Chosen, obs.DecisionAtom{
+				Step: sq.Atom.Step, Code: uint64(sq.Atom.Code),
+				Subs: 1, Queries: []int64{int64(qs.id)},
+			})
+		}
 	}
 	s.pending -= len(qs.subs)
 	for i := range qs.subs {
@@ -97,6 +114,17 @@ func (s *NoShare) NextBatch(now time.Duration) []Batch {
 // SetTracer implements Traced.
 func (s *NoShare) SetTracer(t *obs.Tracer) { s.trace = t }
 
+// SetExplain implements Explained.
+func (s *NoShare) SetExplain(on bool) { s.explain = on }
+
+// LastExplain implements Explained.
+func (s *NoShare) LastExplain() *Explain {
+	if !s.explain {
+		return nil
+	}
+	return &s.exp
+}
+
 // Pending implements Scheduler.
 func (s *NoShare) Pending() int { return s.pending }
 
@@ -109,6 +137,7 @@ func (s *NoShare) Alpha() float64 { return 0 }
 var (
 	_ Scheduler = (*NoShare)(nil)
 	_ Traced    = (*NoShare)(nil)
+	_ Explained = (*NoShare)(nil)
 )
 
 // LifeRaft is the data-driven batch scheduler of §III adapted to
@@ -122,6 +151,9 @@ type LifeRaft struct {
 	q     *queues
 	alpha float64
 	trace *obs.Tracer
+	// Decision capture for the flight recorder (see Explained).
+	explain bool
+	exp     Explain
 	// outBatch is the reused single-batch decision buffer.
 	outBatch [1]Batch
 }
@@ -179,12 +211,32 @@ func (s *LifeRaft) NextBatch(now time.Duration) []Batch {
 		s.trace.Decision(now, s.Name(), best.id.Step, uint64(best.id.Code),
 			1, s.q.ut(best), bestScore, s.alpha)
 	}
+	if s.explain {
+		exp := &s.exp
+		exp.reset(s.Name(), s.alpha, len(s.q.byAtom), s.q.subs)
+		for _, b := range s.q.buckets {
+			exp.captureStep(s.q, b, s.alpha, now)
+		}
+		exp.WinnerStep = best.id.Step
+		exp.captureAtom(&exp.Chosen, s.q, best, bestScore, now)
+	}
 	s.outBatch[0] = s.q.take(best.id)
 	return s.outBatch[:]
 }
 
 // SetTracer implements Traced.
 func (s *LifeRaft) SetTracer(t *obs.Tracer) { s.trace = t }
+
+// SetExplain implements Explained.
+func (s *LifeRaft) SetExplain(on bool) { s.explain = on }
+
+// LastExplain implements Explained.
+func (s *LifeRaft) LastExplain() *Explain {
+	if !s.explain {
+		return nil
+	}
+	return &s.exp
+}
 
 // SetResidencyVersion implements ResidencyVersioned.
 func (s *LifeRaft) SetResidencyVersion(fn func() uint64) { s.q.setResidencyVersion(fn) }
@@ -223,4 +275,5 @@ var (
 	_ UtilityProvider    = (*LifeRaft)(nil)
 	_ Traced             = (*LifeRaft)(nil)
 	_ ResidencyVersioned = (*LifeRaft)(nil)
+	_ Explained          = (*LifeRaft)(nil)
 )

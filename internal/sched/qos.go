@@ -48,6 +48,13 @@ type QoS struct {
 	out     []Batch
 	mapPool []map[query.ID]bool
 
+	// Decision capture for the flight recorder (see Explained). The
+	// urgent EDF path fills exp; fallthrough rounds are captured by the
+	// inner JAWS, and lastUrgent routes LastExplain to the right one.
+	explain    bool
+	exp        Explain
+	lastUrgent bool
+
 	missed int
 	met    int
 }
@@ -160,7 +167,14 @@ func (s *QoS) NextBatch(now time.Duration) []Batch {
 		}
 	}
 	var batches []Batch
+	s.lastUrgent = len(s.urgents) > 0
 	if len(s.urgents) > 0 {
+		var exp *Explain
+		if s.explain {
+			exp = &s.exp
+			exp.reset(s.Name(), s.inner.ctrl.alpha, len(s.inner.q.byAtom), s.inner.q.subs)
+			exp.Urgent = true
+		}
 		s.sorter.urgents = s.urgents
 		s.sorter.byKey = false
 		sort.Sort(&s.sorter)
@@ -176,6 +190,11 @@ func (s *QoS) NextBatch(now time.Duration) []Batch {
 		sort.Sort(&s.sorter)
 		s.out = s.out[:0]
 		for _, u := range s.urgents {
+			if exp != nil {
+				aq := s.inner.q.byAtom[u.atom]
+				exp.captureAtom(&exp.Chosen, s.inner.q, aq,
+					s.inner.q.ue(aq, s.inner.ctrl.alpha, now), now)
+			}
 			s.out = append(s.out, s.inner.q.take(u.atom))
 		}
 		batches = s.out
@@ -235,6 +254,24 @@ func (s *QoS) SetTracer(t *obs.Tracer) { s.inner.SetTracer(t) }
 // inner JAWS instance.
 func (s *QoS) SetResidencyVersion(fn func() uint64) { s.inner.SetResidencyVersion(fn) }
 
+// SetExplain implements Explained: both the urgent EDF path (captured
+// here) and the fallthrough path (captured by the inner JAWS) record.
+func (s *QoS) SetExplain(on bool) {
+	s.explain = on
+	s.inner.SetExplain(on)
+}
+
+// LastExplain implements Explained.
+func (s *QoS) LastExplain() *Explain {
+	if !s.explain {
+		return nil
+	}
+	if s.lastUrgent {
+		return &s.exp
+	}
+	return s.inner.LastExplain()
+}
+
 // AtomUtility implements UtilityProvider.
 func (s *QoS) AtomUtility(id store.AtomID) float64 { return s.inner.AtomUtility(id) }
 
@@ -249,4 +286,5 @@ var (
 	_ UtilityProvider    = (*QoS)(nil)
 	_ Traced             = (*QoS)(nil)
 	_ ResidencyVersioned = (*QoS)(nil)
+	_ Explained          = (*QoS)(nil)
 )

@@ -322,6 +322,22 @@ type varz struct {
 	// SLO is the rolling-window objective snapshot; omitted when no
 	// tracker is configured.
 	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
+	// Sched is the decision flight recorder's live aggregate; omitted
+	// when no recorder is configured.
+	Sched *schedVarz `json:"sched,omitempty"`
+}
+
+// schedVarz is the /varz scheduler section: the flight recorder's
+// cumulative aggregates plus derived rates and the tracer's drop total.
+type schedVarz struct {
+	obs.FlightSnapshot
+	// DecisionsPerSec is the wall-clock decision rate since the server
+	// started (the engines decide on a virtual clock; this is the
+	// observable recording rate).
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	// TraceDropped is the tracer's ring+sink drop total (also exported as
+	// jaws_trace_dropped_total).
+	TraceDropped int64 `json:"trace_dropped"`
 }
 
 // handleVarz exposes configuration and counters as JSON.
@@ -331,8 +347,19 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		snap := s.cfg.SLO.Snapshot()
 		slo = &snap
 	}
+	var sv *schedVarz
+	if s.cfg.Flight.Enabled() {
+		sv = &schedVarz{
+			FlightSnapshot: s.cfg.Flight.Snapshot(),
+			TraceDropped:   s.refreshTraceDropped(),
+		}
+		if up := time.Since(s.start).Seconds(); up > 0 {
+			sv.DecisionsPerSec = float64(sv.Decisions) / up
+		}
+	}
 	writeJSON(w, http.StatusOK, varz{
 		SLO:             slo,
+		Sched:           sv,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Backends:        len(s.backends),
 		QueueBound:      s.cfg.QueueBound,
@@ -362,6 +389,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.gSLOGood.Set(float64(snap.Good))
 		s.gSLOBad.Set(float64(snap.Bad))
 	}
+	s.refreshTraceDropped()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.cfg.Reg.WriteText(w)
 }

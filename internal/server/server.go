@@ -106,6 +106,11 @@ type Config struct {
 	// obs.RequestID): for a fixed seed the same acceptance order yields
 	// the same X-Jaws-Request-Id values.
 	ReqIDSeed int64
+	// Flight, when non-nil, is the decision flight recorder the backends
+	// record into; the server exposes its live aggregates at /varz
+	// (decision rate, pass-over counts by cause) and its jaws_sched_*
+	// counters at /metrics.
+	Flight *obs.FlightRecorder
 }
 
 func (c *Config) applyDefaults() {
@@ -187,6 +192,11 @@ type Server struct {
 	// the tracker's rolling window at scrape time.
 	gSLOCompliance, gSLOBurn, gSLOBudget *obs.Gauge
 	gSLOGood, gSLOBad                    *obs.Gauge
+
+	// traceDropped mirrors the tracer's ring+sink drop totals as a
+	// counter; nil unless cfg.Trace is set. Refreshed (delta-added, so the
+	// counter stays monotonic) at scrape time.
+	traceDropped *obs.Counter
 }
 
 // serverMetricHelp is the # HELP text for the serving layer's metrics.
@@ -208,6 +218,7 @@ var serverMetricHelp = map[string]string{
 	"jaws_slo_budget_remaining":      "Fraction of the windowed error budget left.",
 	"jaws_slo_good":                  "Requests in the window that met the objective.",
 	"jaws_slo_bad":                   "Requests in the window that missed the objective.",
+	"jaws_trace_dropped_total":       "Trace events lost to ring overwrites or sink write failures.",
 }
 
 // New validates cfg, starts the worker pool and the per-backend result
@@ -244,6 +255,9 @@ func New(cfg Config) (*Server, error) {
 	s.reqTrack = cfg.Trace != nil || cfg.ReqSpans != nil
 	for name, help := range serverMetricHelp {
 		cfg.Reg.Describe(name, help)
+	}
+	if cfg.Trace != nil {
+		s.traceDropped = cfg.Reg.Counter("jaws_trace_dropped_total")
 	}
 	if cfg.SLO != nil {
 		s.gSLOCompliance = cfg.Reg.Gauge("jaws_slo_compliance")
@@ -390,6 +404,20 @@ func (s *Server) Shutdown() []*jaws.Report {
 		s.demuxWG.Wait()
 	})
 	return s.reports
+}
+
+// refreshTraceDropped folds the tracer's current drop totals into the
+// jaws_trace_dropped_total counter by delta, preserving counter
+// semantics across repeated scrapes. Returns the current total.
+func (s *Server) refreshTraceDropped() int64 {
+	if s.traceDropped == nil {
+		return 0
+	}
+	dropped := s.cfg.Trace.RingDropped() + s.cfg.Trace.SinkDropped()
+	if d := dropped - s.traceDropped.Value(); d > 0 {
+		s.traceDropped.Add(d)
+	}
+	return dropped
 }
 
 // Stats is a point-in-time snapshot of the server's request accounting.

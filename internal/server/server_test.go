@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"jaws"
+	"jaws/internal/obs"
 )
 
 // fakeBackend is a fully controllable Backend: by default it completes
@@ -424,6 +426,79 @@ func TestVarzAndMetrics(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestVarzSchedAndTraceDropped wires a flight recorder and a tiny-ring
+// tracer into the server: /varz must grow the "sched" section with the
+// recorder's live aggregates and the trace drop total, and /metrics
+// must export jaws_trace_dropped_total (with its HELP line) tracking
+// the tracer's ring evictions.
+func TestVarzSchedAndTraceDropped(t *testing.T) {
+	tracer := obs.NewTracer(2, nil) // 2-slot ring: drops are immediate
+	recorder := obs.NewFlightRecorder(16, tracer, nil)
+	fake := newFakeBackend()
+	_, ts := newTestServer(t, []Backend{fake}, func(c *Config) {
+		c.Trace = tracer
+		c.Flight = recorder
+	})
+
+	// Five mirrored decision records through a 2-slot ring: 3+ evictions.
+	for seq := int64(0); seq < 5; seq++ {
+		recorder.Record(&obs.DecisionRecord{Seq: seq, Chosen: []obs.DecisionAtom{{Step: 1}}})
+	}
+
+	vresp, err := http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var v varz
+	if err := json.NewDecoder(vresp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Sched == nil {
+		t.Fatal("/varz has no sched section with a flight recorder configured")
+	}
+	if v.Sched.Decisions != 5 || v.Sched.ChosenAtoms != 5 {
+		t.Errorf("sched varz = %+v, want 5 decisions / 5 chosen", v.Sched.FlightSnapshot)
+	}
+	if want := tracer.RingDropped(); v.Sched.TraceDropped != want {
+		t.Errorf("sched varz trace_dropped = %d, want %d", v.Sched.TraceDropped, want)
+	}
+	if v.Sched.TraceDropped == 0 {
+		t.Error("expected ring drops through a 2-slot tracer")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	for _, want := range []string{
+		"# HELP jaws_trace_dropped_total",
+		fmt.Sprintf("jaws_trace_dropped_total %d", tracer.RingDropped()),
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// The no-flight server must omit the section entirely.
+	_, plain := newTestServer(t, []Backend{newFakeBackend()}, nil)
+	presp, err := http.Get(plain.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	var pv varz
+	if err := json.NewDecoder(presp.Body).Decode(&pv); err != nil {
+		t.Fatal(err)
+	}
+	if pv.Sched != nil {
+		t.Errorf("sched section present without a flight recorder: %+v", pv.Sched)
 	}
 }
 

@@ -278,6 +278,10 @@ type Config struct {
 	// Obs enables scheduling-decision tracing and metrics for every run of
 	// the system; nil (the default) keeps the engine uninstrumented.
 	Obs *Obs
+	// EngineID labels this system's decision flight records so a shared
+	// trace splits back into per-node timelines; meaningful only when Obs
+	// carries a flight recorder.
+	EngineID int
 	// Fault schedules deterministic fault injection (disk errors, latency
 	// spikes, cache corruption, a node crash) for every run of the
 	// system; the empty spec leaves the fast path untouched.
@@ -398,6 +402,7 @@ func (s *System) Run(jobs []*Job) (*Report, error) {
 		Prefetch:         s.cfg.Prefetch,
 		DeclareUpfront:   s.cfg.DeclareJobs,
 		Obs:              s.cfg.Obs,
+		EngineID:         s.cfg.EngineID,
 		Fault:            fault.New(s.cfg.Fault, s.cfg.FaultSeed, 0),
 	})
 	if err != nil {
@@ -434,6 +439,7 @@ func OpenSession(cfg Config) (*Session, error) {
 		Prefetch:         sys.cfg.Prefetch,
 		FlushPerDecision: sys.cfg.Scheduler == SchedNoShare,
 		Obs:              sys.cfg.Obs,
+		EngineID:         sys.cfg.EngineID,
 		Fault:            fault.New(sys.cfg.Fault, sys.cfg.FaultSeed, 0),
 	})
 }

@@ -6,7 +6,9 @@
 # drain via /quitquitquit and verify the daemon exits cleanly — and that
 # the emitted artifacts stitch together: the X-Jaws-Request-Id captured
 # at the client resolves through jawsreport -req to a record carrying
-# both the wall-clock and the virtual-clock side of the same request.
+# both the wall-clock and the virtual-clock side of the same request,
+# and through jawsreport -why to the request's scheduler wait chain
+# (the run executes with the decision flight recorder on).
 #
 # Artifacts (trace, log, metrics, latency records, report) land in
 # $E2E_ARTIFACTS when set (CI uploads that directory), else in a temp dir.
@@ -24,7 +26,7 @@ $GO build -o "$workdir/jawsload" ./cmd/jawsload
 $GO build -o "$workdir/jawsreport" ./cmd/jawsreport
 
 "$workdir/jawsd" -addr 127.0.0.1:0 -nodes 2 -queue 8 -workers 2 \
-    -grid 64 -atom 32 -steps 4 -cache 16 -allow-quit \
+    -grid 64 -atom 32 -steps 4 -cache 16 -allow-quit -flight \
     -metrics-out "$artifacts/metrics.prom" \
     -trace-out "$artifacts/trace.jsonl" \
     -log-out "$artifacts/jawsd.jsonl" \
@@ -81,6 +83,15 @@ grep -q '# HELP jaws_server_requests_total' "$artifacts/metrics.prom"
 grep -q 'jaws_slo_compliance' "$artifacts/metrics.prom"
 grep -q "\"request_id\":\"$rid\"" "$artifacts/jawsd.jsonl"
 
+# The flight recorder must have mirrored decision records into the
+# trace; keep them as their own reviewable artifact.
+grep '"kind":"decision_record"' "$artifacts/trace.jsonl" >"$artifacts/decisions.jsonl" \
+    || { echo "no decision records in the trace (flight recorder silent?)"; exit 1; }
+echo "flight recorder captured $(wc -l <"$artifacts/decisions.jsonl") decision records"
+grep -q 'jaws_sched_decisions_total' "$artifacts/metrics.prom"
+grep -q '# HELP jaws_sched_passover_lost_race_total' "$artifacts/metrics.prom"
+grep -q 'jaws_trace_dropped_total' "$artifacts/metrics.prom"
+
 # The captured ID must resolve to a stitched record: the server's
 # wall-clock span and the engine span it propagated the ID into.
 "$workdir/jawsreport" -req "$rid" "$artifacts/trace.jsonl" | tee "$workdir/stitched.out"
@@ -88,9 +99,20 @@ grep -q "request $rid" "$workdir/stitched.out"
 grep -q 'wall' "$workdir/stitched.out"
 grep -q 'engine  query' "$workdir/stitched.out" || { echo "request $rid did not stitch to an engine span"; exit 1; }
 
+# ...and through -why to its reconstructed scheduler wait chain, with
+# every round accounted to a cause.
+"$workdir/jawsreport" -why "$rid" "$artifacts/trace.jsonl" | tee "$workdir/why.out"
+grep -q 'why query' "$workdir/why.out"
+grep -q 'decision rounds in \[dispatch, done)' "$workdir/why.out"
+grep -q 'conservation: causes sum to gated+queued' "$workdir/why.out" \
+    || { echo "request $rid wait chain incomplete"; exit 1; }
+
 # Full lifecycle report over the whole run as a reviewable artifact.
+# The audit exit code gates the run: a truncated or drop-lossy trace
+# fails here even though the report itself renders.
 "$workdir/jawsreport" "$artifacts/trace.jsonl" >"$artifacts/report.txt"
 grep -q 'request invariant: all' "$artifacts/report.txt"
+grep -q '== wait causes' "$artifacts/report.txt"
 cp "$workdir/jawsd.log" "$artifacts/jawsd.stdout.log"
 
-echo "e2e-serve ok: $served queries served, request $rid stitched, daemon drained cleanly"
+echo "e2e-serve ok: $served queries served, request $rid stitched and attributed, daemon drained cleanly"
