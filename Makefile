@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-oracle check-prop check-bench build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve lint
+.PHONY: check check-oracle check-prop check-bench check-bench-scenarios build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve lint
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
@@ -15,6 +15,20 @@ check-oracle:
 ## BENCH_main.json baseline (exits 3 past the regression threshold).
 check-bench:
 	$(GO) run ./cmd/jawsbench -compare BENCH_main.json
+
+## check-bench-scenarios: the scenario-matrix regression gates — each
+## scenario's measurement against its own committed baseline (a
+## cross-scenario comparison is refused by the artifact schema). CI runs
+## these as a matrix job; use SCENARIO=<name> to gate a single one.
+SCENARIO ?=
+check-bench-scenarios:
+ifeq ($(SCENARIO),)
+	$(GO) run ./cmd/jawsbench -scenario poisson-box -compare BENCH_poisson-box.json
+	$(GO) run ./cmd/jawsbench -scenario deriv-chain -compare BENCH_deriv-chain.json
+	$(GO) run ./cmd/jawsbench -scenario diurnal -compare BENCH_diurnal.json
+else
+	$(GO) run ./cmd/jawsbench -scenario $(SCENARIO) -compare BENCH_$(SCENARIO).json
+endif
 
 build:
 	$(GO) build ./...

@@ -23,6 +23,16 @@
 //
 // Compare mode exits 3 when throughput drops or p95 response rises by
 // more than -regress (default 10%).
+//
+// The workload scenario matrix (DESIGN.md §17) varies the arrival process
+// and query-class mix without touching the scale:
+//
+//	jawsbench -list-scenarios                      # the registry, one per line
+//	jawsbench -scenario poisson-box -bench-out BENCH_poisson-box.json
+//	jawsbench -scenario deriv-chain -compare BENCH_deriv-chain.json
+//
+// Each scenario gates against its own baseline: artifacts record the
+// scenario and Compare refuses cross-scenario comparisons.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"jaws/internal/fault"
 	"jaws/internal/metrics"
 	"jaws/internal/obs"
+	"jaws/internal/workload"
 )
 
 func main() {
@@ -68,13 +79,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultSpec := fs.String("fault-spec", "", "deterministic fault schedule for every experiment engine (see internal/fault)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault injector")
 	benchOut := fs.String("bench-out", "", "run the benchmark workload and write a BENCH_*.json artifact to this file (skips the experiment tables)")
-	benchName := fs.String("bench-name", "jaws2", "artifact name recorded in -bench-out / fresh -compare runs")
+	benchName := fs.String("bench-name", "", "artifact name recorded in -bench-out / fresh -compare runs (default: the scenario name, or jaws2 for the baseline)")
+	scenario := fs.String("scenario", "", "workload scenario overlay for experiments and benchmarks (see -list-scenarios); empty means the fig8 baseline")
+	listScenarios := fs.Bool("list-scenarios", false, "list the workload scenario registry and exit")
 	compareWith := fs.String("compare", "", "baseline BENCH_*.json to gate against (re-measures unless -with is given; exits 3 on regression)")
 	withFile := fs.String("with", "", "candidate BENCH_*.json for -compare (instead of re-measuring)")
 	regress := fs.Float64("regress", 0.10, "regression threshold for -compare: max fractional throughput drop / p95 rise")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for profiling long runs (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *listScenarios {
+		for _, s := range workload.Scenarios() {
+			fmt.Fprintf(stdout, "%-12s  %s\n", s.Name, s.Description)
+		}
+		return 0
+	}
+	if *scenario != "" {
+		if _, ok := workload.LookupScenario(*scenario); !ok {
+			fmt.Fprintf(stderr, "jawsbench: unknown scenario %q (have: %s)\n",
+				*scenario, strings.Join(workload.ScenarioNames(), ", "))
+			return 2
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -99,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *quick {
 		scale = experiments.TestScale()
 	}
+	scale.Scenario = *scenario
 	if *jobs > 0 {
 		scale.Jobs = *jobs
 	}
@@ -115,7 +143,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *benchOut != "" || *compareWith != "" {
-		return c.benchMode(scale, *benchOut, *benchName, *compareWith, *withFile, *regress)
+		name := *benchName
+		if name == "" {
+			if *scenario != "" {
+				name = *scenario
+			} else {
+				name = "jaws2"
+			}
+		}
+		return c.benchMode(scale, *benchOut, name, *compareWith, *withFile, *regress)
 	}
 
 	var tracer *obs.Tracer

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	jawscheck                     # 340 differential runs: 34 seeds × (3 standard + 2 churn) × ±faults
+//	jawscheck                     # 544 differential runs: 34 seeds × (3 standard + 2 churn + 3 matrix) × ±faults
 //	jawscheck -seeds 100 -v       # more seeds, one report line per run
 //	jawscheck -no-faults          # clean-run pass only
 //

@@ -7,14 +7,22 @@
 // The request plan is a pure function of the flags: -dry-run prints it
 // without sending anything, byte-for-byte reproducible for a fixed seed.
 //
+// -scenario applies a workload scenario's query-class mix to the plan
+// (see `jawsbench -list-scenarios`): box cutouts expand client-side into
+// a lattice of positions, temporal-derivative queries carry deriv_steps
+// so the daemon chains adjacent timesteps. Arrival pacing stays owned by
+// -mode/-rate — a scenario shapes *what* is asked, not *when*.
+//
 // Usage:
 //
 //	jawsload -addr 127.0.0.1:8080 -requests 256 -clients 16
 //	jawsload -addr 127.0.0.1:8080 -mode open -rate 200 -requests 100
 //	jawsload -requests 4 -dry-run        # show the plan, send nothing
+//	jawsload -scenario deriv-chain -requests 64 -steps 8
 //
 // Exit status: 0 on success, 1 when the run saw transport errors or 5xx
-// responses or served fewer than -min-served queries, 2 on flag errors.
+// responses or served fewer than -min-served queries, 2 on flag errors
+// (including an unknown -scenario).
 package main
 
 import (
@@ -27,11 +35,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"jaws/internal/server"
+	"jaws/internal/workload"
 )
 
 func main() {
@@ -46,20 +56,64 @@ type plan struct {
 
 // buildPlan derives every request body from the seeded generator. Steps
 // cycle uniformly over the store, positions land inside the physical box.
-func buildPlan(requests, steps, points int, kernel string, coordMax float64, seed int64) (*plan, error) {
+// The scenario overlay contributes the query-class mix: with the zero
+// scenario the rng draw sequence (and so the plan bytes) is identical to
+// the pre-scenario generator.
+func buildPlan(requests, steps, points int, kernel string, coordMax float64, seed int64, sc workload.Scenario) (*plan, error) {
 	rng := rand.New(rand.NewSource(seed))
+	boxSide := sc.BoxSide
+	if boxSide <= 0 {
+		boxSide = 0.6
+	}
+	if boxSide > coordMax {
+		boxSide = coordMax
+	}
+	chain := sc.DerivChain
+	if chain <= 0 {
+		chain = 3
+	}
+	if chain > steps {
+		chain = steps
+	}
 	p := &plan{bodies: make([][]byte, requests)}
 	for i := range p.bodies {
 		req := server.QueryRequest{
 			Step:   rng.Intn(steps),
 			Kernel: kernel,
-			Points: make([]server.Point, points),
 		}
-		for j := range req.Points {
-			req.Points[j] = server.Point{
-				X: rng.Float64() * coordMax,
-				Y: rng.Float64() * coordMax,
-				Z: rng.Float64() * coordMax,
+		// Class selector: guarded so a scenario without box or deriv
+		// classes consumes exactly the historical draw sequence.
+		const (
+			classPoint = iota
+			classBox
+			classDeriv
+		)
+		class := classPoint
+		if sc.BoxFrac > 0 || sc.DerivFrac > 0 {
+			switch u := rng.Float64(); {
+			case u < sc.DerivFrac && chain >= 2:
+				class = classDeriv
+			case u < sc.DerivFrac+sc.BoxFrac:
+				class = classBox
+			}
+		}
+		switch class {
+		case classBox:
+			req.Points = boxLattice(rng, points, boxSide, coordMax)
+		default:
+			if class == classDeriv {
+				if req.Step+chain > steps {
+					req.Step = steps - chain
+				}
+				req.DerivSteps = chain
+			}
+			req.Points = make([]server.Point, points)
+			for j := range req.Points {
+				req.Points[j] = server.Point{
+					X: rng.Float64() * coordMax,
+					Y: rng.Float64() * coordMax,
+					Z: rng.Float64() * coordMax,
+				}
 			}
 		}
 		body, err := json.Marshal(req)
@@ -69,6 +123,40 @@ func buildPlan(requests, steps, points int, kernel string, coordMax float64, see
 		p.bodies[i] = body
 	}
 	return p, nil
+}
+
+// boxLattice expands a cutout query client-side: a cubic lattice of at
+// most `points` positions spanning a box of the given side, centred
+// uniformly at random inside [0, coordMax)^3. The daemon speaks only in
+// point lists, so the cutout's structure lives in the plan.
+func boxLattice(rng *rand.Rand, points int, side, coordMax float64) []server.Point {
+	n := 1
+	for (n+1)*(n+1)*(n+1) <= points {
+		n++
+	}
+	lo := make([]float64, 3)
+	for a := range lo {
+		span := coordMax - side
+		if span < 0 {
+			span = 0
+		}
+		lo[a] = rng.Float64() * span
+	}
+	out := make([]server.Point, 0, n*n*n)
+	coord := func(a, i int) float64 {
+		if n == 1 {
+			return lo[a] + side/2
+		}
+		return lo[a] + side*float64(i)/float64(n-1)
+	}
+	for ix := 0; ix < n; ix++ {
+		for iy := 0; iy < n; iy++ {
+			for iz := 0; iz < n; iz++ {
+				out = append(out, server.Point{X: coord(0, ix), Y: coord(1, iy), Z: coord(2, iz)})
+			}
+		}
+	}
+	return out
 }
 
 // reqRecord is one request's client-side outcome: the plan sequence
@@ -131,6 +219,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kernel     = fs.String("kernel", "lag4", "interpolation kernel for every query")
 		coordMax   = fs.Float64("coord-max", 6.28, "positions are drawn uniformly from [0, coord-max)^3")
 		seed       = fs.Int64("seed", 1, "workload seed (the request plan is a pure function of it)")
+		scenario   = fs.String("scenario", "", "workload scenario whose query-class mix shapes the plan (see jawsbench -list-scenarios); empty = all point queries")
 		timeout    = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
 		minServed  = fs.Int("min-served", 1, "fail the run when fewer queries are served (200)")
 		dryRun     = fs.Bool("dry-run", false, "print the request plan and send nothing")
@@ -159,15 +248,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *mode == "open" && *rate <= 0 {
 		return errf("open-loop mode needs a positive -rate, got %g", *rate)
 	}
+	var sc workload.Scenario
+	if *scenario != "" {
+		var ok bool
+		if sc, ok = workload.LookupScenario(*scenario); !ok {
+			fmt.Fprintf(stderr, "jawsload: unknown scenario %q (have: %s)\n",
+				*scenario, strings.Join(workload.ScenarioNames(), ", "))
+			return 2
+		}
+	}
 
-	p, err := buildPlan(*requests, *steps, *points, *kernel, *coordMax, *seed)
+	p, err := buildPlan(*requests, *steps, *points, *kernel, *coordMax, *seed, sc)
 	if err != nil {
 		return errf("building plan: %v", err)
 	}
 
 	if *dryRun {
-		fmt.Fprintf(stdout, "plan            %d requests, seed %d, kernel %s, %d points each\n",
-			*requests, *seed, *kernel, *points)
+		label := *scenario
+		if label == "" {
+			label = "point-only"
+		}
+		fmt.Fprintf(stdout, "plan            %d requests, seed %d, kernel %s, %d points each, scenario %s\n",
+			*requests, *seed, *kernel, *points, label)
 		for i, body := range p.bodies {
 			fmt.Fprintf(stdout, "req %-4d        %s\n", i, body)
 		}

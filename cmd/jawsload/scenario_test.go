@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jaws"
+	"jaws/internal/server"
+)
+
+func TestUnknownScenarioIsUsageError(t *testing.T) {
+	code, _, errb := runCLI(t, "-scenario", "lunar", "-dry-run")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, `unknown scenario "lunar"`) {
+		t.Errorf("stderr does not name the bad scenario: %s", errb)
+	}
+	if !strings.Contains(errb, "deriv-chain") {
+		t.Errorf("stderr does not list valid scenarios: %s", errb)
+	}
+}
+
+// planBodies parses the JSON bodies out of a dry-run listing.
+func planBodies(t *testing.T, out string) []server.QueryRequest {
+	t.Helper()
+	var reqs []server.QueryRequest
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "req ") {
+			continue
+		}
+		raw := line[strings.Index(line, "{"):]
+		var q server.QueryRequest
+		if err := json.Unmarshal([]byte(raw), &q); err != nil {
+			t.Fatalf("plan line not JSON: %v (%s)", err, line)
+		}
+		reqs = append(reqs, q)
+	}
+	return reqs
+}
+
+// TestScenarioPlanClassMix checks the scenario overlay reaches the plan:
+// deriv-chain requests carry deriv_steps with in-range chains, box
+// requests expand into lattices, and the plan stays deterministic.
+func TestScenarioPlanClassMix(t *testing.T) {
+	args := []string{"-dry-run", "-requests", "64", "-points", "8", "-steps", "8", "-seed", "7", "-scenario", "deriv-chain"}
+	code, out1, errb := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if code, out2, _ := runCLI(t, args...); code != 0 || out2 != out1 {
+		t.Fatal("scenario dry runs with the same seed differ")
+	}
+	if !strings.Contains(out1, "scenario deriv-chain") {
+		t.Errorf("plan header does not name the scenario:\n%s", strings.SplitN(out1, "\n", 2)[0])
+	}
+
+	derivs := 0
+	for _, q := range planBodies(t, out1) {
+		if q.DerivSteps == 0 {
+			continue
+		}
+		derivs++
+		if q.DerivSteps != 3 {
+			t.Errorf("deriv_steps = %d, want the scenario's chain of 3", q.DerivSteps)
+		}
+		if q.Step+q.DerivSteps > 8 {
+			t.Errorf("chain [%d, %d) exceeds the 8 steps the plan was built for", q.Step, q.Step+q.DerivSteps)
+		}
+	}
+	// 35% of 64 in expectation; demand at least a handful so the class
+	// mix demonstrably reached the plan.
+	if derivs < 8 {
+		t.Errorf("only %d/64 requests are derivative queries, scenario mix not applied", derivs)
+	}
+
+	// poisson-box: cutouts expand into 2x2x2 lattices (8 points fit a
+	// n=2 lattice exactly), axis-aligned with the scenario's box side.
+	code, out3, errb := runCLI(t, "-dry-run", "-requests", "64", "-points", "8", "-steps", "8", "-seed", "7", "-scenario", "poisson-box")
+	if code != 0 {
+		t.Fatalf("poisson-box: exit %d, stderr: %s", code, errb)
+	}
+	boxes := 0
+	for _, q := range planBodies(t, out3) {
+		xs := map[float64]bool{}
+		for _, p := range q.Points {
+			xs[p.X] = true
+		}
+		if len(q.Points) == 8 && len(xs) == 2 {
+			boxes++
+		}
+	}
+	if boxes < 8 {
+		t.Errorf("only %d/64 requests look like box lattices, scenario mix not applied", boxes)
+	}
+}
+
+// TestScenarioAgainstRealServer drives a deriv-chain plan end to end: a
+// live daemon must serve every request, derivative chains included.
+func TestScenarioAgainstRealServer(t *testing.T) {
+	sess, err := jaws.OpenSession(jaws.Config{
+		Space:      jaws.Space{GridSide: 64, AtomSide: 32},
+		Steps:      4,
+		Seed:       5,
+		CacheAtoms: 16,
+		Compute:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Backends: []server.Backend{sess}, Steps: 4, ReqIDSeed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	code, out, errb := runCLI(t,
+		"-addr", addr, "-requests", "24", "-clients", "4", "-steps", "4",
+		"-points", "4", "-seed", "9", "-scenario", "deriv-chain", "-min-served", "24")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb, out)
+	}
+	if !strings.Contains(out, "summary         24 served, 0 shed, 0 5xx") {
+		t.Errorf("report:\n%s", out)
+	}
+}

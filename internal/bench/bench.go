@@ -24,8 +24,11 @@ import (
 // ArtifactVersion is the BENCH_*.json schema version. Bump it on any
 // incompatible change to Artifact's shape; Load rejects other versions so
 // cross-version comparisons fail loudly instead of silently misreading.
-// Version 2 added the per-cause wait tail (wait_causes).
-const ArtifactVersion = 2
+// Version 2 added the per-cause wait tail (wait_causes). Version 3 added
+// the workload scenario to the config record (the baseline "" trace is
+// recorded as "fig8"), so artifacts from different scenarios can never be
+// compared against each other by accident.
+const ArtifactVersion = 3
 
 // ConfigRecord pins the simulation parameters that produced an artifact.
 // Two artifacts are comparable only if their configs match.
@@ -43,6 +46,9 @@ type ConfigRecord struct {
 	TbMillis       int64  `json:"tb_ms"`
 	TmMicros       int64  `json:"tm_us"`
 	Algorithm      string `json:"algorithm"`
+	// Scenario is the workload scenario name (see internal/workload's
+	// registry); the pre-matrix baseline trace is recorded as "fig8".
+	Scenario string `json:"scenario"`
 }
 
 // PhaseMeans is the per-query mean of each attribution phase, in
@@ -95,6 +101,10 @@ type Artifact struct {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func record(s experiments.Scale, alg experiments.Algorithm) ConfigRecord {
+	scenario := s.Scenario
+	if scenario == "" {
+		scenario = "fig8"
+	}
 	return ConfigRecord{
 		GridSide:       s.Space.GridSide,
 		AtomSide:       s.Space.AtomSide,
@@ -109,6 +119,7 @@ func record(s experiments.Scale, alg experiments.Algorithm) ConfigRecord {
 		TbMillis:       s.Cost.Tb.Milliseconds(),
 		TmMicros:       s.Cost.Tm.Microseconds(),
 		Algorithm:      alg.String(),
+		Scenario:       scenario,
 	}
 }
 
@@ -219,6 +230,10 @@ func (r Regression) String() string {
 // 10%). It returns the regressions found (empty means the gate passes) and
 // an error when the artifacts are not comparable at all.
 func Compare(old, cur *Artifact, threshold float64) ([]Regression, error) {
+	if old.Config.Scenario != cur.Config.Scenario {
+		return nil, fmt.Errorf("bench: artifacts measure different scenarios (%q vs %q): a cross-scenario comparison would gate nothing — rerun with the matching baseline",
+			old.Config.Scenario, cur.Config.Scenario)
+	}
 	if old.Config != cur.Config {
 		return nil, fmt.Errorf("bench: artifacts are not comparable: config %+v vs %+v", old.Config, cur.Config)
 	}

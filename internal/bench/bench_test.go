@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"jaws/internal/experiments"
@@ -131,5 +132,32 @@ func TestCompareGatesRegressions(t *testing.T) {
 	other.Config.Seed++
 	if _, err := Compare(base, &other, 0.10); err == nil {
 		t.Fatal("Compare accepted artifacts with different configs")
+	}
+}
+
+// TestCompareRefusesScenarioMismatch: two artifacts from different
+// scenarios must be rejected with an error that names both scenarios —
+// never compared (a cross-scenario gate would PASS or FAIL on noise).
+func TestCompareRefusesScenarioMismatch(t *testing.T) {
+	s := experiments.TestScale()
+	base, err := Run(s, "fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Config.Scenario != "fig8" {
+		t.Fatalf("empty Scale.Scenario recorded as %q, want fig8", base.Config.Scenario)
+	}
+
+	other := *base
+	other.Config.Scenario = "poisson-box"
+	for _, pair := range [][2]*Artifact{{base, &other}, {&other, base}} {
+		_, err := Compare(pair[0], pair[1], 0.10)
+		if err == nil {
+			t.Fatal("Compare accepted artifacts from different scenarios")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "fig8") || !strings.Contains(msg, "poisson-box") {
+			t.Errorf("error does not name both scenarios: %v", err)
+		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"jaws/internal/job"
 	"jaws/internal/jobgraph"
 	"jaws/internal/metrics"
+	"jaws/internal/morton"
 	"jaws/internal/obs"
 	"jaws/internal/prefetch"
 	"jaws/internal/query"
@@ -120,14 +121,22 @@ type Config struct {
 }
 
 // QueryResult is a completed query with its measured response time and
-// (optionally) its computed values in sub-query order.
+// (optionally) its computed values in sub-query order. For temporal-
+// derivative queries (DerivSteps ≥ 2) the values are ∂/∂t estimates at
+// the anchor step: the per-step kernel outputs of the chain are combined
+// with the forward finite-difference stencil (query.DerivWeights) over
+// query.StepDT.
 type QueryResult struct {
 	Query     *query.Query
 	Completed time.Duration
-	Positions []struct {
-		Pos geom3
-		Val [field.Components]float64
-	}
+	Positions []PointSample
+}
+
+// PointSample is one evaluated position: the kernel output (or, for
+// derivative queries, the finite-differenced ∂/∂t estimate) at Pos.
+type PointSample struct {
+	Pos geom3
+	Val [field.Components]float64
 }
 
 // geom3 mirrors geom.Position without importing it into the public result
@@ -173,6 +182,27 @@ type queryState struct {
 	q         *query.Query
 	remaining int
 	result    *QueryResult
+	// chains accumulates a derivative query's per-step kernel outputs,
+	// keyed by primary atom code with one slot per chain index. The
+	// per-step spatial partitions are congruent (atom codes depend only on
+	// position), so every code sees the same positions in the same Morton
+	// order at every step — the invariant the finite-differencing relies
+	// on. Nil for plain queries and for runs without KeepResults.
+	chains map[morton.Code][][]PointSample
+}
+
+// noteChainSamples stashes one per-(step,atom) sub-query's outputs into
+// the derivative accumulator.
+func (st *queryState) noteChainSamples(sq *query.SubQuery, out []PointSample) {
+	if st.chains == nil {
+		st.chains = make(map[morton.Code][][]PointSample)
+	}
+	slots := st.chains[sq.Atom.Code]
+	if slots == nil {
+		slots = make([][]PointSample, st.q.ChainLen())
+		st.chains[sq.Atom.Code] = slots
+	}
+	slots[sq.Atom.Step-st.q.Step] = out
 }
 
 // Engine executes one workload; create a fresh engine per run.
@@ -638,18 +668,11 @@ func (e *Engine) computeBatch(b *sched.Batch, atom *field.Atom) {
 	space := e.cfg.Store.Space()
 	type unit struct {
 		sq  *query.SubQuery
-		out []struct {
-			Pos geom3
-			Val [field.Components]float64
-		}
+		out []PointSample
 	}
 	units := make([]unit, len(b.SubQueries))
 	for i, sq := range b.SubQueries {
-		units[i] = unit{sq: sq}
-		units[i].out = make([]struct {
-			Pos geom3
-			Val [field.Components]float64
-		}, len(sq.Points))
+		units[i] = unit{sq: sq, out: make([]PointSample, len(sq.Points))}
 	}
 	if e.pool == nil {
 		// Lazily started on the simulation goroutine (Run or Session.loop),
@@ -668,7 +691,12 @@ func (e *Engine) computeBatch(b *sched.Batch, atom *field.Atom) {
 	if e.cfg.KeepResults {
 		for _, u := range units {
 			st := e.states[u.sq.Query.ID]
-			if st.result != nil {
+			if st.result == nil {
+				continue
+			}
+			if u.sq.Query.ChainLen() > 1 {
+				st.noteChainSamples(u.sq, u.out)
+			} else {
 				st.result.Positions = append(st.result.Positions, u.out...)
 			}
 		}
@@ -683,6 +711,9 @@ func (e *Engine) complete(st *queryState, now time.Duration) {
 	e.report.Completed++
 	e.inst.noteCompleted(st.q, rt, now)
 	if st.result != nil {
+		if st.q.ChainLen() > 1 {
+			e.assembleDeriv(st)
+		}
 		st.result.Completed = now
 		e.report.Results = append(e.report.Results, st.result)
 	}
@@ -726,6 +757,51 @@ func (e *Engine) complete(st *queryState, now time.Duration) {
 		e.runStart = now
 		e.runRT = metrics.Summary{}
 	}
+}
+
+// assembleDeriv collapses a derivative query's accumulated per-step
+// kernel outputs into ∂/∂t estimates: for every primary atom (in code
+// order, so the result layout is deterministic) and every position, the
+// derivative is Σⱼ wⱼ·v(step+j) / StepDT with the Fornberg forward
+// stencil. Positions whose chain is incomplete (an atom skipped by a
+// compute-disabled path) are dropped rather than differenced wrongly.
+func (e *Engine) assembleDeriv(st *queryState) {
+	k := st.q.ChainLen()
+	w := query.DerivWeights(k)
+	codes := make([]morton.Code, 0, len(st.chains))
+	for c := range st.chains {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	for _, c := range codes {
+		slots := st.chains[c]
+		complete := true
+		for j := 0; j < k; j++ {
+			if slots[j] == nil || len(slots[j]) != len(slots[0]) {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		out := make([]PointSample, len(slots[0]))
+		for p := range out {
+			out[p].Pos = slots[0][p].Pos
+			var val [field.Components]float64
+			for j := 0; j < k; j++ {
+				for comp := range val {
+					val[comp] += w[j] * slots[j][p].Val[comp]
+				}
+			}
+			for comp := range val {
+				val[comp] /= query.StepDT
+			}
+			out[p].Val = val
+		}
+		st.result.Positions = append(st.result.Positions, out...)
+	}
+	st.chains = nil
 }
 
 // pushUtilities coordinates the cache with the scheduler (URC, §V.B):

@@ -40,6 +40,12 @@ type Scale struct {
 	BatchSize      int
 	RunLength      int
 	Cost           sched.CostModel
+	// Scenario names a workload.Scenario overlay (arrival process +
+	// query-class mix) applied to every workload the suite generates.
+	// Empty means "fig8", the calibrated historical trace. Callers must
+	// validate the name (the CLIs do at flag-parse time); an unknown name
+	// panics in workloadConfig.
+	Scenario string
 	// Obs, when non-nil, instruments every engine the suite builds
 	// (jawsbench threads its -trace-out/-metrics flags through here).
 	Obs *obs.Obs
@@ -88,7 +94,7 @@ func TestScale() Scale {
 }
 
 func (s Scale) workloadConfig(speedUp float64, seed int64) workload.Config {
-	return workload.Config{
+	cfg := workload.Config{
 		Seed:           seed,
 		Space:          s.Space,
 		Steps:          s.Steps,
@@ -102,6 +108,10 @@ func (s Scale) workloadConfig(speedUp float64, seed int64) workload.Config {
 		QueryScale:     s.QueryScale,
 		Hotspots:       6,
 	}
+	if s.Scenario != "" && s.Scenario != "fig8" {
+		cfg = workload.MustScenario(s.Scenario).Apply(cfg)
+	}
+	return cfg
 }
 
 // Algorithm identifies one evaluated configuration (Fig. 10's x axis).

@@ -20,6 +20,12 @@ const (
 	// freelist recycling of the incremental scheduler structures — turn
 	// over at the maximum rate.
 	ProfileChurn = "churn"
+	// ProfileMatrix is the scenario-matrix configuration: the workload
+	// mixes box cutouts and temporal-derivative chains over arrival
+	// processes that vary by seed, so the differential suite certifies
+	// every new query class and arrival shape against the reference
+	// models, not just the calibrated point-query trace.
+	ProfileMatrix = "matrix"
 )
 
 // SeedResult is the outcome of one differential run: one (algorithm,
@@ -113,10 +119,40 @@ func ChurnParams(a Algo, seed int64) (CaptureConfig, Params) {
 	return cfg, p
 }
 
+// MatrixParams derives the scenario-matrix variant of SuiteParams: 20%
+// box cutouts on a coarse stride, 30% temporal-derivative queries
+// chaining 3 of 6 steps, and an arrival process cycling Poisson /
+// diurnal / calibrated on-off with the seed. Derivative chains widen
+// each query's atom set across adjacent steps — the regime where gating
+// edges, partner sets, and step-bucketed queues all get new shapes — so
+// replaying these captures pins the reference and production schedulers
+// to agreement on exactly the paths the scenario matrix added.
+func MatrixParams(a Algo, seed int64) (CaptureConfig, Params) {
+	cfg, p := SuiteParams(a, seed)
+	cfg.Workload.Steps = 6
+	cfg.Workload.BoxFrac = 0.2
+	cfg.Workload.BoxStride = 8 // coarse lattice: a cutout stays a handful of positions
+	cfg.Workload.DerivFrac = 0.3
+	cfg.Workload.DerivChain = 3
+	switch seed % 3 {
+	case 0:
+		cfg.Workload.Arrivals = workload.Poisson{}
+	case 1:
+		cfg.Workload.Arrivals = workload.NewDiurnal(workload.Poisson{}, 10*time.Second, 0.7)
+	default:
+		// Keep the calibrated on-off default: the matrix must also cover
+		// the new classes under the original arrival process.
+	}
+	return cfg, p
+}
+
 // ProfileParams returns the capture config and parameters of a profile.
 func ProfileParams(profile string, a Algo, seed int64) (CaptureConfig, Params) {
-	if profile == ProfileChurn {
+	switch profile {
+	case ProfileChurn:
 		return ChurnParams(a, seed)
+	case ProfileMatrix:
+		return MatrixParams(a, seed)
 	}
 	return SuiteParams(a, seed)
 }
@@ -172,12 +208,14 @@ func DiffSeedProfile(profile string, a Algo, seed int64, faultSpec string) (*See
 }
 
 // Suite runs the differential suite over seeds 1..n for every algorithm,
-// without and (when withFaults) with the per-seed fault schedule. The
-// contention-based algorithms (LifeRaft, JAWS) additionally run each
-// seed under the high-churn profile, so one suite pass covers both the
-// sustained-queueing and maximum-turnover regimes: 3n standard + 2n
-// churn captures per fault arm. report, when non-nil, receives every
-// result as it completes.
+// without and (when withFaults) with the per-seed fault schedule. Every
+// algorithm runs each seed under the scenario-matrix profile (box and
+// derivative query classes, varied arrivals), and the contention-based
+// algorithms (LifeRaft, JAWS) additionally run the high-churn profile,
+// so one suite pass covers the sustained-queueing, maximum-turnover, and
+// scenario-matrix regimes: 3n standard + 2n churn + 3n matrix captures
+// per fault arm. report, when non-nil, receives every result as it
+// completes.
 func Suite(n int, withFaults bool, report func(*SeedResult)) ([]*SeedResult, error) {
 	var out []*SeedResult
 	for _, a := range []Algo{AlgoNoShare, AlgoLifeRaft, AlgoJAWS} {
@@ -185,6 +223,7 @@ func Suite(n int, withFaults bool, report func(*SeedResult)) ([]*SeedResult, err
 		if a != AlgoNoShare {
 			profiles = append(profiles, ProfileChurn)
 		}
+		profiles = append(profiles, ProfileMatrix)
 		for seed := int64(1); seed <= int64(n); seed++ {
 			specs := []string{""}
 			if withFaults {

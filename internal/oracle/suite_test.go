@@ -1,12 +1,16 @@
 package oracle
 
-import "testing"
+import (
+	"testing"
+
+	"jaws/internal/workload"
+)
 
 // TestDifferentialSuite is the headline check of this package: randomized
 // workloads are captured on a real engine and replayed through the
 // reference models, with and without fault schedules, and every decision
-// and utility must agree bit for bit. 34 seeds × (3 standard + 2 churn
-// profiles) × {clean, faulted} = 340 differential runs.
+// and utility must agree bit for bit. 34 seeds × (3 standard + 2 churn +
+// 3 scenario-matrix profiles) × {clean, faulted} = 544 differential runs.
 func TestDifferentialSuite(t *testing.T) {
 	seeds := 34
 	if testing.Short() {
@@ -16,7 +20,7 @@ func TestDifferentialSuite(t *testing.T) {
 	if err != nil {
 		t.Fatalf("suite: %v", err)
 	}
-	if want := seeds * (3 + 2) * 2; len(results) != want {
+	if want := seeds * (3 + 2 + 3) * 2; len(results) != want {
 		t.Fatalf("suite ran %d captures, want %d", len(results), want)
 	}
 	var crashed, decisions int
@@ -78,4 +82,39 @@ func TestSuiteDeterminism(t *testing.T) {
 // pointers differ between runs, so batchesEqual cannot apply).
 func describeMatches(a, b Op) bool {
 	return describeBatches(a.Got) == describeBatches(b.Got)
+}
+
+// TestMatrixProfileCoversNewClasses opens the matrix profile's hood: the
+// generated workloads must actually contain derivative chains, and the
+// arrival process must cycle with the seed — otherwise the matrix pass
+// would certify nothing beyond the standard profile.
+func TestMatrixProfileCoversNewClasses(t *testing.T) {
+	arrivals := make(map[string]bool)
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg, _ := MatrixParams(AlgoJAWS, seed)
+		name := "on-off"
+		if cfg.Workload.Arrivals != nil {
+			name = cfg.Workload.Arrivals.Name()
+		}
+		arrivals[name] = true
+
+		wl := workload.Generate(cfg.Workload)
+		derivs := 0
+		for _, jb := range wl.Jobs {
+			for _, q := range jb.Queries {
+				if q.DerivSteps >= 2 {
+					derivs++
+					if q.Step+q.DerivSteps > cfg.Workload.Steps {
+						t.Errorf("seed %d: chain [%d, %d) exceeds %d steps", seed, q.Step, q.Step+q.DerivSteps, cfg.Workload.Steps)
+					}
+				}
+			}
+		}
+		if derivs == 0 {
+			t.Errorf("seed %d: matrix workload contains no derivative chains", seed)
+		}
+	}
+	if len(arrivals) != 3 {
+		t.Errorf("six consecutive seeds covered arrival processes %v, want all 3", arrivals)
+	}
 }

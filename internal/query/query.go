@@ -29,6 +29,15 @@ type Query struct {
 	Points []geom.Position
 	Kernel field.Kernel
 
+	// DerivSteps, when ≥2, marks a temporal-derivative query: Points are
+	// evaluated at every step of the chain Step..Step+DerivSteps−1 and
+	// the per-step results are finite-differenced into ∂/∂t estimates
+	// (DerivWeights over StepDT). 0 and 1 mean a plain single-step query.
+	// The pre-processor emits per-(step, atom) sub-queries for the whole
+	// chain, so one logical query spans several step buckets in the
+	// scheduler and widens A(q) in the gating graph.
+	DerivSteps int
+
 	// JobID is zero for one-off queries.
 	JobID int64
 	// Seq is the query's position within its job (0-based).
@@ -57,7 +66,19 @@ func (q *Query) Validate() error {
 	if q.Step < 0 {
 		return fmt.Errorf("query %d: negative time step %d", q.ID, q.Step)
 	}
+	if q.DerivSteps < 0 {
+		return fmt.Errorf("query %d: negative derivative chain %d", q.ID, q.DerivSteps)
+	}
 	return nil
+}
+
+// ChainLen is the number of adjacent time steps the query evaluates:
+// DerivSteps for temporal-derivative queries, 1 otherwise.
+func (q *Query) ChainLen() int {
+	if q.DerivSteps > 1 {
+		return q.DerivSteps
+	}
+	return 1
 }
 
 // SubQuery is the unit of scheduling: the subset of a query's positions
@@ -85,17 +106,24 @@ func PreProcess(q *Query, space geom.Space) ([]*SubQuery, error) {
 	}
 	radius := q.Kernel.StencilRadius()
 	groups := make(map[store.AtomID]*SubQuery)
-	for _, p := range q.Points {
-		fp := space.Footprint(p, radius)
-		primary := store.AtomID{Step: q.Step, Code: fp[0].Code()}
-		sq, ok := groups[primary]
-		if !ok {
-			sq = &SubQuery{Query: q, Atom: primary}
-			groups[primary] = sq
-		}
-		sq.Points = append(sq.Points, p)
-		for _, ac := range fp[1:] {
-			sq.addFootprint(store.AtomID{Step: q.Step, Code: ac.Code()})
+	// Temporal-derivative queries repeat the same spatial grouping at
+	// every step of their chain: atom codes depend only on position, so
+	// the per-step partitions are congruent (the engine's finite-
+	// differencing relies on this).
+	for s := 0; s < q.ChainLen(); s++ {
+		step := q.Step + s
+		for _, p := range q.Points {
+			fp := space.Footprint(p, radius)
+			primary := store.AtomID{Step: step, Code: fp[0].Code()}
+			sq, ok := groups[primary]
+			if !ok {
+				sq = &SubQuery{Query: q, Atom: primary}
+				groups[primary] = sq
+			}
+			sq.Points = append(sq.Points, p)
+			for _, ac := range fp[1:] {
+				sq.addFootprint(store.AtomID{Step: step, Code: ac.Code()})
+			}
 		}
 	}
 	out := make([]*SubQuery, 0, len(groups))
@@ -144,11 +172,14 @@ func (b *byCode) Swap(i, j int) {
 
 // Atoms returns the set of primary atoms accessed by query q — A(q) in the
 // paper's notation (§IV), the basis of the data-sharing test between
-// queries of different jobs.
+// queries of different jobs. A temporal-derivative query's set spans its
+// whole step chain.
 func Atoms(q *Query, space geom.Space) map[store.AtomID]bool {
 	out := make(map[store.AtomID]bool)
-	for _, p := range q.Points {
-		out[store.AtomID{Step: q.Step, Code: space.AtomOf(p).Code()}] = true
+	for s := 0; s < q.ChainLen(); s++ {
+		for _, p := range q.Points {
+			out[store.AtomID{Step: q.Step + s, Code: space.AtomOf(p).Code()}] = true
+		}
 	}
 	return out
 }
@@ -157,9 +188,11 @@ func Atoms(q *Query, space geom.Space) map[store.AtomID]bool {
 // A(a) ∩ A(b) ≠ ∅.
 func Shares(a, b *Query, space geom.Space) bool {
 	aa := Atoms(a, space)
-	for _, p := range b.Points {
-		if aa[store.AtomID{Step: b.Step, Code: space.AtomOf(p).Code()}] {
-			return true
+	for s := 0; s < b.ChainLen(); s++ {
+		for _, p := range b.Points {
+			if aa[store.AtomID{Step: b.Step + s, Code: space.AtomOf(p).Code()}] {
+				return true
+			}
 		}
 	}
 	return false

@@ -32,6 +32,42 @@ func allocWorkload() []*query.SubQuery {
 	return sqs
 }
 
+// derivAllocWorkload is the scenario-matrix shape: temporal-derivative
+// chains fan one query out into sub-queries on the same atom across k
+// adjacent steps, mixed with point sub-queries contending for the same
+// atoms. Multi-step same-query fan-out is the pattern the deriv-chain
+// scenario feeds the schedulers; it must be as allocation-free as the
+// point path.
+func derivAllocWorkload() []*query.SubQuery {
+	var sqs []*query.SubQuery
+	qid := query.ID(100)
+	for a := uint32(0); a < 4; a++ {
+		sqs = append(sqs, subQueryChain(qid, 0, a, 0, 0, 10+int(a)*25, 3)...)
+		qid++
+	}
+	// Contention: point sub-queries on atoms the chains also touch.
+	sqs = append(sqs, subQueryAt(qid, 1, 2, 0, 0, 40))
+	qid++
+	sqs = append(sqs, subQueryAt(qid, 2, 3, 0, 0, 15))
+	return sqs
+}
+
+// subQueryChain pre-processes one derivative query chaining `chain`
+// steps from `step` inside atom (i,j,k), returning all its sub-queries.
+func subQueryChain(qid query.ID, step int, i, j, k uint32, n, chain int) []*query.SubQuery {
+	base := subQueryAt(qid, step, i, j, k, n)
+	q := *base.Query
+	q.DerivSteps = chain
+	sqs, err := query.PreProcess(&q, testSpace())
+	if err != nil {
+		panic(err)
+	}
+	if len(sqs) != chain {
+		panic("subQueryChain positions spilled atoms")
+	}
+	return sqs
+}
+
 // drain enqueues the workload and takes decisions until the scheduler is
 // empty — one steady-state round.
 func drainRound(s Scheduler, sqs []*query.SubQuery) {
@@ -98,17 +134,25 @@ func TestDecisionPathZeroAllocs(t *testing.T) {
 			return NewQoS(inner, testCost, 1e9, time.Nanosecond)
 		}},
 	}
-	sqs := allocWorkload()
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			s := tc.build()
-			// Warm the freelists and decision buffers to steady state.
-			for i := 0; i < 3; i++ {
-				drainRound(s, sqs)
-			}
-			if avg := testing.AllocsPerRun(10, func() { drainRound(s, sqs) }); avg != 0 {
-				t.Fatalf("%s: %.1f allocs per enqueue+drain round, want 0", tc.name, avg)
-			}
-		})
+	workloads := []struct {
+		name string
+		sqs  []*query.SubQuery
+	}{
+		{"point", allocWorkload()},
+		{"deriv", derivAllocWorkload()},
+	}
+	for _, wl := range workloads {
+		for _, tc := range cases {
+			t.Run(wl.name+"/"+tc.name, func(t *testing.T) {
+				s := tc.build()
+				// Warm the freelists and decision buffers to steady state.
+				for i := 0; i < 3; i++ {
+					drainRound(s, wl.sqs)
+				}
+				if avg := testing.AllocsPerRun(10, func() { drainRound(s, wl.sqs) }); avg != 0 {
+					t.Fatalf("%s: %.1f allocs per enqueue+drain round, want 0", tc.name, avg)
+				}
+			})
+		}
 	}
 }

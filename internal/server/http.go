@@ -33,7 +33,18 @@ type QueryRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline,
 	// capped by MaxDeadline. Zero means the default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DerivSteps, when ≥2, asks for the temporal derivative ∂/∂t instead
+	// of the field value: the points are evaluated at DerivSteps adjacent
+	// steps starting at Step and finite-differenced. The chain must fit
+	// the stored range (step+deriv_steps ≤ steps) and is capped at
+	// MaxDerivSteps. 0 (and 1) means a plain single-step query.
+	DerivSteps int `json:"deriv_steps,omitempty"`
 }
+
+// MaxDerivSteps bounds a derivative query's chain: each extra step
+// multiplies the query's atom footprint, so the bound plays the same
+// admission-control role as MaxPoints.
+const MaxDerivSteps = 8
 
 // PointValue is one evaluated position of a QueryResponse.
 type PointValue struct {
@@ -149,6 +160,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d points exceed the limit of %d", len(in.Points), s.cfg.MaxPoints))
 		return
 	}
+	if in.DerivSteps < 0 || in.DerivSteps == 1 || in.DerivSteps > MaxDerivSteps {
+		s.rejectRequest(w, http.StatusBadRequest,
+			fmt.Sprintf("deriv_steps %d invalid: want 0 (plain query) or 2..%d", in.DerivSteps, MaxDerivSteps))
+		return
+	}
+	if in.DerivSteps > 1 && in.Step+in.DerivSteps > s.cfg.Steps {
+		s.rejectRequest(w, http.StatusBadRequest,
+			fmt.Sprintf("derivative chain [%d, %d) exceeds the stored %d steps", in.Step, in.Step+in.DerivSteps, s.cfg.Steps))
+		return
+	}
 
 	deadline := s.cfg.DefaultDeadline
 	if in.TimeoutMS > 0 {
@@ -173,7 +194,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, p := range in.Points {
 		pts[i] = jaws.Position{X: p.X, Y: p.Y, Z: p.Z}
 	}
-	q := &jaws.Query{ID: id, JobID: int64(id), User: 1, Step: in.Step, Points: pts, Kernel: kernel, ReqID: rid}
+	q := &jaws.Query{ID: id, JobID: int64(id), User: 1, Step: in.Step, DerivSteps: in.DerivSteps, Points: pts, Kernel: kernel, ReqID: rid}
 	t := &task{
 		ctx:   ctx,
 		id:    id,

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -11,6 +13,7 @@ import (
 	"testing"
 
 	"jaws"
+	"jaws/internal/query"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -39,6 +42,10 @@ func TestQueryValidation(t *testing.T) {
 		{"step past store", "POST", `{"step":4,"points":[{"x":1,"y":2,"z":3}]}`, http.StatusBadRequest, "outside [0, 4)"},
 		{"no points", "POST", `{"step":1,"points":[]}`, http.StatusBadRequest, "no points"},
 		{"too many points", "POST", `{"step":1,"points":[{"x":1},{"x":2},{"x":3}]}`, http.StatusBadRequest, "exceed the limit of 2"},
+		{"deriv_steps of one", "POST", `{"step":1,"deriv_steps":1,"points":[{"x":1,"y":2,"z":3}]}`, http.StatusBadRequest, "deriv_steps 1 invalid"},
+		{"deriv_steps negative", "POST", `{"step":1,"deriv_steps":-2,"points":[{"x":1,"y":2,"z":3}]}`, http.StatusBadRequest, "deriv_steps -2 invalid"},
+		{"deriv_steps too long", "POST", `{"step":0,"deriv_steps":9,"points":[{"x":1,"y":2,"z":3}]}`, http.StatusBadRequest, "deriv_steps 9 invalid"},
+		{"deriv chain past store", "POST", `{"step":3,"deriv_steps":2,"points":[{"x":1,"y":2,"z":3}]}`, http.StatusBadRequest, "derivative chain [3, 5) exceeds the stored 4 steps"},
 		{"oversized body", "POST", `{"step":1,"points":[` + strings.Repeat(`{"x":1.234567,"y":2.345678,"z":3.456789},`, 20) + `{"x":1}]}`, http.StatusRequestEntityTooLarge, "exceeds 256 bytes"},
 		{"GET not allowed", "GET", "", http.StatusMethodNotAllowed, "POST only"},
 	}
@@ -110,5 +117,68 @@ func TestQueryGoldenHappyPath(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("response differs from golden file:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestQueryDerivativeServed drives a derivative request through a real
+// session: the engine fans the chain out into per-step sub-queries and
+// finite-differences them, and the served values must match a by-hand
+// chain of plain queries at the same points combined with the Fornberg
+// stencil.
+func TestQueryDerivativeServed(t *testing.T) {
+	sess, err := jaws.OpenSession(jaws.Config{
+		Space:      jaws.Space{GridSide: 64, AtomSide: 32},
+		Steps:      4,
+		Seed:       11,
+		Scheduler:  jaws.SchedJAWS2,
+		CacheAtoms: 16,
+		Compute:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, []Backend{sess}, nil)
+
+	points := `[{"x":1.0,"y":2.0,"z":3.0},{"x":1.1,"y":2.0,"z":3.0}]`
+	const k = 3
+	resp := postQuery(t, ts.URL, `{"step":1,"deriv_steps":3,"kernel":"lag8","points":`+points+`}`)
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("derivative request rejected: %d %s", resp.StatusCode, raw)
+	}
+	var deriv QueryResponse
+	if err := json.Unmarshal(raw, &deriv); err != nil {
+		t.Fatal(err)
+	}
+	if len(deriv.Values) != 2 {
+		t.Fatalf("derivative response carries %d values, want 2", len(deriv.Values))
+	}
+
+	// Reference: the same chain assembled from plain per-step queries.
+	perStep := make([]QueryResponse, k)
+	for i := 0; i < k; i++ {
+		r := postQuery(t, ts.URL, fmt.Sprintf(`{"step":%d,"kernel":"lag8","points":%s}`, 1+i, points))
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("plain step %d rejected: %d %s", 1+i, r.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &perStep[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := query.DerivWeights(k)
+	for pi, got := range deriv.Values {
+		for c := 0; c < 3; c++ {
+			var want float64
+			for i := 0; i < k; i++ {
+				want += w[i] * perStep[i].Values[pi].Velocity[c]
+			}
+			want /= query.StepDT
+			if diff := got.Velocity[c] - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("point %d velocity[%d] = %v, want %v", pi, c, got.Velocity[c], want)
+			}
+		}
 	}
 }

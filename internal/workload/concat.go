@@ -40,13 +40,14 @@ func Concat(parts []*Workload, gap time.Duration) *Workload {
 			}
 			for _, q := range j.Queries {
 				nq := &query.Query{
-					ID:     q.ID + queryOffset,
-					JobID:  q.JobID + jobOffset,
-					Seq:    q.Seq,
-					Step:   q.Step,
-					Points: q.Points,
-					Kernel: q.Kernel,
-					User:   q.User,
+					ID:         q.ID + queryOffset,
+					JobID:      q.JobID + jobOffset,
+					Seq:        q.Seq,
+					Step:       q.Step,
+					DerivSteps: q.DerivSteps,
+					Points:     q.Points,
+					Kernel:     q.Kernel,
+					User:       q.User,
 				}
 				if q.Arrival > 0 || q.Seq == 0 || j.Type == job.Batched {
 					nq.Arrival = q.Arrival + shift

@@ -58,6 +58,32 @@ type Config struct {
 	// cluster around (inertial particles cluster in turbulent
 	// structures, §V.B); 0 defaults to 6.
 	Hotspots int
+
+	// Arrivals selects the inter-job arrival process. Nil means the
+	// calibrated Fig8() bursty on/off process — the original trace,
+	// byte-identical to the pre-matrix generator (pinned by goldens).
+	Arrivals Arrivals
+
+	// BoxFrac is the fraction of queries generated as cutout queries —
+	// box or sphere lattices spanning many atoms (the web services'
+	// cutout access pattern) — instead of clustered point clouds. Zero
+	// (the fig8 trace) draws no extra randomness, keeping old traces
+	// byte-identical.
+	BoxFrac float64
+	// BoxSide is the cutout edge length (box) or diameter (sphere) in
+	// domain units; 0 defaults to 0.6.
+	BoxSide float64
+	// BoxStride is the cutout lattice stride in voxels; 0 defaults to 6.
+	BoxStride int
+
+	// DerivFrac is the fraction of queries generated as temporal-
+	// derivative queries: each chains DerivChain adjacent time steps per
+	// logical query (∂/∂t via finite differences), stressing the gating
+	// graph and the scheduler's step buckets.
+	DerivFrac float64
+	// DerivChain is k, the adjacent steps per derivative query; 0
+	// defaults to 3, and it is capped at Steps.
+	DerivChain int
 }
 
 // DefaultConfig returns the evaluation-scale configuration used by the
@@ -140,6 +166,27 @@ func Generate(cfg Config) *Workload {
 	if cfg.ThinkTime <= 0 {
 		cfg.ThinkTime = 50 * time.Millisecond
 	}
+	if cfg.Arrivals == nil {
+		cfg.Arrivals = Fig8()
+	}
+	if cfg.BoxSide <= 0 {
+		cfg.BoxSide = 0.6
+	}
+	if cfg.BoxStride <= 0 {
+		cfg.BoxStride = 6
+	}
+	if cfg.DerivChain <= 0 {
+		cfg.DerivChain = 3
+	}
+	if cfg.DerivChain > cfg.Steps {
+		cfg.DerivChain = cfg.Steps
+	}
+	if cfg.BoxFrac < 0 {
+		cfg.BoxFrac = 0
+	}
+	if cfg.DerivFrac < 0 {
+		cfg.DerivFrac = 0
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &generator{cfg: cfg, rng: rng}
@@ -174,20 +221,16 @@ func Generate(cfg Config) *Workload {
 
 	w := &Workload{StepAccess: make([]int, cfg.Steps)}
 	now := time.Duration(0)
+	gaps := cfg.Arrivals.Stream()
 	for i := 0; i < cfg.Jobs; i++ {
-		// Bursty arrivals: a burst of closely spaced jobs, then a lull.
-		if rng.Float64() < 0.25 {
-			// Lull: exponential gap around the configured mean.
-			gap := time.Duration(rng.ExpFloat64() * float64(cfg.MeanJobGap) * 3)
-			now += time.Duration(float64(gap) / cfg.SpeedUp)
-		} else {
-			gap := time.Duration(rng.ExpFloat64() * float64(cfg.MeanJobGap) * 0.2)
-			now += time.Duration(float64(gap) / cfg.SpeedUp)
-		}
+		gap := gaps(rng, cfg.MeanJobGap, now)
+		now += time.Duration(float64(gap) / cfg.SpeedUp)
 		j, dur := g.makeJob(int64(i+1), now)
 		w.Jobs = append(w.Jobs, j)
 		for _, q := range j.Queries {
-			w.StepAccess[q.Step]++
+			for s := 0; s < q.ChainLen(); s++ {
+				w.StepAccess[q.Step+s]++
+			}
 		}
 		w.Durations = append(w.Durations, dur)
 		w.Records = append(w.Records, g.traceRecords(j, now)...)
@@ -429,25 +472,44 @@ func (g *generator) drift(p geom.Position) geom.Position {
 	return g.jitter(p, 0.08)
 }
 
-// makeQuery builds one query of points clustered around center.
+// makeQuery builds one query: a clustered point cloud by default, or —
+// when the query-class knobs are set — a box/sphere cutout or a temporal-
+// derivative chain. The class selector draws randomness only when a
+// non-point class is enabled, so classless configs (the fig8 trace)
+// consume the rng exactly as the original generator did.
 func (g *generator) makeQuery(jobID int64, seq, step int, center geom.Position, arrival time.Duration) *query.Query {
 	g.nextQuery++
+	if g.cfg.BoxFrac > 0 || g.cfg.DerivFrac > 0 {
+		r := g.rng.Float64()
+		if r < g.cfg.BoxFrac {
+			return g.makeCutout(jobID, seq, step, center, arrival)
+		}
+		if r < g.cfg.BoxFrac+g.cfg.DerivFrac {
+			return g.makeDeriv(jobID, seq, step, center, arrival)
+		}
+	}
 	n := g.cfg.PointsPerQuery/2 + g.rng.Intn(g.cfg.PointsPerQuery)
 	pts := make([]geom.Position, n)
 	for i := range pts {
 		pts[i] = g.jitter(center, 0.08)
 	}
-	kernels := []field.Kernel{field.KernelNone, field.KernelTrilinear, field.KernelLag4, field.KernelLag6, field.KernelLag8}
 	return &query.Query{
 		ID:      g.nextQuery,
 		JobID:   jobID,
 		Seq:     seq,
 		Step:    step,
 		Points:  pts,
-		Kernel:  kernels[int(jobID)%len(kernels)],
+		Kernel:  g.kernelFor(jobID),
 		User:    0, // set by caller via job
 		Arrival: arrival,
 	}
+}
+
+// kernelFor rotates the interpolation kernel per job, as the original
+// generator did.
+func (g *generator) kernelFor(jobID int64) field.Kernel {
+	kernels := []field.Kernel{field.KernelNone, field.KernelTrilinear, field.KernelLag4, field.KernelLag6, field.KernelLag8}
+	return kernels[int(jobID)%len(kernels)]
 }
 
 // traceRecords renders the job as raw log lines with ground truth labels.
