@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-oracle check-prop check-bench check-bench-scenarios build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve lint
+.PHONY: check check-oracle check-prop check-bench check-bench-scenarios check-tail-scenarios build vet test race race-obs fuzz-smoke bench-sched bench bench-compare e2e-serve lint
 
 ## check: everything CI should gate on.
 check: vet build test race fuzz-smoke
@@ -29,6 +29,16 @@ ifeq ($(SCENARIO),)
 else
 	$(GO) run ./cmd/jawsbench -scenario $(SCENARIO) -compare BENCH_$(SCENARIO).json
 endif
+
+## check-tail-scenarios: the tail-policy regression gates — each
+## scenario's policy stack (the one its committed BENCH_<scenario>-tail
+## baseline was measured with) re-measured and gated against that
+## baseline, per-cause p99 wait included. CI runs these as the tail-gate
+## matrix job (see DESIGN.md §18).
+check-tail-scenarios:
+	$(GO) run ./cmd/jawsbench -scenario fig8 -policy 'gate-aware:boost=1.2,discount=0.8' -compare BENCH_fig8-tail.json
+	$(GO) run ./cmd/jawsbench -scenario poisson-box -policy 'gate-aware' -compare BENCH_poisson-box-tail.json
+	$(GO) run ./cmd/jawsbench -scenario deriv-chain -policy 'cross-step:span=2;adaptive-batch' -compare BENCH_deriv-chain-tail.json
 
 build:
 	$(GO) build ./...
@@ -81,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime 10s ./internal/workload/
 	$(GO) test -run xxx -fuzz FuzzGenerate -fuzztime 10s ./internal/workload/
 	$(GO) test -run xxx -fuzz FuzzParseSpec -fuzztime 10s ./internal/fault/
+	$(GO) test -run xxx -fuzz FuzzParsePolicySpec -fuzztime 10s ./internal/sched/
 
 ## bench-sched: the scheduling benches used to bound instrumentation
 ## overhead (compare against a pre-change baseline).

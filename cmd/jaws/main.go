@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		schedName = fs.String("sched", "jaws2", "scheduler: noshare, liferaft1, liferaft2, jaws1, jaws2")
 		policy    = fs.String("policy", "lruk", "cache policy: lruk, slru, urc, lru, fifo")
+		tailPol   = fs.String("tail-policy", "", "tail-policy spec decorating a JAWS scheduler, e.g. 'gate-aware;adaptive-batch:min=4,max=32' (DESIGN.md §18)")
 		tracePath = fs.String("trace", "", "replay a trace file written by tracegen (otherwise generate)")
 		jobs      = fs.Int("jobs", 200, "jobs to generate when no trace is given")
 		seed      = fs.Int64("seed", 1, "workload and field seed")
@@ -141,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		AlphaSet:     true,
 		AdaptiveOff:  *fixed,
 		Policy:       pol,
+		TailPolicy:   *tailPol,
 		CacheAtoms:   *cacheAt,
 		Compute:      *compute,
 		Obs:          o,
@@ -160,6 +162,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "\nscheduler       %s (k=%d, α₀=%.2f adaptive=%v)\n", sched, *batch, *alpha, !*fixed)
 	fmt.Fprintf(stdout, "cache policy    %s (%d atoms)\n", pol, *cacheAt)
+	if *tailPol != "" {
+		fmt.Fprintf(stdout, "tail policy     %s\n", *tailPol)
+	}
 	fmt.Fprintf(stdout, "completed       %d queries in %.1f virtual seconds (%.3f q/s)\n",
 		rep.Completed, rep.Elapsed.Seconds(), rep.ThroughputQPS)
 	fmt.Fprintf(stdout, "response time   mean %.3fs  p50 %.3fs  p95 %.3fs\n",

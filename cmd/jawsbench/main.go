@@ -33,6 +33,12 @@
 //
 // Each scenario gates against its own baseline: artifacts record the
 // scenario and Compare refuses cross-scenario comparisons.
+//
+// Tail policies (DESIGN.md §18) decorate the JAWS scheduler for the run;
+// the artifact records the spec and gets a -tail name suffix by default:
+//
+//	jawsbench -scenario fig8 -policy 'gate-aware;adaptive-batch' -bench-out BENCH_fig8-tail.json
+//	jawsbench -scenario fig8 -policy 'gate-aware;adaptive-batch' -compare BENCH_fig8-tail.json
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"jaws/internal/fault"
 	"jaws/internal/metrics"
 	"jaws/internal/obs"
+	"jaws/internal/sched"
 	"jaws/internal/workload"
 )
 
@@ -81,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchOut := fs.String("bench-out", "", "run the benchmark workload and write a BENCH_*.json artifact to this file (skips the experiment tables)")
 	benchName := fs.String("bench-name", "", "artifact name recorded in -bench-out / fresh -compare runs (default: the scenario name, or jaws2 for the baseline)")
 	scenario := fs.String("scenario", "", "workload scenario overlay for experiments and benchmarks (see -list-scenarios); empty means the fig8 baseline")
+	policy := fs.String("policy", "", "tail-policy spec decorating the JAWS scheduler, e.g. gate-aware;adaptive-batch:min=4,max=32 (DESIGN.md §18); empty means undecorated")
 	listScenarios := fs.Bool("list-scenarios", false, "list the workload scenario registry and exit")
 	compareWith := fs.String("compare", "", "baseline BENCH_*.json to gate against (re-measures unless -with is given; exits 3 on regression)")
 	withFile := fs.String("with", "", "candidate BENCH_*.json for -compare (instead of re-measuring)")
@@ -100,6 +108,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if _, ok := workload.LookupScenario(*scenario); !ok {
 			fmt.Fprintf(stderr, "jawsbench: unknown scenario %q (have: %s)\n",
 				*scenario, strings.Join(workload.ScenarioNames(), ", "))
+			return 2
+		}
+	}
+	if *policy != "" {
+		if _, err := sched.ParsePolicySpec(*policy); err != nil {
+			fmt.Fprintf(stderr, "jawsbench: %v\n", err)
 			return 2
 		}
 	}
@@ -127,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale = experiments.TestScale()
 	}
 	scale.Scenario = *scenario
+	scale.TailPolicy = *policy
 	if *jobs > 0 {
 		scale.Jobs = *jobs
 	}
@@ -149,6 +164,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				name = *scenario
 			} else {
 				name = "jaws2"
+			}
+			if *policy != "" {
+				// Tail-policy artifacts live beside the undecorated baselines
+				// (BENCH_fig8.json vs BENCH_fig8-tail.json), never overwrite them.
+				name += "-tail"
 			}
 		}
 		return c.benchMode(scale, *benchOut, name, *compareWith, *withFile, *regress)

@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		steps       = fs.Int("steps", 8, "stored time steps per node")
 		seed        = fs.Int64("seed", 1, "turbulence field seed (replicas share it: same data)")
 		schedName   = fs.String("sched", "jaws2", "scheduler: noshare, liferaft1, liferaft2, jaws1, jaws2")
+		tailPol     = fs.String("tail-policy", "", "tail-policy spec decorating a JAWS scheduler on every node, e.g. 'gate-aware;adaptive-batch:min=4,max=32' (DESIGN.md §18)")
 		cacheAtoms  = fs.Int("cache", 64, "cache capacity in atoms per node")
 		faultSpec   = fs.String("fault-spec", "", "deterministic fault schedule, e.g. 'disk-transient:p=0.05' (see internal/fault)")
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for the fault injector (each node derives its own stream)")
@@ -150,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Steps:      *steps,
 			Seed:       *seed, // shared: every replica serves the same field
 			Scheduler:  sched,
+			TailPolicy: *tailPol,
 			CacheAtoms: *cacheAtoms,
 			Compute:    true,
 			Obs:        o,
@@ -181,6 +183,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SLO:             slo,
 		ReqIDSeed:       *reqSeed,
 		Flight:          recorder,
+		TailPolicy:      *tailPol,
 	})
 	if err != nil {
 		return errf("%v", err)

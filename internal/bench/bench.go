@@ -49,6 +49,10 @@ type ConfigRecord struct {
 	// Scenario is the workload scenario name (see internal/workload's
 	// registry); the pre-matrix baseline trace is recorded as "fig8".
 	Scenario string `json:"scenario"`
+	// Policy is the tail-policy spec decorating the scheduler (see
+	// sched.ParsePolicySpec); empty for the undecorated baseline, and
+	// omitted from the encoding so pre-policy artifacts stay comparable.
+	Policy string `json:"policy,omitempty"`
 }
 
 // PhaseMeans is the per-query mean of each attribution phase, in
@@ -120,6 +124,7 @@ func record(s experiments.Scale, alg experiments.Algorithm) ConfigRecord {
 		TmMicros:       s.Cost.Tm.Microseconds(),
 		Algorithm:      alg.String(),
 		Scenario:       scenario,
+		Policy:         s.TailPolicy,
 	}
 }
 
@@ -248,6 +253,25 @@ func Compare(old, cur *Artifact, threshold float64) ([]Regression, error) {
 		delta := (cur.P95ResponseMS - old.P95ResponseMS) / old.P95ResponseMS
 		if delta > threshold {
 			regs = append(regs, Regression{Metric: "p95_response_ms", Old: old.P95ResponseMS, New: cur.P95ResponseMS, Delta: delta})
+		}
+	}
+	// Per-cause wait tails: the tail policies exist to push these down, so
+	// no single cause's p99 may creep back past the threshold unnoticed.
+	// Causes are matched by name (order-independent); the absolute floor
+	// keeps near-zero causes from tripping the relative gate on noise.
+	const causeFloorMS = 1.0
+	oldCauses := make(map[string]obs.CauseTail, len(old.WaitCauses))
+	for _, c := range old.WaitCauses {
+		oldCauses[c.Cause] = c
+	}
+	for _, c := range cur.WaitCauses {
+		o, ok := oldCauses[c.Cause]
+		if !ok || o.P99MS <= 0 {
+			continue
+		}
+		delta := (c.P99MS - o.P99MS) / o.P99MS
+		if delta > threshold && c.P99MS-o.P99MS > causeFloorMS {
+			regs = append(regs, Regression{Metric: "wait_" + c.Cause + "_p99_ms", Old: o.P99MS, New: c.P99MS, Delta: delta})
 		}
 	}
 	return regs, nil

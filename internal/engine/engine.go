@@ -225,6 +225,10 @@ type Engine struct {
 
 	inst *instruments
 
+	// gateBuf is the reusable BlockedBy scratch of the gate-aware tail
+	// policy's state source (the decision path is single-threaded).
+	gateBuf []jobgraph.Ref
+
 	completedRT []time.Duration
 	runCount    int
 	runStart    time.Duration
@@ -288,6 +292,16 @@ func New(cfg Config) (*Engine, error) {
 	// mutation counter proves residency unchanged between decisions.
 	if rv, ok := cfg.Sched.(sched.ResidencyVersioned); ok {
 		rv.SetResidencyVersion(cfg.Cache.Version)
+	}
+	// Gate-aware tail policies consume per-query gate states: install this
+	// engine's job-graph view, or clear a stale source left on a reused
+	// scheduler (the facade shares schedulers across engines).
+	if ga, ok := cfg.Sched.(sched.GateAware); ok {
+		if cfg.JobAware {
+			ga.SetGateSource(e.gateState)
+		} else {
+			ga.SetGateSource(nil)
+		}
 	}
 	// Install (or, uninstrumented, clear) the observability hooks. The
 	// facade reuses store/cache/scheduler across engines, so this must run
@@ -535,6 +549,36 @@ func (e *Engine) canDispatch(q *query.Query) bool {
 		return true
 	})
 	return ok
+}
+
+// gateState is the gate-aware tail policy's per-query state source: the
+// job-graph condition of one enqueued query. A query whose ordered job
+// holds a WAIT successor reads GateReleasing — completing it shortens the
+// successor's gated-behind wait, so its atoms deserve promotion. A query
+// jobgraph.BlockedBy still holds back reads GateBlocked (with atomic
+// group admission this is a transient window, but the policy and its
+// oracle model handle it; random op logs exercise it heavily). Everything
+// else — batched jobs, lone queries, chain tails — reads GateFree. Called
+// on the decision path: no allocations (reused BlockedBy scratch).
+func (e *Engine) gateState(qid query.ID) sched.GateState {
+	st := e.states[qid]
+	if st == nil {
+		return sched.GateFree
+	}
+	q := st.q
+	j := e.jobsByID[q.JobID]
+	if j == nil || j.Type != job.Ordered {
+		return sched.GateFree
+	}
+	if q.Seq+1 < len(j.Queries) &&
+		e.graph.State(jobgraph.Ref{Job: q.JobID, Seq: q.Seq + 1}) == jobgraph.Wait {
+		return sched.GateReleasing
+	}
+	e.gateBuf = e.graph.BlockedBy(jobgraph.Ref{Job: q.JobID, Seq: q.Seq}, e.gateBuf[:0])
+	if len(e.gateBuf) > 0 {
+		return sched.GateBlocked
+	}
+	return sched.GateFree
 }
 
 // dispatch pre-processes the query and enqueues its sub-queries.

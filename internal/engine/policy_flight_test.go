@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"jaws/internal/cache"
+	"jaws/internal/field"
+	"jaws/internal/job"
+	"jaws/internal/obs"
+	"jaws/internal/query"
+	"jaws/internal/sched"
+)
+
+// TestAdaptiveBatchMirrorsFlightRecorder pins the contract the
+// adaptive-batch policy steers on: its own pass-over count — the
+// per-round truncation the decisions report — is exactly the aggregate
+// the flight recorder publishes as PassBatchFull. If the two ever drift,
+// the policy is reacting to a starvation signal the operator cannot see
+// in the flight snapshot.
+func TestAdaptiveBatchMirrorsFlightRecorder(t *testing.T) {
+	s := testStore(t)
+	spec, err := sched.ParsePolicySpec("adaptive-batch:min=1,max=4,grow=1,shrink=1,full=1,idle=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(16, cache.NewLRU())
+	inner := sched.NewJAWS(sched.JAWSConfig{
+		Cost: testCost, BatchSize: 1, InitialAlpha: 0.5, Adaptive: true,
+		Resident: c.Contains,
+	})
+	wrapped := spec.Wrap(inner)
+	ab, ok := wrapped.(*sched.AdaptiveBatch)
+	if !ok {
+		t.Fatalf("Wrap returned %T, want *sched.AdaptiveBatch", wrapped)
+	}
+	rec := obs.NewFlightRecorder(-1, nil, nil)
+	e, err := New(Config{
+		Store: s, Cache: c, Sched: wrapped, Cost: testCost,
+		Obs: &obs.Obs{Flight: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Contention on one step: six heavy atoms and two light ones, all
+	// pending at once against k = 1, so early rounds drop most of the
+	// above-mean candidates and the policy must grow k while the recorder
+	// counts the same pass-overs.
+	var jobs []*job.Job
+	for i := 0; i < 8; i++ {
+		n := 100
+		if i >= 6 {
+			n = 10
+		}
+		jobs = append(jobs, &job.Job{
+			ID: int64(i + 1), User: i + 1, Type: job.Batched,
+			Queries: []*query.Query{{
+				ID: query.ID(i + 1), JobID: int64(i + 1), Step: 0,
+				Points: pointsInAtom(s, uint32(i), 0, 0, n),
+				Kernel: field.KernelNone,
+			}},
+		})
+	}
+	rep, err := e.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(jobs) {
+		t.Fatalf("completed %d queries, want %d", rep.Completed, len(jobs))
+	}
+
+	snap := rec.Snapshot()
+	if ab.PassOvers() == 0 {
+		t.Fatal("the contended run produced no batch-full pass-overs; the mirror check certifies nothing")
+	}
+	if ab.PassOvers() != snap.PassBatchFull {
+		t.Errorf("policy counted %d pass-overs, flight recorder %d: the steering signal drifted from PassBatchFull",
+			ab.PassOvers(), snap.PassBatchFull)
+	}
+	if grows, _ := ab.Resizes(); grows == 0 {
+		t.Error("sustained truncation did not grow the batch bound")
+	}
+}

@@ -46,6 +46,11 @@ type Scale struct {
 	// validate the name (the CLIs do at flag-parse time); an unknown name
 	// panics in workloadConfig.
 	Scenario string
+	// TailPolicy, when non-empty, is a sched.PolicySpec string decorating
+	// the JAWS schedulers (AlgJAWS1/AlgJAWS2) with tail policies. The
+	// other algorithms ignore it. Callers must validate the spec (the
+	// CLIs do at flag-parse time); an invalid spec errors in runOne.
+	TailPolicy string
 	// Obs, when non-nil, instruments every engine the suite builds
 	// (jawsbench threads its -trace-out/-metrics flags through here).
 	Obs *obs.Obs
@@ -172,13 +177,21 @@ func runOne(s Scale, alg Algorithm, policy func(capacity int) cache.Policy, jobs
 	case AlgLifeRaft2:
 		sc = sched.NewLifeRaft(s.Cost, 0, c.Contains)
 	default:
-		sc = sched.NewJAWS(sched.JAWSConfig{
+		inner := sched.NewJAWS(sched.JAWSConfig{
 			Cost:         s.Cost,
 			BatchSize:    batchSize,
 			InitialAlpha: 0.5,
 			Adaptive:     true,
 			Resident:     c.Contains,
 		})
+		sc = inner
+		if s.TailPolicy != "" {
+			spec, err := sched.ParsePolicySpec(s.TailPolicy)
+			if err != nil {
+				return nil, err
+			}
+			sc = spec.Wrap(inner)
+		}
 	}
 	e, err := engine.New(engine.Config{
 		Store:     st,

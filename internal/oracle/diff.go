@@ -3,6 +3,7 @@ package oracle
 import (
 	"fmt"
 
+	"jaws/internal/query"
 	"jaws/internal/sched"
 	"jaws/internal/store"
 )
@@ -93,6 +94,17 @@ func Diff(t Target, log *OpLog) *Divergence {
 	if rv, ok := real.(sched.ResidencyVersioned); ok {
 		rv.SetResidencyVersion(func() uint64 { return snapVersion })
 	}
+	// Gate-aware targets replay against the recorded per-decision gate
+	// snapshot: the same source closure is installed on both sides, so a
+	// disagreement is a decision-rule divergence, never a view skew.
+	var gates map[query.ID]sched.GateState
+	gateFn := func(q query.ID) sched.GateState { return gates[q] }
+	if ga, ok := real.(sched.GateAware); ok {
+		ga.SetGateSource(gateFn)
+	}
+	if gm, ok := model.(GateAwareModel); ok {
+		gm.SetGateSource(gateFn)
+	}
 
 	for i, op := range log.Ops {
 		switch op.Kind {
@@ -101,6 +113,7 @@ func Diff(t Target, log *OpLog) *Divergence {
 			model.Enqueue(op.Sub, op.Now)
 		case OpDecision:
 			snap = op.Resident
+			gates = op.Gates
 			snapVersion++
 			rGot := real.NextBatch(op.Now)
 			mGot := model.NextBatch(op.Now, func(id store.AtomID) bool { return snap[id] })

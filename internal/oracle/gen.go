@@ -9,6 +9,7 @@ import (
 	"jaws/internal/field"
 	"jaws/internal/geom"
 	"jaws/internal/query"
+	"jaws/internal/sched"
 	"jaws/internal/store"
 )
 
@@ -27,8 +28,9 @@ import (
 func genSpace() geom.Space { return geom.Space{GridSide: 128, AtomSide: 32} }
 
 // genSub builds one pre-processed sub-query of n positions inside atom
-// (i,j,k) of step.
-func genSub(qid query.ID, step int, i, j, k uint32, n int) *query.SubQuery {
+// (i,j,k) of step, arriving at the given virtual time (the QoS deadline
+// anchor).
+func genSub(qid query.ID, step int, i, j, k uint32, n int, arrival time.Duration) *query.SubQuery {
 	s := genSpace()
 	atomLen := float64(s.AtomSide) * s.VoxelSize()
 	pts := make([]geom.Position, n)
@@ -40,7 +42,7 @@ func genSub(qid query.ID, step int, i, j, k uint32, n int) *query.SubQuery {
 			Z: (float64(k) + 0.5) * atomLen,
 		}
 	}
-	q := &query.Query{ID: qid, Step: step, Points: pts, Kernel: field.KernelNone}
+	q := &query.Query{ID: qid, Step: step, Points: pts, Kernel: field.KernelNone, Arrival: arrival}
 	sqs, err := query.PreProcess(q, s)
 	if err != nil {
 		panic(err)
@@ -97,7 +99,7 @@ func GenLog(seed int64, cfg GenConfig) *OpLog {
 		case r < 55 || len(seen) == 0:
 			sq := genSub(qid, rng.Intn(cfg.Steps),
 				uint32(rng.Intn(cfg.AtomSide)), uint32(rng.Intn(cfg.AtomSide)), uint32(rng.Intn(cfg.AtomSide)),
-				rng.Intn(cfg.MaxPoints)+1)
+				rng.Intn(cfg.MaxPoints)+1, now)
 			qid++
 			if !inSeen[sq.Atom] {
 				inSeen[sq.Atom] = true
@@ -117,7 +119,25 @@ func GenLog(seed int64, cfg GenConfig) *OpLog {
 					}
 				}
 			}
-			log.Ops = append(log.Ops, Op{Kind: OpDecision, Now: now, Resident: snap})
+			// A fresh gate snapshot too: per-query states flip between
+			// decisions, exercising the gate-aware scoring far harder than
+			// an engine run (where BlockedBy is transient) ever would. The
+			// map is always drawn so gate-free and gate-aware targets
+			// consume the same random stream; non-gate-aware replays simply
+			// ignore it.
+			gates := make(map[query.ID]sched.GateState)
+			for q := query.ID(1); q < qid; q++ {
+				switch g := rng.Intn(10); {
+				case g < 2:
+					gates[q] = sched.GateBlocked
+				case g < 3:
+					gates[q] = sched.GateReleasing
+				}
+			}
+			if len(gates) == 0 {
+				gates = nil
+			}
+			log.Ops = append(log.Ops, Op{Kind: OpDecision, Now: now, Resident: snap, Gates: gates})
 		default:
 			log.Ops = append(log.Ops, Op{
 				Kind: OpRunEnd,
@@ -139,7 +159,7 @@ func FormatOps(log *OpLog) string {
 			fmt.Fprintf(&b, "%3d: enq   q%d s%d/a%d ×%d @%v\n",
 				i, op.Sub.Query.ID, op.Sub.Atom.Step, op.Sub.Atom.Code, len(op.Sub.Points), op.Now)
 		case OpDecision:
-			fmt.Fprintf(&b, "%3d: dec   @%v resident=%d\n", i, op.Now, len(op.Resident))
+			fmt.Fprintf(&b, "%3d: dec   @%v resident=%d gates=%d\n", i, op.Now, len(op.Resident), len(op.Gates))
 		case OpRunEnd:
 			fmt.Fprintf(&b, "%3d: run   rt=%g tp=%g\n", i, op.RT, op.TP)
 		}

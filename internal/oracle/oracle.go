@@ -367,11 +367,16 @@ type modelJAWS struct {
 	k    int
 	ctrl modelAlphaController
 	q    queueList
+	// lastTrunc is the most recent decision's batch-full pass-over count,
+	// mirroring the production scheduler's LastTruncated for the
+	// adaptive-batch policy model.
+	lastTrunc int
 }
 
 func (m *modelJAWS) Enqueue(sq *query.SubQuery, now time.Duration) { m.q.add(sq, now) }
 
 func (m *modelJAWS) NextBatch(now time.Duration, resident func(store.AtomID) bool) []sched.Batch {
+	m.lastTrunc = 0
 	if m.q.subs == 0 {
 		return nil
 	}
@@ -413,6 +418,7 @@ func (m *modelJAWS) NextBatch(now time.Duration, resident func(store.AtomID) boo
 	// Keep the k most contentious (score-descending, key-ascending on
 	// ties), then execute in Morton order.
 	if len(selected) > m.k {
+		m.lastTrunc = len(selected) - m.k
 		sort.SliceStable(selected, func(i, j int) bool {
 			si := ue(m.cost, selected[i], alpha, now, resident)
 			sj := ue(m.cost, selected[j], alpha, now, resident)
@@ -452,6 +458,15 @@ func (m *modelJAWS) PendingSteps() []int { return m.q.steps() }
 
 // PendingAtoms implements UtilityModel.
 func (m *modelJAWS) PendingAtoms() []store.AtomID { return m.q.atoms() }
+
+func (m *modelJAWS) setBatchSize(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.k = k
+}
+func (m *modelJAWS) batchSize() int     { return m.k }
+func (m *modelJAWS) lastTruncated() int { return m.lastTrunc }
 
 var (
 	_ UtilityModel = (*modelLifeRaft)(nil)

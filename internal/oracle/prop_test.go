@@ -22,17 +22,46 @@ var propCost = sched.CostModel{Tb: 41 * time.Millisecond, Tm: 20 * time.Microsec
 
 // propTargets returns the target sweep for one seed: the α grid and
 // batch sizes vary by seed so tie-break, truncation, heap (LifeRaft at
-// α = 0) and adaptive-controller paths all get random-log coverage.
+// α = 0) and adaptive-controller paths all get random-log coverage, and
+// every tail-policy configuration plus the QoS decorator replays each
+// log alongside the base algorithms.
 func propTargets(seed int64) []Target {
 	lrAlpha := Params{Cost: propCost, Alpha: float64(seed%11) / 10.0}
 	lrZero := Params{Cost: propCost, Alpha: 0} // heap path under Diff's version source
 	jaws := Params{Cost: propCost, BatchSize: 1 + int(seed%4), Alpha: float64((seed*3)%11) / 10.0, Adaptive: seed%2 == 0}
-	return []Target{
+	targets := []Target{
 		StandardTarget(AlgoNoShare, Params{}),
 		StandardTarget(AlgoLifeRaft, lrAlpha),
 		StandardTarget(AlgoLifeRaft, lrZero),
 		StandardTarget(AlgoJAWS, jaws),
 	}
+	// The tail policies, singly and stacked. Gate factors and spans vary
+	// by seed; the adaptive-batch bounds are tight (min 1–2, max ≤ 6) so
+	// random logs actually drive k into both rails.
+	gate := &sched.GateAwareParams{Discount: 0.25 + 0.05*float64(seed%4), Boost: 1.5 + float64(seed%3)}
+	xstep := &sched.CrossStepParams{Span: 2 + int(seed%3)}
+	adapt := &sched.AdaptiveBatchParams{
+		Min: 1 + int(seed%2), Max: 3 + int(seed%4),
+		Grow: 1 + int(seed%2), Shrink: 1,
+		Full: 1 + int(seed%2), Idle: 1 + int(seed%3),
+	}
+	for _, spec := range []sched.PolicySpec{
+		{GateAware: gate},
+		{CrossStep: xstep},
+		{AdaptiveBatch: adapt},
+		{GateAware: gate, CrossStep: xstep},
+		{GateAware: gate, CrossStep: xstep, AdaptiveBatch: adapt},
+	} {
+		targets = append(targets, PolicyTarget(jaws, spec))
+	}
+	// QoS in both regimes: a small stretch keeps deadlines inside the
+	// horizon (urgent EDF path), a huge stretch with a tiny horizon never
+	// finds one urgent (fallthrough through the QoS bookkeeping).
+	targets = append(targets,
+		QoSTarget(jaws, 1+float64(seed%8), time.Duration(seed%3+1)*time.Second),
+		QoSTarget(jaws, 1e9, time.Nanosecond),
+	)
+	return targets
 }
 
 func TestRandomOpLogsDifferential(t *testing.T) {

@@ -38,6 +38,11 @@ type Op struct {
 	// production scheduler's answer (nil once a log has been shrunk).
 	Resident map[store.AtomID]bool
 	Got      []sched.Batch
+	// Gates snapshots the gate source's answer for every then-pending
+	// query (gate-aware schedulers only; the graph cannot change during
+	// the call, so the snapshot is exact). Only non-GateFree states are
+	// stored — absent queries read GateFree, matching the source.
+	Gates map[query.ID]sched.GateState
 
 	// Run end.
 	RT, TP float64
@@ -79,17 +84,27 @@ type RecordingSched struct {
 	resident func(store.AtomID) bool
 	log      *OpLog
 	pending  map[store.AtomID]int
+	// pendingQ counts pending sub-queries per query, so decisions can
+	// snapshot the gate source for exactly the queries the scheduler may
+	// consult. gateFn is the installed source; gateAware records whether
+	// the inner scheduler consumes it (snapshots are skipped otherwise).
+	pendingQ  map[query.ID]int
+	gateFn    func(query.ID) sched.GateState
+	gateAware bool
 }
 
 // NewRecordingSched wraps inner. resident is the same residency oracle
 // the production scheduler consults (the cache's Contains); it is used
 // only to snapshot, never to decide, and may be nil.
 func NewRecordingSched(inner sched.Scheduler, resident func(store.AtomID) bool) *RecordingSched {
+	_, gateAware := inner.(sched.GateAware)
 	return &RecordingSched{
-		inner:    inner,
-		resident: resident,
-		log:      &OpLog{},
-		pending:  make(map[store.AtomID]int),
+		inner:     inner,
+		resident:  resident,
+		log:       &OpLog{},
+		pending:   make(map[store.AtomID]int),
+		pendingQ:  make(map[query.ID]int),
+		gateAware: gateAware,
 	}
 }
 
@@ -103,6 +118,7 @@ func (r *RecordingSched) Name() string { return r.inner.Name() }
 func (r *RecordingSched) Enqueue(sq *query.SubQuery, now time.Duration) {
 	r.log.Ops = append(r.log.Ops, Op{Kind: OpEnqueue, Now: now, Sub: sq})
 	r.pending[sq.Atom]++
+	r.pendingQ[sq.Query.ID]++
 	r.inner.Enqueue(sq, now)
 }
 
@@ -113,6 +129,15 @@ func (r *RecordingSched) NextBatch(now time.Duration) []sched.Batch {
 	for id := range r.pending {
 		snap[id] = r.resident != nil && r.resident(id)
 	}
+	var gates map[query.ID]sched.GateState
+	if r.gateAware && r.gateFn != nil {
+		gates = make(map[query.ID]sched.GateState, len(r.pendingQ))
+		for qid := range r.pendingQ {
+			if st := r.gateFn(qid); st != sched.GateFree {
+				gates[qid] = st
+			}
+		}
+	}
 	got := r.inner.NextBatch(now)
 	rec := make([]sched.Batch, len(got))
 	for i, b := range got {
@@ -120,8 +145,13 @@ func (r *RecordingSched) NextBatch(now time.Duration) []sched.Batch {
 		if r.pending[b.Atom] -= len(b.SubQueries); r.pending[b.Atom] <= 0 {
 			delete(r.pending, b.Atom)
 		}
+		for _, sq := range b.SubQueries {
+			if r.pendingQ[sq.Query.ID]--; r.pendingQ[sq.Query.ID] <= 0 {
+				delete(r.pendingQ, sq.Query.ID)
+			}
+		}
 	}
-	r.log.Ops = append(r.log.Ops, Op{Kind: OpDecision, Now: now, Resident: snap, Got: rec})
+	r.log.Ops = append(r.log.Ops, Op{Kind: OpDecision, Now: now, Resident: snap, Got: rec, Gates: gates})
 	return got
 }
 
@@ -155,10 +185,21 @@ func (r *RecordingSched) SetResidencyVersion(fn func() uint64) {
 	}
 }
 
+// SetGateSource implements sched.GateAware, passing the engine's job-graph
+// gate source through and remembering it so decisions can snapshot the
+// gate states the wrapped scheduler saw.
+func (r *RecordingSched) SetGateSource(fn func(query.ID) sched.GateState) {
+	r.gateFn = fn
+	if ga, ok := r.inner.(sched.GateAware); ok {
+		ga.SetGateSource(fn)
+	}
+}
+
 var (
 	_ sched.Scheduler          = (*RecordingSched)(nil)
 	_ sched.Traced             = (*RecordingSched)(nil)
 	_ sched.ResidencyVersioned = (*RecordingSched)(nil)
+	_ sched.GateAware          = (*RecordingSched)(nil)
 )
 
 // batchesEqual reports whether two decision answers agree exactly: same

@@ -26,6 +26,14 @@ const (
 	// every new query class and arrival shape against the reference
 	// models, not just the calibrated point-query trace.
 	ProfileMatrix = "matrix"
+	// ProfileTail is the tail-policy configuration: JAWS decorated with a
+	// per-seed tail-policy spec (gate-aware, cross-step, adaptive-batch,
+	// and the full stack, cycling with the seed) on the scenario-matrix
+	// workload under gated execution, so the policy decorators and their
+	// reference models are certified on engine-captured logs — including
+	// the live job-graph gate states the engine feeds the gate-aware
+	// scoring.
+	ProfileTail = "tail"
 )
 
 // SeedResult is the outcome of one differential run: one (algorithm,
@@ -36,6 +44,9 @@ type SeedResult struct {
 	Seed      int64
 	Profile   string
 	FaultSpec string
+	// Policy is the tail-policy spec decorating the scheduler (tail
+	// profile only; empty otherwise).
+	Policy string
 	// Ops and Decisions size the captured log.
 	Ops, Decisions int
 	// Crashed reports that the fault schedule killed the run (the log is
@@ -64,7 +75,11 @@ func (r *SeedResult) String() string {
 	if p == "" {
 		p = ProfileStandard
 	}
-	return fmt.Sprintf("%-8s seed=%-4d %-8s fault=%-40s ops=%-5d dec=%-4d %s", r.Algo, r.Seed, p, f, r.Ops, r.Decisions, status)
+	algo := r.Algo.String()
+	if r.Policy != "" {
+		algo += "+" + r.Policy
+	}
+	return fmt.Sprintf("%-8s seed=%-4d %-8s fault=%-40s ops=%-5d dec=%-4d %s", algo, r.Seed, p, f, r.Ops, r.Decisions, status)
 }
 
 // SuiteParams derives deterministic per-seed parameters: a tiny workload
@@ -146,6 +161,31 @@ func MatrixParams(a Algo, seed int64) (CaptureConfig, Params) {
 	return cfg, p
 }
 
+// TailPolicySpec returns the tail-policy spec the tail profile pairs
+// with a seed: the three policies singly, then the full stack, cycling.
+// The adaptive-batch bounds are tight so engine-length runs drive k into
+// both rails.
+func TailPolicySpec(seed int64) string {
+	switch seed % 4 {
+	case 0:
+		return "gate-aware"
+	case 1:
+		return "cross-step:span=3"
+	case 2:
+		return "adaptive-batch:min=2,max=6,grow=2,shrink=1,full=1,idle=2"
+	}
+	return "gate-aware:discount=0.5,boost=3;cross-step:span=2;adaptive-batch:min=2,max=5,grow=1,shrink=1,full=1,idle=3"
+}
+
+// TailParams derives the tail-policy variant: the scenario-matrix
+// workload (derivative chains are what cross-step exists for) with the
+// per-seed policy spec decorating JAWS.
+func TailParams(a Algo, seed int64) (CaptureConfig, Params) {
+	cfg, p := MatrixParams(a, seed)
+	cfg.Policy = TailPolicySpec(seed)
+	return cfg, p
+}
+
 // ProfileParams returns the capture config and parameters of a profile.
 func ProfileParams(profile string, a Algo, seed int64) (CaptureConfig, Params) {
 	switch profile {
@@ -153,6 +193,8 @@ func ProfileParams(profile string, a Algo, seed int64) (CaptureConfig, Params) {
 		return ChurnParams(a, seed)
 	case ProfileMatrix:
 		return MatrixParams(a, seed)
+	case ProfileTail:
+		return TailParams(a, seed)
 	}
 	return SuiteParams(a, seed)
 }
@@ -175,7 +217,7 @@ func DiffSeed(a Algo, seed int64, faultSpec string) (*SeedResult, error) {
 // DiffSeedProfile captures one run under the named profile and checks
 // it: differential replay plus the invariant suite.
 func DiffSeedProfile(profile string, a Algo, seed int64, faultSpec string) (*SeedResult, error) {
-	cfg, p := ProfileParams(profile, a, seed)
+	cfg, _ := ProfileParams(profile, a, seed)
 	cfg.FaultSpec = faultSpec
 	cfg.FaultSeed = seed
 	c, err := Run(cfg)
@@ -187,11 +229,16 @@ func DiffSeedProfile(profile string, a Algo, seed int64, faultSpec string) (*See
 		Seed:      seed,
 		Profile:   profile,
 		FaultSpec: faultSpec,
+		Policy:    cfg.Policy,
 		Ops:       len(c.Log.Ops),
 		Decisions: len(c.Decisions),
 		Crashed:   c.RunErr != nil,
 	}
-	res.Divergence = Diff(StandardTarget(a, p), c.Log)
+	target, err := cfg.target()
+	if err != nil {
+		return nil, err
+	}
+	res.Divergence = Diff(target, c.Log)
 	res.Violations = append(res.Violations, CheckExactlyOnce(c, c.RunErr == nil)...)
 	if cfg.JobAware {
 		res.Violations = append(res.Violations, CheckGateRelease(c)...)
@@ -224,6 +271,9 @@ func Suite(n int, withFaults bool, report func(*SeedResult)) ([]*SeedResult, err
 			profiles = append(profiles, ProfileChurn)
 		}
 		profiles = append(profiles, ProfileMatrix)
+		if a == AlgoJAWS {
+			profiles = append(profiles, ProfileTail)
+		}
 		for seed := int64(1); seed <= int64(n); seed++ {
 			specs := []string{""}
 			if withFaults {

@@ -10,7 +10,8 @@ import (
 // workloads are captured on a real engine and replayed through the
 // reference models, with and without fault schedules, and every decision
 // and utility must agree bit for bit. 34 seeds × (3 standard + 2 churn +
-// 3 scenario-matrix profiles) × {clean, faulted} = 544 differential runs.
+// 3 scenario-matrix + 1 tail-policy profiles) × {clean, faulted} = 612
+// differential runs.
 func TestDifferentialSuite(t *testing.T) {
 	seeds := 34
 	if testing.Short() {
@@ -20,7 +21,7 @@ func TestDifferentialSuite(t *testing.T) {
 	if err != nil {
 		t.Fatalf("suite: %v", err)
 	}
-	if want := seeds * (3 + 2 + 3) * 2; len(results) != want {
+	if want := seeds * (3 + 2 + 3 + 1) * 2; len(results) != want {
 		t.Fatalf("suite ran %d captures, want %d", len(results), want)
 	}
 	var crashed, decisions int

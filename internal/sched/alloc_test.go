@@ -133,6 +133,56 @@ func TestDecisionPathZeroAllocs(t *testing.T) {
 			// path runs through the QoS bookkeeping.
 			return NewQoS(inner, testCost, 1e9, time.Nanosecond)
 		}},
+		{"JAWS+gate-aware", func() Scheduler {
+			inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 3, Resident: resident})
+			inner.SetResidencyVersion(version)
+			spec := PolicySpec{GateAware: &GateAwareParams{Discount: 0.25, Boost: 2}}
+			s := spec.Wrap(inner)
+			// A non-trivial gate source: states vary by query without
+			// allocating (the closure is installed once, outside the
+			// measured rounds).
+			s.(GateAware).SetGateSource(func(q query.ID) GateState {
+				switch q % 3 {
+				case 0:
+					return GateBlocked
+				case 1:
+					return GateReleasing
+				}
+				return GateFree
+			})
+			return s
+		}},
+		{"JAWS+cross-step", func() Scheduler {
+			inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 3, Resident: resident})
+			inner.SetResidencyVersion(version)
+			return PolicySpec{CrossStep: &CrossStepParams{Span: 3}}.Wrap(inner)
+		}},
+		{"JAWS+adaptive-batch", func() Scheduler {
+			inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 2, Resident: resident})
+			inner.SetResidencyVersion(version)
+			// Tight bounds with immediate reactions so the measured rounds
+			// actually resize k.
+			return PolicySpec{AdaptiveBatch: &AdaptiveBatchParams{
+				Min: 1, Max: 4, Grow: 1, Shrink: 1, Full: 1, Idle: 1,
+			}}.Wrap(inner)
+		}},
+		{"JAWS+full-stack", func() Scheduler {
+			inner := NewJAWS(JAWSConfig{Cost: testCost, BatchSize: 2, Resident: resident})
+			inner.SetResidencyVersion(version)
+			spec := PolicySpec{
+				GateAware:     &GateAwareParams{Discount: 0.5, Boost: 2},
+				CrossStep:     &CrossStepParams{Span: 2},
+				AdaptiveBatch: &AdaptiveBatchParams{Min: 1, Max: 4, Grow: 1, Shrink: 1, Full: 1, Idle: 2},
+			}
+			s := spec.Wrap(inner)
+			s.(GateAware).SetGateSource(func(q query.ID) GateState {
+				if q%4 == 0 {
+					return GateReleasing
+				}
+				return GateFree
+			})
+			return s
+		}},
 	}
 	workloads := []struct {
 		name string

@@ -87,6 +87,11 @@ type JAWS struct {
 	explain bool
 	exp     Explain
 
+	// lastTrunc is the number of above-mean candidates the batch bound
+	// dropped in the most recent decision (the per-round batch-full
+	// pass-over count the adaptive-batch policy steers on).
+	lastTrunc int
+
 	// Reused decision buffers (zero allocations in steady state).
 	sel    []*atomQueue
 	score  []float64
@@ -139,6 +144,7 @@ func (s *JAWS) sortSel(mode int) {
 // the reference model, so strict > reproduces its tie-breaks and the
 // floating-point sums accumulate identically.
 func (s *JAWS) NextBatch(now time.Duration) []Batch {
+	s.lastTrunc = 0
 	s.q.beginDecision()
 	if len(s.q.buckets) == 0 {
 		return nil
@@ -190,6 +196,7 @@ func (s *JAWS) NextBatch(now time.Duration) []Batch {
 	// disturbed it.
 	truncated := false
 	if len(s.sel) > s.k {
+		s.lastTrunc = len(s.sel) - s.k
 		s.sortSel(sortScoreDescKeyAsc)
 		if exp != nil {
 			// The victims are the tail beyond k, before the shrink: the
@@ -254,6 +261,19 @@ func (s *JAWS) Alpha() float64 { return s.ctrl.alpha }
 
 // BatchSize returns k.
 func (s *JAWS) BatchSize() int { return s.k }
+
+// SetBatchSize changes k for subsequent decisions (clamped to ≥ 1). The
+// adaptive-batch tail policy resizes the batch through this.
+func (s *JAWS) SetBatchSize(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.k = k
+}
+
+// LastTruncated reports how many above-mean candidates the batch bound
+// dropped in the most recent decision (0 when the round fit within k).
+func (s *JAWS) LastTruncated() int { return s.lastTrunc }
 
 // AtomUtility implements UtilityProvider.
 func (s *JAWS) AtomUtility(id store.AtomID) float64 {

@@ -1,0 +1,743 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"jaws/internal/obs"
+	"jaws/internal/query"
+	"jaws/internal/store"
+)
+
+// Tail policies: pluggable decorators over the JAWS scheduler that attack
+// the response-time tail the wait-cause attribution exposes (gated-behind,
+// batch-full, lost-race). Three policies compose through one spec string:
+//
+//	gate-aware      adjust the utility race with job-graph gate states:
+//	                atoms carrying queries whose completion releases a
+//	                WAIT successor are boosted, atoms whose queries are
+//	                all blocked behind unresolved upstream edges are
+//	                discounted — runs spend I/O on work that can complete
+//	                and on work that unblocks more work.
+//	cross-step      widen level-one selection from a single step bucket
+//	                to the best window of adjacent steps, so a
+//	                derivative-chain query's sub-queries on steps s..s+c
+//	                can be served in one decision instead of c races.
+//	adaptive-batch  grow the batch bound k while decisions keep
+//	                truncating above-mean candidates (batch-full
+//	                pass-overs) and shrink it back when rounds fit,
+//	                so aged queries stop losing races at a fixed k.
+//
+// gate-aware and cross-step both replace the two-level selection and fold
+// into one decorator (a gate-aware spec is a window of span 1; a plain
+// cross-step spec applies no gate factors); adaptive-batch wraps either
+// the combined selection or a bare JAWS. Every decorator keeps the
+// zero-alloc decision path (see TestDecisionPathZeroAllocs) and has an
+// independent reference model in internal/oracle certified by
+// differential replay.
+
+// GateState is the job-graph condition of one pending query, as reported
+// by the engine's gate source (GateFree when no source is installed).
+type GateState uint8
+
+const (
+	// GateFree: the query has no gate relationship that should move its
+	// atoms in the utility race.
+	GateFree GateState = iota
+	// GateBlocked: the query is held behind unresolved upstream edges
+	// (jobgraph.BlockedBy is non-empty) — serving its atoms cannot
+	// complete it yet.
+	GateBlocked
+	// GateReleasing: completing the query releases a WAIT successor in
+	// its job — serving its atoms shortens someone's gated-behind wait.
+	GateReleasing
+)
+
+// GateAware is implemented by schedulers that consume per-query gate
+// states. The engine installs its job-graph view through SetGateSource
+// when job-aware gating is on; fn may be nil (all queries read GateFree).
+type GateAware interface {
+	SetGateSource(fn func(q query.ID) GateState)
+}
+
+// GateAwareParams tunes the gate-aware admission-order policy.
+type GateAwareParams struct {
+	// Discount multiplies the aged metric of atoms whose pending queries
+	// are all gate-blocked; in (0, 1].
+	Discount float64
+	// Boost multiplies the aged metric of atoms carrying at least one
+	// gate-releasing query; ≥ 1.
+	Boost float64
+}
+
+// CrossStepParams tunes the cross-step batching policy.
+type CrossStepParams struct {
+	// Span bounds the window of adjacent step buckets one decision may
+	// coalesce; in [1, 8] (1 degenerates to plain JAWS selection).
+	Span int
+}
+
+// AdaptiveBatchParams tunes the starvation-aware batch sizing policy.
+type AdaptiveBatchParams struct {
+	// Min and Max bound the batch size k.
+	Min, Max int
+	// Grow is added to k after Full consecutive truncating rounds;
+	// Shrink is subtracted after Idle consecutive non-truncating rounds.
+	Grow, Shrink int
+	Full, Idle   int
+}
+
+// Policy spec grammar (mirrors internal/fault's ParseSpec):
+//
+//	spec   := clause (';' clause)*          (empty spec: no policy)
+//	clause := name [':' param (',' param)*]
+//	param  := key '=' value
+//
+// Clause names and parameters (defaults in parentheses):
+//
+//	gate-aware:discount=0.25,boost=2
+//	cross-step:span=2
+//	adaptive-batch:min=4,max=32,grow=2,shrink=1,full=2,idle=8
+//
+// Each clause may appear at most once; clause order is irrelevant
+// (String renders canonically: gate-aware, cross-step, adaptive-batch).
+type PolicySpec struct {
+	GateAware     *GateAwareParams
+	CrossStep     *CrossStepParams
+	AdaptiveBatch *AdaptiveBatchParams
+}
+
+// Empty reports whether the spec selects no policy.
+func (s PolicySpec) Empty() bool {
+	return s.GateAware == nil && s.CrossStep == nil && s.AdaptiveBatch == nil
+}
+
+// String renders the spec canonically; ParsePolicySpec(s.String())
+// round-trips to an identical spec.
+func (s PolicySpec) String() string {
+	var parts []string
+	if p := s.GateAware; p != nil {
+		parts = append(parts, fmt.Sprintf("gate-aware:discount=%s,boost=%s",
+			strconv.FormatFloat(p.Discount, 'g', -1, 64),
+			strconv.FormatFloat(p.Boost, 'g', -1, 64)))
+	}
+	if p := s.CrossStep; p != nil {
+		parts = append(parts, fmt.Sprintf("cross-step:span=%d", p.Span))
+	}
+	if p := s.AdaptiveBatch; p != nil {
+		parts = append(parts, fmt.Sprintf("adaptive-batch:min=%d,max=%d,grow=%d,shrink=%d,full=%d,idle=%d",
+			p.Min, p.Max, p.Grow, p.Shrink, p.Full, p.Idle))
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePolicySpec parses a tail-policy spec string. The empty string (and
+// strings of empty clauses, e.g. ";;") parse to the empty spec.
+func ParsePolicySpec(in string) (PolicySpec, error) {
+	var spec PolicySpec
+	for _, clause := range strings.Split(in, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, hasParams := strings.Cut(clause, ":")
+		name = strings.TrimSpace(name)
+		params := make(map[string]string)
+		if hasParams {
+			for _, p := range strings.Split(rest, ",") {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					return PolicySpec{}, fmt.Errorf("sched: policy %q: empty parameter", name)
+				}
+				k, v, ok := strings.Cut(p, "=")
+				k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+				if !ok || k == "" {
+					return PolicySpec{}, fmt.Errorf("sched: policy %q: parameter %q is not key=value", name, p)
+				}
+				if _, dup := params[k]; dup {
+					return PolicySpec{}, fmt.Errorf("sched: policy %q: duplicate parameter %q", name, k)
+				}
+				params[k] = v
+			}
+		}
+		var err error
+		switch name {
+		case "gate-aware":
+			if spec.GateAware != nil {
+				return PolicySpec{}, fmt.Errorf("sched: duplicate policy clause %q", name)
+			}
+			spec.GateAware, err = parseGateAware(params)
+		case "cross-step":
+			if spec.CrossStep != nil {
+				return PolicySpec{}, fmt.Errorf("sched: duplicate policy clause %q", name)
+			}
+			spec.CrossStep, err = parseCrossStep(params)
+		case "adaptive-batch":
+			if spec.AdaptiveBatch != nil {
+				return PolicySpec{}, fmt.Errorf("sched: duplicate policy clause %q", name)
+			}
+			spec.AdaptiveBatch, err = parseAdaptiveBatch(params)
+		default:
+			return PolicySpec{}, fmt.Errorf("sched: unknown policy %q (have gate-aware, cross-step, adaptive-batch)", name)
+		}
+		if err != nil {
+			return PolicySpec{}, err
+		}
+	}
+	return spec, nil
+}
+
+func parseGateAware(params map[string]string) (*GateAwareParams, error) {
+	p := &GateAwareParams{Discount: 0.25, Boost: 2}
+	for k, v := range params {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: gate-aware: %s=%q: %v", k, v, err)
+		}
+		switch k {
+		case "discount":
+			p.Discount = f
+		case "boost":
+			p.Boost = f
+		default:
+			return nil, fmt.Errorf("sched: gate-aware: unknown parameter %q", k)
+		}
+	}
+	if !(p.Discount > 0 && p.Discount <= 1) {
+		return nil, fmt.Errorf("sched: gate-aware: discount %g out of (0, 1]", p.Discount)
+	}
+	if !(p.Boost >= 1 && p.Boost <= 1e6) {
+		return nil, fmt.Errorf("sched: gate-aware: boost %g out of [1, 1e6]", p.Boost)
+	}
+	return p, nil
+}
+
+func parseCrossStep(params map[string]string) (*CrossStepParams, error) {
+	p := &CrossStepParams{Span: 2}
+	for k, v := range params {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("sched: cross-step: %s=%q: %v", k, v, err)
+		}
+		switch k {
+		case "span":
+			p.Span = n
+		default:
+			return nil, fmt.Errorf("sched: cross-step: unknown parameter %q", k)
+		}
+	}
+	if p.Span < 1 || p.Span > 8 {
+		return nil, fmt.Errorf("sched: cross-step: span %d out of [1, 8]", p.Span)
+	}
+	return p, nil
+}
+
+func parseAdaptiveBatch(params map[string]string) (*AdaptiveBatchParams, error) {
+	p := &AdaptiveBatchParams{Min: 4, Max: 32, Grow: 2, Shrink: 1, Full: 2, Idle: 8}
+	for k, v := range params {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("sched: adaptive-batch: %s=%q: %v", k, v, err)
+		}
+		switch k {
+		case "min":
+			p.Min = n
+		case "max":
+			p.Max = n
+		case "grow":
+			p.Grow = n
+		case "shrink":
+			p.Shrink = n
+		case "full":
+			p.Full = n
+		case "idle":
+			p.Idle = n
+		default:
+			return nil, fmt.Errorf("sched: adaptive-batch: unknown parameter %q", k)
+		}
+	}
+	if p.Min < 1 {
+		return nil, fmt.Errorf("sched: adaptive-batch: min %d < 1", p.Min)
+	}
+	if p.Max < p.Min || p.Max > 1024 {
+		return nil, fmt.Errorf("sched: adaptive-batch: max %d out of [min=%d, 1024]", p.Max, p.Min)
+	}
+	if p.Grow < 1 || p.Shrink < 1 {
+		return nil, fmt.Errorf("sched: adaptive-batch: grow/shrink must be ≥ 1 (got %d/%d)", p.Grow, p.Shrink)
+	}
+	if p.Full < 1 || p.Idle < 1 {
+		return nil, fmt.Errorf("sched: adaptive-batch: full/idle must be ≥ 1 (got %d/%d)", p.Full, p.Idle)
+	}
+	return p, nil
+}
+
+// tailInner is the contract a scheduler must satisfy to sit under a tail
+// decorator: the full observable scheduler surface plus a resizable batch
+// bound and the per-round truncation count.
+type tailInner interface {
+	Scheduler
+	UtilityProvider
+	Traced
+	ResidencyVersioned
+	Explained
+	BatchSize() int
+	SetBatchSize(int)
+	LastTruncated() int
+}
+
+// Wrap applies the spec's policies around inner and returns the decorated
+// scheduler (inner itself for the empty spec). gate-aware and cross-step
+// fold into one TailJAWS selection layer; adaptive-batch wraps outermost.
+func (s PolicySpec) Wrap(inner *JAWS) Scheduler {
+	var cur tailInner = inner
+	if s.GateAware != nil || s.CrossStep != nil {
+		cur = newTailJAWS(inner, s.GateAware, s.CrossStep)
+	}
+	if s.AdaptiveBatch != nil {
+		cur = newAdaptiveBatch(cur, *s.AdaptiveBatch)
+	}
+	if cur == tailInner(inner) {
+		return inner
+	}
+	return cur
+}
+
+// --- TailJAWS: gate-aware scoring + cross-step windows -------------------
+
+// TailJAWS replaces the inner JAWS's two-level selection with a
+// gate-adjusted, window-widened one. Like QoS it owns the decision while
+// reusing the inner scheduler's incremental queues, α controller, and
+// freelists:
+//
+//   - every atom's aged metric U_e is multiplied by a gate factor: Boost
+//     when any pending query on the atom is GateReleasing, Discount when
+//     every pending query is GateBlocked, 1 otherwise;
+//   - level one anchors on the best single step bucket by mean adjusted
+//     metric — exactly JAWS's rule (strict >, earliest on ties) — then
+//     extends the window across up to Span−1 following buckets whose
+//     step values are contiguous and that share a pending query with the
+//     anchor bucket: a derivative chain's sub-queries on steps s..s+c
+//     are the sharing case, so the chain is served in one decision
+//     instead of c utility races (a bucket with no query in common gains
+//     nothing from co-scheduling and is left to its own race);
+//   - level two batches the above-window-mean atoms of the window (single
+//     best as fallback), truncates to k most-contentious, and executes in
+//     Morton order exactly as JAWS does.
+//
+// With Span 1 and no gate source the selection is bit-identical to JAWS:
+// the factor multiplication by 1.0 is exact and the accumulation order
+// (buckets step-ascending, atoms key-ascending) is unchanged.
+type TailJAWS struct {
+	inner  *JAWS
+	span   int
+	gate   *GateAwareParams
+	gateFn func(query.ID) GateState
+	name   string
+	trace  *obs.Tracer
+
+	// Decision capture for the flight recorder (see Explained).
+	explain bool
+	exp     Explain
+
+	lastTrunc int
+
+	// Reused decision buffers (zero allocations in steady state).
+	sel    []*atomQueue
+	score  []float64
+	sorter selSorter
+	out    []Batch
+}
+
+func newTailJAWS(inner *JAWS, gate *GateAwareParams, xs *CrossStepParams) *TailJAWS {
+	span := 1
+	if xs != nil {
+		span = xs.Span
+	}
+	name := "JAWS"
+	if gate != nil {
+		name += "+gate-aware"
+	}
+	if xs != nil {
+		name += "+cross-step"
+	}
+	return &TailJAWS{inner: inner, span: span, gate: gate, name: name}
+}
+
+// Name implements Scheduler.
+func (s *TailJAWS) Name() string { return s.name }
+
+// SetGateSource implements GateAware.
+func (s *TailJAWS) SetGateSource(fn func(q query.ID) GateState) { s.gateFn = fn }
+
+// factor returns the gate multiplier for one atom queue: Boost if any
+// pending query is releasing, Discount if all are blocked, 1 otherwise
+// (and always 1 without a gate policy or source).
+func (s *TailJAWS) factor(aq *atomQueue) float64 {
+	if s.gate == nil || s.gateFn == nil {
+		return 1
+	}
+	releasing := false
+	blocked := len(aq.subs) > 0
+	for _, sq := range aq.subs {
+		switch s.gateFn(sq.Query.ID) {
+		case GateReleasing:
+			releasing = true
+		case GateBlocked:
+		default:
+			blocked = false
+		}
+	}
+	if releasing {
+		return s.gate.Boost
+	}
+	if blocked {
+		return s.gate.Discount
+	}
+	return 1
+}
+
+// adjusted is the policy's decision score: Eq. 2's aged metric times the
+// gate factor. The multiplication happens unconditionally so the spelled
+// expression is identical on every path (and in the reference model).
+func (s *TailJAWS) adjusted(aq *atomQueue, alpha float64, now time.Duration) float64 {
+	return s.inner.q.ue(aq, alpha, now) * s.factor(aq)
+}
+
+// sortSel sorts the current selection under the given mode.
+func (s *TailJAWS) sortSel(mode int) {
+	s.sorter.sel = s.sel
+	s.sorter.score = s.score
+	s.sorter.mode = mode
+	sort.Sort(&s.sorter)
+}
+
+// bucketsShareQuery reports whether any pending sub-query in a and b
+// belongs to the same query — the derivative-chain signature that makes
+// a window extension worthwhile. Buckets are small (atoms of one step),
+// so the nested scan stays cheap and allocation-free.
+func bucketsShareQuery(a, b *stepBucket) bool {
+	for _, aqa := range a.atoms {
+		for _, sqa := range aqa.subs {
+			for _, aqb := range b.atoms {
+				for _, sqb := range aqb.subs {
+					if sqa.Query.ID == sqb.Query.ID {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// NextBatch implements Scheduler.
+func (s *TailJAWS) NextBatch(now time.Duration) []Batch {
+	s.lastTrunc = 0
+	q := s.inner.q
+	q.beginDecision()
+	if len(q.buckets) == 0 {
+		return nil
+	}
+	q.syncResidency()
+	alpha := s.inner.ctrl.alpha
+	var exp *Explain
+	if s.explain {
+		exp = &s.exp
+		exp.reset(s.name, alpha, len(q.byAtom), q.subs)
+	}
+
+	// Level one: anchor on the best single bucket by mean adjusted metric
+	// — JAWS's own rule (strict >, earliest bucket on ties). Gate factors
+	// change per decision, so no memoized sums apply: the sums accumulate
+	// bucket by bucket in step order, atoms in key order — the reference
+	// model's exact order.
+	bestStart, bestLen := -1, 1
+	bestMean, winSum, winCount := 0.0, 0.0, 0
+	for i := range q.buckets {
+		sum := 0.0
+		count := 0
+		for _, aq := range q.buckets[i].atoms {
+			sum += s.adjusted(aq, alpha, now)
+			count++
+		}
+		if mean := sum / float64(count); bestStart < 0 || mean > bestMean {
+			bestStart, bestMean = i, mean
+			winSum, winCount = sum, count
+		}
+		if exp != nil {
+			exp.captureStep(q, q.buckets[i], alpha, now)
+		}
+	}
+	if exp != nil {
+		exp.WinnerStep = q.buckets[bestStart].step
+	}
+
+	// Window extension: fold in up to span−1 following buckets whose step
+	// values stay contiguous and that share a pending query with the
+	// anchor — the derivative-chain case, where serving the later steps
+	// alongside the anchor completes the chain in one decision. The
+	// window mean replaces the anchor mean as level two's bar.
+	for j := bestStart + 1; j < len(q.buckets) && j-bestStart < s.span; j++ {
+		if q.buckets[j].step != q.buckets[j-1].step+1 ||
+			!bucketsShareQuery(q.buckets[bestStart], q.buckets[j]) {
+			break
+		}
+		for _, aq := range q.buckets[j].atoms {
+			winSum += s.adjusted(aq, alpha, now)
+			winCount++
+		}
+		bestLen++
+	}
+	if bestLen > 1 {
+		bestMean = winSum / float64(winCount)
+	}
+
+	// Level two: above-window-mean atoms across the window, in global key
+	// order (bucket order is step-ascending and keys are step-major, so
+	// concatenation preserves key order).
+	s.sel = s.sel[:0]
+	s.score = s.score[:0]
+	var fallback *atomQueue
+	fallbackScore := 0.0
+	for j := bestStart; j < bestStart+bestLen; j++ {
+		for _, aq := range q.buckets[j].atoms {
+			sc := s.adjusted(aq, alpha, now)
+			if sc > bestMean {
+				s.sel = append(s.sel, aq)
+				s.score = append(s.score, sc)
+			}
+			if fallback == nil || sc > fallbackScore {
+				fallback, fallbackScore = aq, sc
+			}
+		}
+	}
+	if len(s.sel) == 0 {
+		s.sel = append(s.sel, fallback)
+		s.score = append(s.score, fallbackScore)
+	}
+	truncated := false
+	if len(s.sel) > s.inner.k {
+		s.lastTrunc = len(s.sel) - s.inner.k
+		s.sortSel(sortScoreDescKeyAsc)
+		if exp != nil {
+			for i := s.inner.k; i < len(s.sel); i++ {
+				exp.captureAtom(&exp.Truncated, q, s.sel[i], s.score[i], now)
+			}
+		}
+		s.sel = s.sel[:s.inner.k]
+		s.score = s.score[:s.inner.k]
+		truncated = true
+	}
+	if truncated {
+		s.sortSel(sortKeyAsc)
+	}
+	if s.trace.Enabled() {
+		for i, aq := range s.sel {
+			s.trace.Decision(now, s.name, aq.id.Step, uint64(aq.id.Code),
+				len(s.sel), q.ut(aq), s.score[i], alpha)
+		}
+	}
+	s.out = s.out[:0]
+	for i, aq := range s.sel {
+		if exp != nil {
+			exp.captureAtom(&exp.Chosen, q, aq, s.score[i], now)
+		}
+		s.out = append(s.out, q.take(aq.id))
+		s.sel[i] = nil
+	}
+	return s.out
+}
+
+// Enqueue implements Scheduler.
+func (s *TailJAWS) Enqueue(sq *query.SubQuery, now time.Duration) { s.inner.Enqueue(sq, now) }
+
+// Pending implements Scheduler.
+func (s *TailJAWS) Pending() int { return s.inner.Pending() }
+
+// OnRunEnd implements Scheduler.
+func (s *TailJAWS) OnRunEnd(rt, tp float64) { s.inner.OnRunEnd(rt, tp) }
+
+// Alpha implements Scheduler.
+func (s *TailJAWS) Alpha() float64 { return s.inner.Alpha() }
+
+// BatchSize returns the inner batch bound k.
+func (s *TailJAWS) BatchSize() int { return s.inner.BatchSize() }
+
+// SetBatchSize resizes the inner batch bound.
+func (s *TailJAWS) SetBatchSize(k int) { s.inner.SetBatchSize(k) }
+
+// LastTruncated reports the most recent round's batch-full pass-overs.
+func (s *TailJAWS) LastTruncated() int { return s.lastTrunc }
+
+// SetTracer implements Traced. The decision is taken here, so the tracer
+// stays local (the inner JAWS's NextBatch never runs under TailJAWS).
+func (s *TailJAWS) SetTracer(t *obs.Tracer) { s.trace = t }
+
+// SetResidencyVersion implements ResidencyVersioned.
+func (s *TailJAWS) SetResidencyVersion(fn func() uint64) { s.inner.SetResidencyVersion(fn) }
+
+// SetExplain implements Explained.
+func (s *TailJAWS) SetExplain(on bool) { s.explain = on }
+
+// LastExplain implements Explained.
+func (s *TailJAWS) LastExplain() *Explain {
+	if !s.explain {
+		return nil
+	}
+	return &s.exp
+}
+
+// AtomUtility implements UtilityProvider.
+func (s *TailJAWS) AtomUtility(id store.AtomID) float64 { return s.inner.AtomUtility(id) }
+
+// StepMean implements UtilityProvider.
+func (s *TailJAWS) StepMean(step int) float64 { return s.inner.StepMean(step) }
+
+// PendingSteps implements UtilityProvider.
+func (s *TailJAWS) PendingSteps() []int { return s.inner.PendingSteps() }
+
+// --- AdaptiveBatch: starvation-aware batch sizing ------------------------
+
+// AdaptiveBatch resizes the inner batch bound k from the truncation
+// pressure the decisions themselves report: after Full consecutive rounds
+// that dropped above-mean candidates (batch-full pass-overs, the same
+// per-round count obs.FlightRecorder aggregates as PassBatchFull), k
+// grows by Grow up to Max; after Idle consecutive rounds that fit, k
+// shrinks by Shrink down to Min. Steering on the decision stream — not on
+// a wall-clock recorder snapshot — keeps the policy a pure function of
+// the op log, so the oracle replays it exactly; TestAdaptiveBatchMirrorsFlightRecorder
+// pins the equivalence of the two counters.
+type AdaptiveBatch struct {
+	inner tailInner
+	p     AdaptiveBatchParams
+
+	streakFull, streakIdle int
+	passOvers              int64
+	grows, shrinks         int
+}
+
+func newAdaptiveBatch(inner tailInner, p AdaptiveBatchParams) *AdaptiveBatch {
+	k := inner.BatchSize()
+	if k < p.Min {
+		k = p.Min
+	}
+	if k > p.Max {
+		k = p.Max
+	}
+	inner.SetBatchSize(k)
+	return &AdaptiveBatch{inner: inner, p: p}
+}
+
+// Name implements Scheduler.
+func (s *AdaptiveBatch) Name() string { return s.inner.Name() + "+adaptive-batch" }
+
+// NextBatch implements Scheduler: delegate, then steer k for the next
+// round from this round's truncation count. Empty rounds (no pending
+// work) leave the streaks untouched.
+func (s *AdaptiveBatch) NextBatch(now time.Duration) []Batch {
+	out := s.inner.NextBatch(now)
+	if len(out) == 0 {
+		return out
+	}
+	t := s.inner.LastTruncated()
+	s.passOvers += int64(t)
+	if t > 0 {
+		s.streakFull++
+		s.streakIdle = 0
+		if s.streakFull >= s.p.Full {
+			s.streakFull = 0
+			if k := s.inner.BatchSize(); k < s.p.Max {
+				k += s.p.Grow
+				if k > s.p.Max {
+					k = s.p.Max
+				}
+				s.inner.SetBatchSize(k)
+				s.grows++
+			}
+		}
+	} else {
+		s.streakIdle++
+		s.streakFull = 0
+		if s.streakIdle >= s.p.Idle {
+			s.streakIdle = 0
+			if k := s.inner.BatchSize(); k > s.p.Min {
+				k -= s.p.Shrink
+				if k < s.p.Min {
+					k = s.p.Min
+				}
+				s.inner.SetBatchSize(k)
+				s.shrinks++
+			}
+		}
+	}
+	return out
+}
+
+// PassOvers reports the cumulative batch-full pass-overs observed across
+// decisions — the policy's own count of the aggregate the flight recorder
+// publishes as PassBatchFull.
+func (s *AdaptiveBatch) PassOvers() int64 { return s.passOvers }
+
+// Resizes reports how many times the policy grew and shrank k.
+func (s *AdaptiveBatch) Resizes() (grows, shrinks int) { return s.grows, s.shrinks }
+
+// Enqueue implements Scheduler.
+func (s *AdaptiveBatch) Enqueue(sq *query.SubQuery, now time.Duration) { s.inner.Enqueue(sq, now) }
+
+// Pending implements Scheduler.
+func (s *AdaptiveBatch) Pending() int { return s.inner.Pending() }
+
+// OnRunEnd implements Scheduler.
+func (s *AdaptiveBatch) OnRunEnd(rt, tp float64) { s.inner.OnRunEnd(rt, tp) }
+
+// Alpha implements Scheduler.
+func (s *AdaptiveBatch) Alpha() float64 { return s.inner.Alpha() }
+
+// BatchSize returns the current (adapted) batch bound.
+func (s *AdaptiveBatch) BatchSize() int { return s.inner.BatchSize() }
+
+// SetBatchSize implements tailInner (resets the adapted bound).
+func (s *AdaptiveBatch) SetBatchSize(k int) { s.inner.SetBatchSize(k) }
+
+// LastTruncated implements tailInner.
+func (s *AdaptiveBatch) LastTruncated() int { return s.inner.LastTruncated() }
+
+// SetGateSource implements GateAware by forwarding when the inner layer
+// consumes gate states.
+func (s *AdaptiveBatch) SetGateSource(fn func(q query.ID) GateState) {
+	if ga, ok := s.inner.(GateAware); ok {
+		ga.SetGateSource(fn)
+	}
+}
+
+// SetTracer implements Traced.
+func (s *AdaptiveBatch) SetTracer(t *obs.Tracer) { s.inner.SetTracer(t) }
+
+// SetResidencyVersion implements ResidencyVersioned.
+func (s *AdaptiveBatch) SetResidencyVersion(fn func() uint64) { s.inner.SetResidencyVersion(fn) }
+
+// SetExplain implements Explained.
+func (s *AdaptiveBatch) SetExplain(on bool) { s.inner.SetExplain(on) }
+
+// LastExplain implements Explained.
+func (s *AdaptiveBatch) LastExplain() *Explain { return s.inner.LastExplain() }
+
+// AtomUtility implements UtilityProvider.
+func (s *AdaptiveBatch) AtomUtility(id store.AtomID) float64 { return s.inner.AtomUtility(id) }
+
+// StepMean implements UtilityProvider.
+func (s *AdaptiveBatch) StepMean(step int) float64 { return s.inner.StepMean(step) }
+
+// PendingSteps implements UtilityProvider.
+func (s *AdaptiveBatch) PendingSteps() []int { return s.inner.PendingSteps() }
+
+var (
+	_ tailInner = (*JAWS)(nil)
+	_ tailInner = (*TailJAWS)(nil)
+	_ tailInner = (*AdaptiveBatch)(nil)
+	_ GateAware = (*TailJAWS)(nil)
+	_ GateAware = (*AdaptiveBatch)(nil)
+)

@@ -339,7 +339,10 @@ type varz struct {
 	Steps           int     `json:"steps"`
 	DefaultDeadline string  `json:"default_deadline"`
 	MaxDeadline     string  `json:"max_deadline"`
-	Stats           Stats   `json:"stats"`
+	// TailPolicy is the spec decorating the backends' schedulers; omitted
+	// when the nodes run undecorated.
+	TailPolicy string `json:"tail_policy,omitempty"`
+	Stats      Stats  `json:"stats"`
 	// SLO is the rolling-window objective snapshot; omitted when no
 	// tracker is configured.
 	SLO *obs.SLOSnapshot `json:"slo,omitempty"`
@@ -391,6 +394,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		Steps:           s.cfg.Steps,
 		DefaultDeadline: s.cfg.DefaultDeadline.String(),
 		MaxDeadline:     s.cfg.MaxDeadline.String(),
+		TailPolicy:      s.cfg.TailPolicy,
 		Stats:           s.Stats(),
 	})
 }

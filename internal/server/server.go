@@ -111,6 +111,10 @@ type Config struct {
 	// (decision rate, pass-over counts by cause) and its jaws_sched_*
 	// counters at /metrics.
 	Flight *obs.FlightRecorder
+	// TailPolicy is the tail-policy spec the backends' schedulers were
+	// decorated with (see sched.ParsePolicySpec); informational, exposed
+	// at /varz so operators can tell which policy stack a node runs.
+	TailPolicy string
 }
 
 func (c *Config) applyDefaults() {

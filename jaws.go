@@ -275,6 +275,13 @@ type Config struct {
 	// QoSHorizon is how far ahead of a deadline a query becomes urgent;
 	// zero means 2 s of virtual time.
 	QoSHorizon time.Duration
+	// TailPolicy, when non-empty, decorates the JAWS scheduler with the
+	// tail-attacking policies of DESIGN.md §18 (gate-aware admission,
+	// cross-step batching, adaptive batch sizing). The spec grammar is
+	// sched.ParsePolicySpec's, e.g. "gate-aware;adaptive-batch:min=4,max=32".
+	// Requires a JAWS scheduler and cannot be combined with QoSStretch
+	// (both decorate the same inner scheduler).
+	TailPolicy string
 	// Obs enables scheduling-decision tracing and metrics for every run of
 	// the system; nil (the default) keeps the engine uninstrumented.
 	Obs *Obs
@@ -293,9 +300,10 @@ type Config struct {
 
 // System is an assembled single-node JAWS instance.
 type System struct {
-	cfg   Config
-	store *store.Store
-	cache *cache.Cache
+	cfg      Config
+	tailSpec sched.PolicySpec
+	store    *store.Store
+	cache    *cache.Cache
 }
 
 // Open validates the configuration and builds the store and cache.
@@ -317,6 +325,20 @@ func Open(cfg Config) (*System, error) {
 	}
 	if !cfg.AlphaSet && cfg.InitialAlpha == 0 {
 		cfg.InitialAlpha = 0.5
+	}
+	var tailSpec sched.PolicySpec
+	if cfg.TailPolicy != "" {
+		spec, err := sched.ParsePolicySpec(cfg.TailPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("jaws: %w", err)
+		}
+		if cfg.Scheduler != SchedJAWS1 && cfg.Scheduler != SchedJAWS2 {
+			return nil, fmt.Errorf("jaws: TailPolicy requires a JAWS scheduler, not %v", cfg.Scheduler)
+		}
+		if cfg.QoSStretch > 0 {
+			return nil, fmt.Errorf("jaws: TailPolicy cannot be combined with QoSStretch (both decorate the JAWS scheduler)")
+		}
+		tailSpec = spec
 	}
 	st, err := store.Open(store.Config{
 		Space:       cfg.Space,
@@ -345,7 +367,7 @@ func Open(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("jaws: unknown cache policy %v", cfg.Policy)
 	}
-	return &System{cfg: cfg, store: st, cache: cache.New(cfg.CacheAtoms, pol)}, nil
+	return &System{cfg: cfg, tailSpec: tailSpec, store: st, cache: cache.New(cfg.CacheAtoms, pol)}, nil
 }
 
 // Store exposes the underlying atom store (examples use its Field for
@@ -375,6 +397,9 @@ func (s *System) newScheduler() sched.Scheduler {
 		})
 		if s.cfg.QoSStretch > 0 {
 			return sched.NewQoS(inner, s.cfg.Cost, s.cfg.QoSStretch, s.cfg.QoSHorizon)
+		}
+		if !s.tailSpec.Empty() {
+			return s.tailSpec.Wrap(inner)
 		}
 		return inner
 	}
